@@ -1,0 +1,26 @@
+// Shared helpers for the reproduction benches: consistent table printing
+// and the paper-expectation banner each bench emits next to its measured
+// rows (EXPERIMENTS.md records both).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+
+namespace oo::bench {
+
+inline void banner(const char* experiment, const char* paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_expectation);
+  std::printf("==============================================================\n");
+}
+
+inline void fct_row(const std::string& label, const PercentileSampler& s) {
+  std::printf("  %-22s n=%6zu  p50=%9.1f  p90=%9.1f  p99=%9.1f  max=%9.1f us\n",
+              label.c_str(), s.count(), s.percentile(50), s.percentile(90),
+              s.percentile(99), s.max());
+}
+
+}  // namespace oo::bench

@@ -1,0 +1,107 @@
+// Fig. 8 — Case I: realistic side-by-side comparison of architectures.
+// (a) Mice: Memcached 4.2 KB SETs, 1 server + 7 clients on 8 ToRs.
+// (b) Elephants: Gloo-style ring allreduce over all 8 hosts.
+// Architectures: Clos, c-Through, Jupiter (TA); Mordia (slotted TA);
+// RotorNet-VLB, Opera, RotorNet-UCMP (TO).
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "arch/arch.h"
+#include "bench/bench_util.h"
+#include "workload/allreduce.h"
+#include "workload/kv.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+struct ArchCase {
+  std::string label;
+  std::function<arch::Instance()> make;
+};
+
+std::vector<ArchCase> cases(const arch::Params& p, bool bulk) {
+  using arch::RotorRouting;
+  return {
+      {"clos", [p] { return arch::make_clos(p); }},
+      {"c-through", [p] { return arch::make_cthrough(p); }},
+      {"jupiter",
+       [p] {
+         arch::Params q = p;
+         q.collect_interval = SimTime::millis(60);  // infrequent (24h-like)
+         return arch::make_jupiter(q);
+       }},
+      {"mordia", [p] { return arch::make_mordia(p); }},
+      {"rotornet-vlb",
+       [p] { return arch::make_rotornet(p, RotorRouting::Vlb); }},
+      // Opera segregates classes: expander plane for mice, direct plane
+      // for bulk (its own design).
+      {"opera", [p, bulk] { return arch::make_opera(p, bulk); }},
+      {"rotornet-ucmp",
+       [p] { return arch::make_rotornet(p, RotorRouting::Ucmp); }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  // The testbed's 400 Gbps ToR uplink appears as multiple 100G lanes.
+  p.uplinks = 2;
+  p.slice = 100_us;
+  p.collect_interval = 10_ms;
+  p.reconfig_delay = 1_ms;  // MEMS scaled to the simulated horizon
+
+  bench::banner(
+      "Fig. 8(a): mice FCT (Memcached SETs) across architectures",
+      "c-Through ~ Clos; Jupiter low; Mordia low median / long tail; "
+      "RotorNet(VLB) long circuit-wait tail; Opera low; UCMP lowest of TO");
+  for (auto& c : cases(p, /*bulk=*/false)) {
+    auto inst = c.make();
+    std::vector<HostId> clients;
+    for (HostId h = 1; h < 8; ++h) clients.push_back(h);
+    workload::KvWorkload kv(*inst.net, 0, clients, 2_ms);
+    kv.start();
+    inst.run_for(250_ms);
+    kv.stop();
+    bench::fct_row(c.label, kv.fct_us());
+  }
+
+  bench::banner(
+      "Fig. 8(b): elephant FCT (ring allreduce) across architectures",
+      "TA (c-Through/Jupiter/Mordia) ~ Clos; RotorNet/Opera ~2x (50% duty); "
+      "UCMP between");
+  const std::vector<std::int64_t> sizes = {800 << 10, 4 << 20, 20 << 20};
+  for (auto& c : cases(p, /*bulk=*/true)) {
+    std::printf("  %-22s", c.label.c_str());
+    for (const auto bytes : sizes) {
+      auto inst = c.make();
+      std::vector<HostId> ring;
+      for (HostId h = 0; h < 8; ++h) ring.push_back(h);
+      SimTime total = SimTime::zero();
+      auto tcp = workload::RingAllreduce::default_tcp();
+      if (c.label == "rotornet-vlb") {
+        // VLB sprays per packet; rotor designs assume reordering-tolerant
+        // transport, approximated by an effectively disabled dupack FR.
+        tcp.dupack_threshold = 64;
+      }
+      workload::RingAllreduce ar(*inst.net, ring, bytes,
+                                 [&](SimTime t) { total = t; }, tcp);
+      ar.start();
+      inst.run_for(3_s);
+      if (total == SimTime::zero()) {
+        std::printf("  %8s@%.1fMB", "timeout",
+                    static_cast<double>(bytes) / 1e6);
+      } else {
+        std::printf("  %7.2fms@%.1fMB", total.ms(),
+                    static_cast<double>(bytes) / 1e6);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

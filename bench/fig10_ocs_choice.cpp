@@ -1,0 +1,59 @@
+// Fig. 10 — Case III: choice of optical hardware. RotorNet mice FCT as a
+// function of the OCS technology's supported slice duration (2 us AWGR,
+// 20 us rotor, 100 us / 200 us liquid-crystal-class), under VLB vs UCMP.
+#include <cstdio>
+
+#include "arch/arch.h"
+#include "bench/bench_util.h"
+#include "workload/kv.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+PercentileSampler run_kv(arch::Instance& inst, SimTime horizon) {
+  std::vector<HostId> clients;
+  for (HostId h = 1; h < inst.net->num_hosts(); ++h) clients.push_back(h);
+  workload::KvWorkload kv(*inst.net, 0, clients, 2_ms);
+  kv.start();
+  inst.run_for(horizon);
+  kv.stop();
+  return kv.fct_us();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fig. 10: mice FCT on RotorNet vs OCS slice duration",
+      "VLB tail grows with slice duration (waits ~a cycle at the worst); "
+      "UCMP flat-ish, degraded at 2 us (missed slices / deferrals), sweet "
+      "spot near 100 us");
+
+  struct OcsPoint {
+    const char* name;
+    SimTime slice;
+  };
+  const OcsPoint points[] = {
+      {"awgr-2us", 2_us},
+      {"rotor-20us", 20_us},
+      {"lc-100us", 100_us},
+      {"lc-200us", 200_us},
+  };
+
+  for (auto routing : {arch::RotorRouting::Vlb, arch::RotorRouting::Ucmp}) {
+    std::printf("--- %s ---\n",
+                routing == arch::RotorRouting::Vlb ? "VLB" : "UCMP");
+    for (const auto& pt : points) {
+      arch::Params p;
+      p.tors = 8;
+      p.hosts_per_tor = 1;
+      p.slice = pt.slice;
+      auto inst = arch::make_rotornet(p, routing);
+      const auto fct = run_kv(inst, 250_ms);
+      bench::fct_row(pt.name, fct);
+    }
+  }
+  return 0;
+}

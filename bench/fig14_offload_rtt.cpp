@@ -1,0 +1,66 @@
+// Fig. 14 (Appx. A) — buffer-offloading RTT stability: 1500 B packets at
+// 100 us intervals bounce between two hosts on one ToR (switch -> host ->
+// switch turnaround). The paper's libvma implementation keeps 95% of RTTs
+// within a 0.75 us band and inter-arrival deviation within +-0.25 us; the
+// kernel module baseline is far noisier.
+#include <cmath>
+#include <cstdio>
+
+#include "arch/arch.h"
+#include "bench/bench_util.h"
+#include "core/network.h"
+#include "transport/udp_probe.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+void run(const char* label, core::HostStack stack) {
+  core::NetworkConfig cfg;
+  cfg.num_tors = 2;
+  cfg.hosts_per_tor = 2;
+  cfg.calendar_mode = false;
+  cfg.host_stack = stack;
+  optics::Schedule sched(2, 1, 1, SimTime::seconds(3600));
+  core::Network net(cfg, sched, optics::ocs_emulated());
+  net.start();
+
+  // Hosts 0 and 1 hang off ToR 0: the probe path is exactly the offload
+  // path's host turnaround (down-link, stack, up-link) twice.
+  transport::UdpProbe probe(net, 0, 1, 100_us, 1500);
+
+  // Inter-arrival deviation from the 100 us send interval.
+  PercentileSampler deviation_us;
+  SimTime last_rx = SimTime::zero();
+  net.host(0).bind_default([](core::Packet&&) {});
+  probe.start();
+  // Wrap the probe's flow sink to also record inter-arrival times: re-bind
+  // after start is not possible, so sample RTT series instead.
+  net.sim().run_until(500_ms);
+  probe.stop();
+  (void)last_rx;
+
+  const auto& rtt = probe.rtts_us();
+  const double band95 = rtt.percentile(97.5) - rtt.percentile(2.5);
+  std::printf("  %-22s n=%5zu  median=%7.2fus  95%%-band=%6.2fus  "
+              "max=%8.2fus\n",
+              label, rtt.count(), rtt.median(), band95, rtt.max());
+  // Deviation of each RTT from the median approximates the paper's
+  // "distance to the 100 us interval" metric (fixed send cadence).
+  std::printf("    p95 |rtt - median| = %.2f us\n",
+              std::max(rtt.percentile(97.5) - rtt.median(),
+                       rtt.median() - rtt.percentile(2.5)));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fig. 14: offload host turnaround RTT stability (1500 B @ 100 us)",
+      "libvma: 95% of RTTs within ~0.75 us variance, deviation within "
+      "+-0.25 us of the interval; kernel baseline much worse");
+  run("libvma", core::HostStack::Libvma);
+  run("kernel", core::HostStack::Kernel);
+  return 0;
+}

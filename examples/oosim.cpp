@@ -1,0 +1,147 @@
+// oosim — the educational toolkit (§5.3's Mininet analogue): run any of
+// the bundled architectures against a workload from the command line, no
+// code required.
+//
+//   oosim <arch> [options]
+//
+//   arch:       clos | cthrough | jupiter | mordia | rotornet-vlb |
+//               rotornet-direct | rotornet-ucmp | rotornet-hoho | opera |
+//               shale | semi-oblivious
+//   --tors N        number of ToRs (default 8)
+//   --hosts N       hosts per ToR (default 1)
+//   --slice US      slice duration in microseconds (default 100)
+//   --uplinks N     optical uplinks per ToR (default 1)
+//   --workload W    kv | rpc | hadoop | kvstore-trace (default kv)
+//   --load F        offered load fraction for trace workloads (default 0.3)
+//   --ms N          simulated milliseconds (default 100)
+//   --seed N        RNG seed (default 1)
+//   --csv PATH      write the FCT CDF as CSV
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "arch/arch.h"
+#include "services/export.h"
+#include "workload/kv.h"
+#include "workload/traces.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: oosim <arch> [--tors N] [--hosts N] [--slice US] "
+               "[--uplinks N]\n"
+               "             [--workload kv|rpc|hadoop|kvstore] [--load F] "
+               "[--ms N] [--seed N] [--csv PATH]\n"
+               "archs: clos cthrough jupiter mordia rotornet-vlb "
+               "rotornet-direct\n"
+               "       rotornet-ucmp rotornet-hoho opera shale "
+               "semi-oblivious\n");
+  return 1;
+}
+
+arch::Instance make(const std::string& name, const arch::Params& p) {
+  using arch::RotorRouting;
+  if (name == "clos") return arch::make_clos(p);
+  if (name == "cthrough") return arch::make_cthrough(p);
+  if (name == "jupiter") return arch::make_jupiter(p);
+  if (name == "mordia") return arch::make_mordia(p);
+  if (name == "rotornet-vlb")
+    return arch::make_rotornet(p, RotorRouting::Vlb);
+  if (name == "rotornet-direct")
+    return arch::make_rotornet(p, RotorRouting::Direct);
+  if (name == "rotornet-ucmp")
+    return arch::make_rotornet(p, RotorRouting::Ucmp);
+  if (name == "rotornet-hoho")
+    return arch::make_rotornet(p, RotorRouting::Hoho);
+  if (name == "opera") return arch::make_opera(p);
+  if (name == "shale") return arch::make_shale(p);
+  if (name == "semi-oblivious") return arch::make_semi_oblivious(p);
+  throw std::runtime_error("unknown architecture: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string arch_name = argv[1];
+
+  arch::Params p;
+  std::string workload = "kv";
+  std::string csv_path;
+  double load = 0.3;
+  int ms = 100;
+  double slice_us = 100.0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string opt = argv[i];
+    const std::string val = argv[i + 1];
+    if (opt == "--tors") p.tors = std::stoi(val);
+    else if (opt == "--hosts") p.hosts_per_tor = std::stoi(val);
+    else if (opt == "--slice") slice_us = std::stod(val);
+    else if (opt == "--uplinks") p.uplinks = std::stoi(val);
+    else if (opt == "--workload") workload = val;
+    else if (opt == "--load") load = std::stod(val);
+    else if (opt == "--ms") ms = std::stoi(val);
+    else if (opt == "--seed") p.seed = std::stoull(val);
+    else if (opt == "--csv") csv_path = val;
+    else return usage();
+  }
+  p.slice = SimTime::nanos(static_cast<std::int64_t>(slice_us * 1e3));
+
+  try {
+    auto inst = make(arch_name, p);
+    std::printf("architecture: %s  (%d ToRs x %d hosts, %s)\n",
+                inst.name.c_str(), p.tors, p.hosts_per_tor,
+                inst.net->schedule().summary().c_str());
+
+    std::unique_ptr<workload::KvWorkload> kv;
+    std::unique_ptr<workload::TraceReplay> trace;
+    const PercentileSampler* fct = nullptr;
+    if (workload == "kv") {
+      std::vector<HostId> clients;
+      for (HostId h = 1; h < inst.net->num_hosts(); ++h) clients.push_back(h);
+      kv = std::make_unique<workload::KvWorkload>(*inst.net, 0, clients,
+                                                  2_ms);
+      kv->start();
+      fct = &kv->fct_us();
+    } else {
+      workload::TraceKind kind;
+      if (workload == "rpc") kind = workload::TraceKind::Rpc;
+      else if (workload == "hadoop") kind = workload::TraceKind::Hadoop;
+      else if (workload == "kvstore") kind = workload::TraceKind::KvStore;
+      else return usage();
+      trace = std::make_unique<workload::TraceReplay>(*inst.net, kind, load);
+      trace->start();
+      fct = &trace->mice_fct_us();
+    }
+
+    inst.run_for(SimTime::millis(ms));
+    if (kv) kv->stop();
+    if (trace) trace->stop();
+
+    std::printf("\nflow completion times (us):\n");
+    std::printf("  n=%zu  p50=%.1f  p90=%.1f  p99=%.1f  max=%.1f\n",
+                fct->count(), fct->percentile(50), fct->percentile(90),
+                fct->percentile(99), fct->max());
+    const auto t = inst.net->totals();
+    std::printf(
+        "delivered=%lld  fabric_drops=%lld  congestion_drops=%lld  "
+        "no_route=%lld\n",
+        static_cast<long long>(t.delivered),
+        static_cast<long long>(t.fabric_drops),
+        static_cast<long long>(t.congestion_drops),
+        static_cast<long long>(t.no_route_drops));
+    if (!csv_path.empty()) {
+      services::write_file(csv_path, services::cdf_csv(*fct, 100, "fct_us"));
+      std::printf("wrote CDF to %s\n", csv_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oosim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §6 Case II in miniature: troubleshooting transport performance on a TO
+// fabric. A long-lived TCP flow runs over RotorNet with VLB; reordering
+// from per-packet spraying triggers spurious fast retransmits; raising the
+// dupack threshold recovers throughput — the reTCP/TDTCP-style parameter
+// study OpenOptics makes possible outside hybrid-only emulators.
+#include <cstdio>
+
+#include "arch/arch.h"
+#include "transport/tcp_lite.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+void run(int dupack) {
+  arch::Params p;
+  p.tors = 8;
+  p.slice = 100_us;
+  p.uplinks = 2;
+  auto inst = arch::make_rotornet(p, arch::RotorRouting::Vlb);
+  transport::TcpConfig cfg;
+  cfg.dupack_threshold = dupack;
+  cfg.app_rate_cap = 40e9;
+  transport::TcpLite tcp(*inst.net, 0, 4, cfg);
+  tcp.start();
+  inst.run_for(80_ms);
+  std::printf(
+      "  dupack=%2d: goodput=%5.1f Gbps  reorder events=%6lld  "
+      "spurious fast-retx=%4lld  rto=%3lld  cwnd=%.0f\n",
+      dupack, tcp.goodput_bps() / 1e9,
+      static_cast<long long>(tcp.reorder_events()),
+      static_cast<long long>(tcp.fast_retransmits()),
+      static_cast<long long>(tcp.rto_events()), tcp.cwnd());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TCP over RotorNet+VLB: tuning the dupack threshold\n");
+  std::printf("(per-packet spraying reorders; fast retransmit misfires)\n\n");
+  for (int dupack : {3, 5, 9, 17, 33, 65}) {
+    run(dupack);
+  }
+  std::printf(
+      "\nhigher thresholds absorb spray-induced reordering; the residual\n"
+      "gap to line rate is genuine circuit-wait latency, not loss.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// OpenOptics user API (§4.2, Tab. 1). A user creates a Net from a static
+// JSON configuration (hardware setup: node kind/count, optical uplinks,
+// slice duration, OCS type), then drives the topology, routing, and
+// monitoring APIs. The C++ spellings of the paper's calls:
+//
+//   auto net = oo::api::Net::from_json(config_text);
+//   auto circuits = oo::topo::round_robin_1d(n, uplinks);
+//   net.deploy_topo(circuits, period);
+//   auto paths = oo::routing::vlb(net.schedule());
+//   net.deploy_routing(paths, Lookup::PerHop, Multipath::PerPacket);
+//   net.run_for(SimTime::millis(10));
+//   auto tm = net.collect();
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/controller.h"
+#include "core/network.h"
+#include "core/path.h"
+#include "optics/fabric.h"
+#include "optics/schedule.h"
+#include "routing/time_expanded.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::api {
+
+using Lookup = core::LookupMode;
+using Multipath = core::MultipathMode;
+
+// Static configuration (§4.1): the JSON file of hardware facts.
+struct Config {
+  int node_num = 8;
+  int hosts_per_node = 1;
+  int uplink = 1;
+  double bw_gbps = 100.0;
+  double slice_us = 100.0;
+  int period = 0;           // 0: decided at deploy_topo time
+  std::string ocs = "emulated";  // emulated|mems|rotor|liquid-crystal|awgr
+  bool calendar = true;
+  double electrical_gbps = 0.0;
+  std::uint64_t seed = 42;
+
+  // Infra-service knobs (§5.2).
+  bool congestion_detection = true;
+  std::string congestion_response = "drop";  // drop|defer|trim
+  bool pushback = false;
+  bool offload = false;
+  std::string host_stack = "libvma";  // libvma|kernel
+
+  static Config from_json(const std::string& text);
+  // Reads the JSON config from disk (the paper's static configuration
+  // file); throws on I/O or parse errors.
+  static Config from_file(const std::string& path);
+  core::NetworkConfig to_network_config() const;
+  optics::OcsProfile profile() const;
+};
+
+class Net {
+ public:
+  // The network materializes on the first deploy_topo() call, which fixes
+  // the schedule period (the static config fixes everything else).
+  explicit Net(const Config& cfg);
+  static Net from_json(const std::string& text) { return Net(Config::from_json(text)); }
+
+  bool ready() const { return net_ != nullptr; }
+  core::Network& network() { return *net_; }
+  core::Controller& controller() { return *ctl_; }
+  const optics::Schedule& schedule() const { return net_->schedule(); }
+  sim::Simulator& sim() { return net_->sim(); }
+
+  // --- Topology APIs ---
+  // connect(): the primitive circuit constructor.
+  static optics::Circuit connect(NodeId n1, PortId p1, NodeId n2, PortId p2,
+                                 SliceId ts = kAnySlice) {
+    return optics::Circuit{n1, p1, n2, p2, ts};
+  }
+  bool deploy_topo(const std::vector<optics::Circuit>& circuits,
+                   SliceId period = 1,
+                   SimTime reconfig_delay = SimTime::zero());
+
+  // --- Routing APIs ---
+  bool deploy_routing(const std::vector<core::Path>& paths,
+                      Lookup lookup = Lookup::PerHop,
+                      Multipath multipath = Multipath::None,
+                      int priority = 0);
+  bool add(const core::TftEntry& entry, NodeId node);
+  std::vector<NodeId> neighbors(NodeId node, SliceId ts) const;
+  std::optional<core::Path> earliest_path(NodeId src, NodeId dst, SliceId ts,
+                                          int max_hop = 0) const;
+
+  // --- Monitoring APIs ---
+  topo::TrafficMatrix collect();  // drains per-destination counters
+  std::int64_t buffer_usage(NodeId node, PortId port = kInvalidPort) const;
+  // Bytes sent on a node's uplinks since the last bw_usage call.
+  std::int64_t bw_usage(NodeId node);
+
+  // --- Execution ---
+  void run_for(SimTime t) { net_->sim().run_until(net_->sim().now() + t); }
+  void start() { net_->start(); }
+
+  const std::string& last_error() const { return ctl_->last_error(); }
+
+ private:
+  optics::OcsProfile profile_cached() const;
+
+  Config cfg_;
+  std::unique_ptr<core::Network> net_;
+  std::unique_ptr<core::Controller> ctl_;
+  std::vector<std::int64_t> bw_baseline_;
+};
+
+}  // namespace oo::api

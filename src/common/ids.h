@@ -1,0 +1,53 @@
+// Common identifier and unit aliases shared across the framework.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace oo {
+
+// Electrical endpoint node (ToR / pod switch / host NIC attached to the
+// optical fabric). Dense 0..N-1 per network.
+using NodeId = std::int32_t;
+// Port index local to a node. Optical uplinks are numbered before host
+// downlinks.
+using PortId = std::int32_t;
+// Time-slice index within an optical schedule cycle.
+using SliceId = std::int32_t;
+using FlowId = std::int64_t;
+using HostId = std::int32_t;
+using PacketId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PortId kInvalidPort = -1;
+// Wildcard slice: matches any arrival slice / departs immediately (a
+// time-flow table with wildcard slices reduces to a classical flow table).
+inline constexpr SliceId kAnySlice = -1;
+
+// Bandwidth in bits per second. 100 Gbps = 100e9.
+using BitsPerSec = double;
+
+constexpr double kBitsPerByte = 8.0;
+
+// Serialization delay of `bytes` at `bw` bits/sec, in nanoseconds (rounded
+// up so that back-to-back packets never overlap).
+constexpr std::int64_t serialization_ns(std::int64_t bytes, BitsPerSec bw) {
+  const double ns = static_cast<double>(bytes) * kBitsPerByte / bw * 1e9;
+  const auto whole = static_cast<std::int64_t>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+// Bytes transmittable in `ns` nanoseconds at `bw` bits/sec (floor).
+constexpr std::int64_t bytes_in_ns(std::int64_t ns, BitsPerSec bw) {
+  return static_cast<std::int64_t>(static_cast<double>(ns) * bw /
+                                   (kBitsPerByte * 1e9));
+}
+
+inline constexpr BitsPerSec operator""_gbps(long double g) {
+  return static_cast<BitsPerSec>(g) * 1e9;
+}
+inline constexpr BitsPerSec operator""_gbps(unsigned long long g) {
+  return static_cast<BitsPerSec>(g) * 1e9;
+}
+
+}  // namespace oo

@@ -1,0 +1,363 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace oo::json {
+
+ParseError::ParseError(const std::string& msg, std::size_t pos)
+    : std::runtime_error(msg + " at offset " + std::to_string(pos)),
+      pos_(pos) {}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, pos_);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value{parse_string()};
+      case 't':
+        parse_literal("true");
+        return Value{true};
+      case 'f':
+        parse_literal("false");
+        return Value{false};
+      case 'n':
+        parse_literal("null");
+        return Value{nullptr};
+      default:
+        return parse_number();
+    }
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (eat('}')) return Value{std::move(obj)};
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (eat(',')) continue;
+      expect('}');
+      return Value{std::move(obj)};
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (eat(']')) return Value{std::move(arr)};
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (eat(',')) continue;
+      expect(']');
+      return Value{std::move(arr)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = advance();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (eat('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    const std::string_view sv{text_.data() + start, pos_ - start};
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), v);
+      if (ec == std::errc{} && p == sv.data() + sv.size()) return Value{v};
+    }
+    double d = 0.0;
+    auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), d);
+    if (ec != std::errc{} || p != sv.data() + sv.size()) fail("bad number");
+    return Value{d};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (type_ == Type::Int) return int_;
+  if (type_ == Type::Double) return static_cast<std::int64_t>(dbl_);
+  throw std::runtime_error("json: not a number");
+}
+
+double Value::as_double() const {
+  if (type_ == Type::Double) return dbl_;
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  throw std::runtime_error("json: not a number");
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) throw std::runtime_error("json: not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::Array) throw std::runtime_error("json: not an array");
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::Object) throw std::runtime_error("json: not an object");
+  return obj_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::Array) throw std::runtime_error("json: not an array");
+  return arr_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::Object) throw std::runtime_error("json: not an object");
+  return obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return type_ == Type::Object && obj_.count(key) > 0;
+}
+
+std::int64_t Value::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_double() : fallback;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(int_); break;
+    case Type::Double: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", dbl_);
+      out += buf;
+      break;
+    }
+    case Type::String: append_escaped(out, str_); break;
+    case Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        append_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Value parse(const std::string& text) { return Parser{text}.parse_document(); }
+
+}  // namespace oo::json

@@ -1,0 +1,88 @@
+// Minimal JSON value + recursive-descent parser. OpenOptics static
+// configurations (§4.1) are JSON files describing the hardware setup (node
+// kind/count, optical uplinks, slice duration, OCS structure); this is the
+// only JSON we need, so a dependency-free ~RFC8259 subset suffices
+// (no \u escapes beyond ASCII, numbers as double/int64).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace oo::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t pos);
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(int i) : type_(Type::Int), int_(i) {}
+  Value(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Value(double d) : type_(Type::Double), dbl_(d) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  // Object access; throws on missing key / wrong type.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  // Object access with a fallback when the key is absent.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Parses a complete JSON document; throws ParseError on malformed input or
+// trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace oo::json

@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <cstdarg>
+
+namespace oo {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, msg.c_str());
+}
+
+namespace detail {
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[1024];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+}  // namespace detail
+
+}  // namespace oo

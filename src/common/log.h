@@ -1,0 +1,33 @@
+// Leveled stderr logger. Default level is Warn so benches stay quiet;
+// examples bump it to Info for narrative output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace oo {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, const char* tag, const std::string& msg);
+
+namespace detail {
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define OO_LOG(level, tag, ...)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::oo::log_level())) \
+      ::oo::log_line(level, tag, ::oo::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+#define OO_DEBUG(tag, ...) OO_LOG(::oo::LogLevel::Debug, tag, __VA_ARGS__)
+#define OO_INFO(tag, ...) OO_LOG(::oo::LogLevel::Info, tag, __VA_ARGS__)
+#define OO_WARN(tag, ...) OO_LOG(::oo::LogLevel::Warn, tag, __VA_ARGS__)
+#define OO_ERROR(tag, ...) OO_LOG(::oo::LogLevel::Error, tag, __VA_ARGS__)
+
+}  // namespace oo

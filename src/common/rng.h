@@ -1,0 +1,46 @@
+// Deterministic, seedable PRNG (PCG32). Every stochastic component owns its
+// own stream so simulations replay bit-identically regardless of module
+// evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound).
+  std::uint32_t uniform(std::uint32_t bound);
+  // Uniform double in [0, 1).
+  double uniform01();
+  // Uniform in [lo, hi].
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  // Gaussian via polar Box-Muller.
+  double gaussian(double mean, double stddev);
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_pick(const std::vector<double>& weights);
+
+  // Split off an independent stream derived from this one.
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_spare_gauss_ = false;
+  double spare_gauss_ = 0.0;
+};
+
+// 32-bit stateless mix, handy for per-packet hashing (five-tuple / timestamp
+// multipath hashing in the time-flow table).
+std::uint32_t hash_mix(std::uint64_t x);
+
+}  // namespace oo

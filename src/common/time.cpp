@@ -1,0 +1,21 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace oo {
+
+std::string SimTime::str() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", sec());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else if (ns_ >= 1'000 || ns_ <= -1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace oo

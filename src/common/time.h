@@ -1,0 +1,74 @@
+// Strong simulation-time type. All simulator time is integer nanoseconds;
+// a strong type keeps slice arithmetic, bandwidth math, and wall-clock
+// calibration from silently mixing units.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace oo {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime{n}; }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime{u * 1000}; }
+  static constexpr SimTime millis(std::int64_t m) {
+    return SimTime{m * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000'000};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const {
+    return SimTime{ns_ * k};
+  }
+  constexpr std::int64_t operator/(SimTime o) const { return ns_ / o.ns_; }
+  constexpr SimTime operator%(SimTime o) const { return SimTime{ns_ % o.ns_}; }
+
+  std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long n) {
+  return SimTime::nanos(static_cast<std::int64_t>(n));
+}
+constexpr SimTime operator""_us(unsigned long long n) {
+  return SimTime::micros(static_cast<std::int64_t>(n));
+}
+constexpr SimTime operator""_ms(unsigned long long n) {
+  return SimTime::millis(static_cast<std::int64_t>(n));
+}
+constexpr SimTime operator""_s(unsigned long long n) {
+  return SimTime::seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace oo

@@ -1,0 +1,167 @@
+#include "core/controller.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/log.h"
+
+namespace oo::core {
+
+bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
+                                  SliceId period,
+                                  optics::Schedule& out) const {
+  optics::Schedule sched(net_.num_tors(), net_.schedule().uplinks(), period,
+                         net_.schedule().slice_duration());
+  for (const auto& c : circuits) {
+    if (!sched.add_circuit(c)) {
+      last_error_ = "infeasible circuit (" + std::to_string(c.a) + ":" +
+                    std::to_string(c.a_port) + " <-> " + std::to_string(c.b) +
+                    ":" + std::to_string(c.b_port) + " @ts " +
+                    std::to_string(c.slice) + ")";
+      return false;
+    }
+  }
+  out = std::move(sched);
+  return true;
+}
+
+bool Controller::deploy_topo(const std::vector<optics::Circuit>& circuits,
+                             SliceId period, SimTime reconfig_delay) {
+  optics::Schedule sched;
+  if (!compile_schedule(circuits, period, sched)) return false;
+  net_.reconfigure(std::move(sched), reconfig_delay);
+  return true;
+}
+
+bool Controller::check_path(const Path& path,
+                            const optics::Schedule& sched) const {
+  if (!path.valid()) {
+    last_error_ = "empty or invalid path";
+    return false;
+  }
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const PathHop& h = path.hops[i];
+    if (h.egress == kElectricalEgress) {
+      if (net_.electrical() == nullptr) {
+        last_error_ = "path uses electrical fabric but none is configured";
+        return false;
+      }
+      continue;
+    }
+    const SliceId s = h.dep_slice == kAnySlice ? kAnySlice : h.dep_slice;
+    auto peer = sched.peer(h.node, h.egress, s);
+    if (!peer) {
+      last_error_ = "no circuit at node " + std::to_string(h.node) +
+                    " port " + std::to_string(h.egress) + " slice " +
+                    std::to_string(s);
+      return false;
+    }
+    const NodeId expect =
+        (i + 1 < path.hops.size()) ? path.hops[i + 1].node : path.dst;
+    if (peer->node != expect) {
+      last_error_ = "circuit at node " + std::to_string(h.node) +
+                    " leads to " + std::to_string(peer->node) + ", not " +
+                    std::to_string(expect);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Controller::deploy_routing(const std::vector<Path>& paths,
+                                LookupMode lookup, MultipathMode multipath,
+                                int priority,
+                                const optics::Schedule* validate_against) {
+  const optics::Schedule& sched =
+      validate_against != nullptr ? *validate_against : net_.schedule();
+  for (const auto& p : paths) {
+    if (!check_path(p, sched)) return false;
+  }
+
+  // Merge per-(node, match) action sets so parallel paths become one
+  // multipath entry. Identical actions merge by summing their weights.
+  using Key = std::tuple<NodeId, SliceId, NodeId, NodeId>;
+  std::map<Key, std::vector<TftAction>> merged;
+
+  auto add_action = [&merged](NodeId node, SliceId arr, NodeId src,
+                              NodeId dst, TftAction action) {
+    auto& actions = merged[{node, arr, src, dst}];
+    for (auto& existing : actions) {
+      if (existing.hops.size() == action.hops.size()) {
+        bool same = true;
+        for (std::size_t i = 0; i < existing.hops.size(); ++i) {
+          if (existing.hops[i].egress != action.hops[i].egress ||
+              existing.hops[i].dep_slice != action.hops[i].dep_slice) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          existing.weight += action.weight;
+          return;
+        }
+      }
+    }
+    actions.push_back(std::move(action));
+  };
+
+  for (const auto& path : paths) {
+    if (lookup == LookupMode::SourceRouting) {
+      TftAction action;
+      action.weight = path.weight;
+      action.hops.reserve(path.hops.size());
+      for (const auto& h : path.hops) {
+        action.hops.push_back(net::SourceHop{h.egress, h.dep_slice});
+      }
+      add_action(path.hops.front().node, path.start_slice, path.src, path.dst,
+                 std::move(action));
+      continue;
+    }
+    // Per-hop lookup: one single-hop entry at every node on the path. The
+    // first hop matches the path's source explicitly (so per-source policy
+    // like VLB spraying applies only to locally originated traffic); transit
+    // hops use a source wildcard.
+    SliceId arr = path.start_slice;
+    for (std::size_t i = 0; i < path.hops.size(); ++i) {
+      const PathHop& h = path.hops[i];
+      TftAction action;
+      action.weight = path.weight;
+      action.hops.push_back(net::SourceHop{h.egress, h.dep_slice});
+      const NodeId src_match = (i == 0) ? path.src : kInvalidNode;
+      add_action(h.node, arr, src_match, path.dst, std::move(action));
+      // The next node sees the packet in the slice this hop departed in
+      // (fabric latency is far below a slice); wildcard stays wildcard.
+      arr = h.dep_slice;
+    }
+  }
+
+  for (auto& [key, actions] : merged) {
+    const auto [node, arr, src, dst] = key;
+    TftEntry entry;
+    entry.match = TftMatch{arr, src, dst};
+    entry.actions = std::move(actions);
+    entry.priority = priority;
+    net_.tor(node).tft().add(std::move(entry));
+  }
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    net_.tor(n).set_multipath(multipath);
+  }
+  return true;
+}
+
+bool Controller::add(const TftEntry& entry, NodeId node) {
+  if (node < 0 || node >= net_.num_tors()) {
+    last_error_ = "bad node id";
+    return false;
+  }
+  net_.tor(node).tft().add(entry);
+  return true;
+}
+
+void Controller::clear_routing() {
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    net_.tor(n).tft().clear();
+  }
+}
+
+}  // namespace oo::core

@@ -1,0 +1,59 @@
+// Optical controller (§4.1): sanity-checks user-programmed topologies and
+// routing paths, compiles node-level circuits into the OCS schedule and
+// paths into time-flow table entries, and deploys both. deploy_routing is
+// applied before deploy_topo in TA updates so higher-priority routes overlay
+// existing ones ahead of the physical reconfiguration (Fig. 5b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.h"
+#include "core/path.h"
+#include "core/time_flow_table.h"
+#include "optics/schedule.h"
+
+namespace oo::core {
+
+class Controller {
+ public:
+  explicit Controller(Network& net) : net_(net) {}
+
+  // Builds a Schedule with the network's slicing parameters from node-level
+  // circuits. Returns false (and leaves `out` untouched) on any infeasible
+  // circuit (port conflict, bad node, slice out of range).
+  bool compile_schedule(const std::vector<optics::Circuit>& circuits,
+                        SliceId period, optics::Schedule& out) const;
+
+  // deploy_topo([Circuit]) -> bool (Tab. 1). Feasibility-checks and swaps
+  // the fabric schedule; `reconfig_delay` models the OCS retargeting time
+  // (0 for pre-start deployment).
+  bool deploy_topo(const std::vector<optics::Circuit>& circuits,
+                   SliceId period, SimTime reconfig_delay = SimTime::zero());
+
+  // deploy_routing([Path], LOOKUP, MULTIPATH) -> bool (Tab. 1). Verifies
+  // every hop against the schedule, compiles to time-flow table entries
+  // (merging multipath sets), and installs them at `priority`.
+  // `validate_against` supports the TA make-before-break pattern (§4.1):
+  // routes computed for a topology that is deployed *after* them validate
+  // against that upcoming schedule instead of the live one.
+  bool deploy_routing(const std::vector<Path>& paths, LookupMode lookup,
+                      MultipathMode multipath, int priority = 0,
+                      const optics::Schedule* validate_against = nullptr);
+
+  // add(Entry, node) -> bool: direct entry installation (debugging, Tab. 1).
+  bool add(const TftEntry& entry, NodeId node);
+
+  // Drops all routing state on every node (used before re-deploys in tests).
+  void clear_routing();
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool check_path(const Path& path, const optics::Schedule& sched) const;
+
+  Network& net_;
+  mutable std::string last_error_;
+};
+
+}  // namespace oo::core

@@ -1,0 +1,43 @@
+#include "core/eqo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace oo::core {
+
+QueueOccupancyEstimator::QueueOccupancyEstimator(int num_queues,
+                                                 BitsPerSec drain_bandwidth,
+                                                 SimTime update_interval)
+    : est_(static_cast<std::size_t>(num_queues), 0),
+      drain_per_tick_(bytes_in_ns(update_interval.ns(), drain_bandwidth)),
+      interval_(update_interval) {
+  assert(num_queues > 0);
+  assert(update_interval > SimTime::zero());
+}
+
+void QueueOccupancyEstimator::on_enqueue(int q, std::int64_t bytes) {
+  est_[static_cast<std::size_t>(q)] += bytes;
+}
+
+void QueueOccupancyEstimator::on_tick(int active) {
+  auto& e = est_[static_cast<std::size_t>(active)];
+  e = std::max<std::int64_t>(0, e - drain_per_tick_);
+}
+
+void QueueOccupancyEstimator::drain_window(int active, SimTime from,
+                                           SimTime to) {
+  if (to <= from) return;
+  const std::int64_t iv = interval_.ns();
+  const std::int64_t ticks = to.ns() / iv - from.ns() / iv;
+  if (ticks <= 0) return;
+  auto& e = est_[static_cast<std::size_t>(active)];
+  e = std::max<std::int64_t>(0, e - ticks * drain_per_tick_);
+}
+
+std::int64_t QueueOccupancyEstimator::error_vs(int q,
+                                               std::int64_t truth) const {
+  return std::llabs(est_[static_cast<std::size_t>(q)] - truth);
+}
+
+}  // namespace oo::core

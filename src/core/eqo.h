@@ -1,0 +1,51 @@
+// Estimated Queue Occupancy (§5.2, Appx. A). Commercial switch ingress
+// pipelines cannot read egress queue depth before enqueueing, so OpenOptics
+// tracks an estimate in an ingress register array: incremented by packet
+// size on enqueue, decremented by (bandwidth x update interval) by a
+// packet-generator tick assuming line-rate dequeue, clamped at zero. The
+// estimation error vs. ground truth shrinks with the update interval
+// (Fig. 12: 50 ns -> under one MTU packet of error).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace oo::core {
+
+class QueueOccupancyEstimator {
+ public:
+  QueueOccupancyEstimator(int num_queues, BitsPerSec drain_bandwidth,
+                          SimTime update_interval);
+
+  SimTime update_interval() const { return interval_; }
+
+  // Ingress pipeline: packet headed to queue `q` was admitted.
+  void on_enqueue(int q, std::int64_t bytes);
+  // Packet-generator tick: the queue currently draining (`active`) loses up
+  // to one interval of line-rate bytes.
+  void on_tick(int active);
+  // Applies every tick whose firing time falls in (from, to] to the active
+  // queue — equivalent to the periodic packet-generator stream without one
+  // simulator event per 50 ns. Tick times are the global grid
+  // k * update_interval.
+  void drain_window(int active, SimTime from, SimTime to);
+  // A queue that wrapped to a new calendar day starts a fresh estimate.
+  void reset(int q) { est_[static_cast<std::size_t>(q)] = 0; }
+
+  std::int64_t estimate(int q) const {
+    return est_[static_cast<std::size_t>(q)];
+  }
+
+  // |estimate - truth| for error studies (truth from the egress queue).
+  std::int64_t error_vs(int q, std::int64_t truth_bytes) const;
+
+ private:
+  std::vector<std::int64_t> est_;
+  std::int64_t drain_per_tick_;
+  SimTime interval_;
+};
+
+}  // namespace oo::core

@@ -1,0 +1,23 @@
+#include "core/guardband.h"
+
+#include <cmath>
+
+namespace oo::core {
+
+GuardbandBreakdown derive_guardband(const GuardbandInputs& in) {
+  GuardbandBreakdown out;
+  out.rotation_variance = in.rotation_variance;
+  out.eqo_delay = SimTime::nanos(static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(in.eqo_error_bytes) * kBitsPerByte /
+                in.line_rate * 1e9)));
+  out.sync_window = in.sync_error * 2;
+  out.analytic = out.rotation_variance + out.eqo_delay + out.sync_window;
+  const double padded = static_cast<double>(out.analytic.ns()) * in.headroom;
+  // Round up to a 10 ns grid — guardbands are configured, not measured.
+  const auto grid = static_cast<std::int64_t>(std::ceil(padded / 10.0)) * 10;
+  out.guardband = SimTime::nanos(grid);
+  out.min_slice = out.guardband * in.duty_factor;
+  return out;
+}
+
+}  // namespace oo::core

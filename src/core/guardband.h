@@ -1,0 +1,41 @@
+// Guardband and minimum-slice derivation (§7). The slice guardband must
+// cover (a) queue-rotation delivery variance across the fabric, (b) the EQO
+// false-negative window (estimation error divided by line rate), and (c)
+// twice the synchronization error (clock above and below truth). A >=90%
+// duty cycle then puts the minimum slice at 10x the guardband — the paper's
+// headline 2 us on commodity devices.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace oo::core {
+
+struct GuardbandInputs {
+  // Fabric delivery jitter: latency_max - latency_min (Fig. 11: 34 ns).
+  SimTime rotation_variance = SimTime::nanos(34);
+  // EQO worst-case error in bytes (Fig. 12: 725 B at 50 ns interval).
+  std::int64_t eqo_error_bytes = 725;
+  BitsPerSec line_rate = 100e9;
+  // One-sided sync error (OpSync: 28 ns at 192 ToRs).
+  SimTime sync_error = SimTime::nanos(28);
+  // Multiplier of headroom applied on top of the analytic sum.
+  double headroom = 200.0 / 148.0;
+  // Duty-cycle requirement: slice >= duty_factor x guardband.
+  int duty_factor = 10;
+};
+
+struct GuardbandBreakdown {
+  SimTime rotation_variance;
+  SimTime eqo_delay;   // eqo_error_bytes at line rate
+  SimTime sync_window; // 2 x sync error
+  SimTime analytic;    // sum of the three
+  SimTime guardband;   // analytic x headroom, rounded up to 10 ns
+  SimTime min_slice;   // guardband x duty_factor
+};
+
+GuardbandBreakdown derive_guardband(const GuardbandInputs& in);
+
+}  // namespace oo::core

@@ -1,0 +1,373 @@
+// The OpenOptics backend system (§5): ToR switches with time-flow tables and
+// calendar-queue management, hosts with a libvma-style userspace stack
+// (flow pausing, segment queues, offload storage), the optical fabric, an
+// optional parallel electrical fabric, and the infrastructure services —
+// congestion detection, traffic push-back, flow pausing, traffic collection,
+// and buffer offloading (§5.2) — wired together under one event simulator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/calendar_queue.h"
+#include "core/eqo.h"
+#include "core/path.h"
+#include "core/sync.h"
+#include "core/time_flow_table.h"
+#include "eventsim/simulator.h"
+#include "net/electrical_fabric.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "optics/fabric.h"
+#include "optics/schedule.h"
+
+namespace oo::core {
+
+using net::Packet;
+using net::PacketType;
+
+// What a switch does when congestion detection flags a packet whose
+// calendar queue cannot take it (§5.2): the framework detects, the
+// architecture chooses the response.
+enum class CongestionResponse {
+  Drop,   // RotorNet-style tail drop
+  Trim,   // Opera-style payload trimming (header survives, marked)
+  Defer,  // HOHO/UCMP-style deferral to a later feasible slice
+};
+
+// Host network stack model for delay/variance purposes (Fig. 14): the
+// userspace libvma path vs. the kernel path.
+enum class HostStack { Libvma, Kernel };
+
+struct NetworkConfig {
+  int num_tors = 8;
+  int hosts_per_tor = 1;
+  BitsPerSec optical_bw = 100e9;
+  BitsPerSec host_bw = 100e9;
+  SimTime host_link_delay = SimTime::nanos(600);
+
+  // Parallel electrical fabric; 0 bandwidth = absent.
+  BitsPerSec electrical_bw = 0;
+  SimTime electrical_transit = SimTime::micros(1);
+  std::int64_t electrical_backlog = 16 << 20;
+
+  // Calendar queues: count per uplink port (the offload horizon N of §5.2
+  // when smaller than the schedule period) and per-queue byte capacity.
+  int calendar_queues = 0;  // 0 = match the schedule period (capped at 128)
+  std::int64_t queue_capacity = 2 << 20;
+  // Classical-FIFO capacity per uplink for TA/static (wildcard) operation.
+  std::int64_t fifo_capacity = 8 << 20;
+
+  // TO mode runs slice rotation + calendar queues; TA/static mode drains
+  // FIFOs continuously. Set by the architecture preset.
+  bool calendar_mode = true;
+
+  // Guardband at the head of each slice before the first launch (covers
+  // OCS reconfiguration + rotation variance + sync + EQO windows, §7).
+  SimTime guardband = SimTime::nanos(200);
+
+  SimTime sync_error = SimTime::nanos(28);
+
+  // Congestion detection (EQO-based) and response.
+  bool congestion_detection = true;
+  SimTime eqo_interval = SimTime::nanos(50);
+  CongestionResponse congestion_response = CongestionResponse::Drop;
+  // Optional CC threshold in bytes on top of the admissible-bytes test;
+  // 0 disables it.
+  std::int64_t congestion_threshold = 0;
+
+  // Traffic push-back (§5.2): last-resort sender throttling.
+  bool pushback = false;
+  SimTime pushback_delay = SimTime::micros(2);  // control-plane latency
+
+  // Buffer offloading (§5.2): rank-overflow packets parked on hosts.
+  bool offload = false;
+  // Offloaded packets return this early relative to their slice start.
+  SimTime offload_lead = SimTime::micros(10);
+
+  HostStack host_stack = HostStack::Libvma;
+  // Per-destination segment queue capacity in the host stack (libvma
+  // segment queue; applications block when it fills).
+  std::int64_t host_segment_queue = 8 << 20;
+
+  std::uint64_t seed = 42;
+};
+
+class Network;
+
+// ---------------------------------------------------------------------------
+// Host: endpoint with a userspace-stack model. Transports bind flow sinks;
+// the infra services hook flow pausing, push-back windows, and offload
+// storage here.
+class Host {
+ public:
+  using ReceiveFn = std::function<void(Packet&&)>;
+  // Called when a paused/backpressured destination drains below capacity.
+  using UnblockFn = std::function<void(NodeId dst)>;
+
+  Host(Network& net, HostId id, NodeId tor, int local_index);
+
+  HostId id() const { return id_; }
+  NodeId tor() const { return tor_; }
+  int local_index() const { return local_index_; }
+
+  // Transport attach points.
+  void bind_flow(FlowId flow, ReceiveFn sink);
+  void unbind_flow(FlowId flow);
+  // Catch-all sink for packets with no bound flow.
+  void bind_default(ReceiveFn sink) { default_sink_ = std::move(sink); }
+  void set_unblock_callback(UnblockFn fn) { unblock_ = std::move(fn); }
+  // Invoked on every outgoing packet before pausing/queueing decisions —
+  // the hook services like hybrid elephant steering use to rewrite packets
+  // (§5.2); the userspace-stack interposition point.
+  void set_send_hook(std::function<void(Packet&)> hook) {
+    send_hook_ = std::move(hook);
+  }
+
+  // Sends through the stack: pausing/push-back may park the packet in the
+  // per-destination segment queue. Returns false if the segment queue is
+  // full (application must back off and retry on unblock callback).
+  bool send(Packet&& p);
+  // True if a send to dst would be parked or rejected right now.
+  bool would_block(NodeId dst) const;
+
+  // Socket-style admission: true if the stack can absorb `bytes` toward
+  // dst right now (either the fast path is open or the segment queue has
+  // room). Blocking senders (TcpLite) poll this and wait for the unblock
+  // callback instead of losing writes.
+  bool can_buffer(NodeId dst, std::int64_t bytes) const;
+
+  // Flow pausing service (§5.2).
+  void pause_dst(NodeId dst);
+  void resume_dst(NodeId dst);
+  bool paused(NodeId dst) const;
+
+  // Push-back: block sends to `dst` until global time `until`.
+  void pushback_dst(NodeId dst, SimTime until);
+
+  std::int64_t segment_bytes(NodeId dst) const;
+  std::int64_t sent_bytes_to(NodeId dst) const;
+  // Drains and returns the per-destination byte counters (traffic
+  // collection, §5.2).
+  std::vector<std::int64_t> take_traffic_counters();
+
+  // Fabric-side delivery (from the ToR downlink).
+  void deliver(Packet&& p);
+
+ private:
+  friend class Network;
+  struct DstState {
+    net::FifoQueue segq;
+    bool paused = false;
+    bool sender_blocked = false;  // a send was rejected since last drain
+    SimTime pushback_until = SimTime::zero();
+    std::int64_t sent_bytes = 0;
+    explicit DstState(std::int64_t cap) : segq(cap) {}
+  };
+
+  void stack_delay_send(Packet&& p);
+  void try_drain(NodeId dst);
+  void pump();  // paced drain of parked segment queues (one per host)
+  void start_pump();
+  DstState& dst_state(NodeId dst);
+  SimTime stack_delay();  // host-stack processing delay model
+
+  Network& net_;
+  HostId id_;
+  NodeId tor_;
+  int local_index_;
+  std::unique_ptr<net::Link> up_link_;  // host -> ToR, wired by Network
+  std::vector<DstState> dsts_;
+  std::unordered_map<FlowId, ReceiveFn> flows_;
+  ReceiveFn default_sink_;
+  UnblockFn unblock_;
+  std::function<void(Packet&)> send_hook_;
+  SimTime stack_last_release_ = SimTime::zero();
+  bool pump_scheduled_ = false;
+  std::size_t pump_rr_ = 0;  // round-robin cursor over destinations
+  Rng rng_;
+  // Offload storage: packets parked for the ToR, keyed by return time.
+  std::int64_t offload_stored_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ToR switch: time-flow table + per-uplink calendar queues (TO) or FIFOs
+// (TA/static), EQO-based congestion detection, offload and push-back hooks.
+class TorSwitch {
+ public:
+  TorSwitch(Network& net, NodeId id);
+
+  NodeId id() const { return id_; }
+  TimeFlowTable& tft() { return tft_; }
+  const TimeFlowTable& tft() const { return tft_; }
+
+  // Multipath hashing granularity, set by deploy_routing() (Tab. 1).
+  void set_multipath(MultipathMode m) { mp_mode_ = m; }
+  MultipathMode multipath() const { return mp_mode_; }
+
+  // Ingress entry points.
+  void from_host(Packet&& p);
+  void from_optical(Packet&& p, PortId in_port);
+  void from_electrical(Packet&& p);
+
+  // Slice boundary on this node's clock: rotate calendar queues, then kick
+  // every uplink's drain loop.
+  void on_rotation(std::int64_t abs_slice);
+
+  // Telemetry (§4.2 monitoring APIs).
+  std::int64_t buffer_bytes() const;
+  std::int64_t peak_buffer_bytes() const { return peak_buffer_; }
+  std::int64_t port_buffer_bytes(PortId port) const;
+  std::int64_t uplink_tx_bytes(PortId port) const {
+    return uplinks_[static_cast<std::size_t>(port)].tx_bytes;
+  }
+  int num_uplinks() const { return static_cast<int>(uplinks_.size()); }
+  std::int64_t drops_no_route() const { return drops_no_route_; }
+  std::int64_t drops_congestion() const { return drops_congestion_; }
+  std::int64_t slice_misses() const { return slice_misses_; }
+  std::int64_t deferrals() const { return deferrals_; }
+  std::int64_t trims() const { return trims_; }
+  std::int64_t offloads() const { return offloads_; }
+  std::int64_t pushbacks_sent() const { return pushbacks_sent_; }
+  std::int64_t delivered_local() const { return delivered_local_; }
+
+ private:
+  friend class Network;
+  struct Uplink {
+    std::unique_ptr<CalendarQueuePort> cal;
+    net::FifoQueue fifo;
+    std::unique_ptr<QueueOccupancyEstimator> eqo;
+    SimTime busy_until = SimTime::zero();
+    SimTime last_eqo_drain = SimTime::zero();
+    bool drain_scheduled = false;
+    std::int64_t tx_bytes = 0;
+    Uplink() : fifo(0) {}
+  };
+
+  void route(Packet&& p);
+  void apply_action(Packet&& p, const net::SourceHop& hop, SliceId arr);
+  void enqueue_optical(Packet&& p, PortId port, SliceId dep, SliceId arr);
+  void on_congested(Packet&& p, PortId port, SliceId dep, SliceId arr);
+  bool force_enqueue(Packet&& p, PortId port, SliceId dep, SliceId arr);
+  bool try_defer(Packet& p, SliceId arr);
+  void send_pushback(const Packet& p, SliceId slice);
+  void offload_to_host(Packet&& p, std::int64_t target_abs);
+  void handle_offload_return(Packet&& p);
+  void try_send(PortId port);
+  void schedule_drain(PortId port, SimTime at);
+  void deliver_local(Packet&& p);
+  // Admissible bytes for the queue at `rank` on `port` right now (§5.2).
+  std::int64_t admissible_bytes(PortId port, int rank) const;
+  SliceId current_slice() const;
+  std::int64_t current_abs_slice() const;
+  // Local (sync-offset) view of the current slice's usable drain window.
+  SimTime window_start() const;
+  SimTime window_end() const;
+
+  Network& net_;
+  NodeId id_;
+  TimeFlowTable tft_;
+  MultipathMode mp_mode_ = MultipathMode::None;
+  std::vector<Uplink> uplinks_;
+  std::vector<std::unique_ptr<net::Link>> downlinks_;  // to local hosts
+  std::int64_t local_abs_slice_ = 0;
+  SimTime local_slice_start_ = SimTime::zero();
+  Rng rng_;
+
+  std::int64_t peak_buffer_ = 0;
+  std::int64_t drops_no_route_ = 0;
+  std::int64_t drops_congestion_ = 0;
+  std::int64_t slice_misses_ = 0;
+  std::int64_t deferrals_ = 0;
+  std::int64_t trims_ = 0;
+  std::int64_t offloads_ = 0;
+  std::int64_t pushbacks_sent_ = 0;
+  std::int64_t delivered_local_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Network: owns the simulator, fabrics, switches, and hosts.
+class Network {
+ public:
+  Network(NetworkConfig cfg, optics::Schedule schedule,
+          optics::OcsProfile profile);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+  const optics::Schedule& schedule() const { return schedule_; }
+  optics::OpticalFabric& optical() { return *optical_; }
+  net::ElectricalFabric* electrical() { return electrical_.get(); }
+  const SyncModel& sync() const { return *sync_; }
+
+  int num_tors() const { return cfg_.num_tors; }
+  int num_hosts() const {
+    return cfg_.num_tors * cfg_.hosts_per_tor;
+  }
+  TorSwitch& tor(NodeId n) { return *tors_[static_cast<std::size_t>(n)]; }
+  Host& host(HostId h) { return *hosts_[static_cast<std::size_t>(h)]; }
+  HostId host_id(NodeId tor, int local) const {
+    return tor * cfg_.hosts_per_tor + local;
+  }
+  NodeId tor_of(HostId h) const { return h / cfg_.hosts_per_tor; }
+
+  // Starts slice-rotation timers (TO mode). Idempotent.
+  void start();
+
+  // Swap the optical schedule (TA reconfiguration); `delay` is the OCS
+  // retargeting time. Rotation timers adapt to the new period.
+  void reconfigure(optics::Schedule next, SimTime delay);
+
+  PacketId next_packet_id() { return ++packet_seq_; }
+  Rng fork_rng() { return master_rng_.fork(); }
+
+  // Aggregate drop/delivery counters across all components.
+  struct Totals {
+    std::int64_t delivered = 0;
+    std::int64_t fabric_drops = 0;
+    std::int64_t congestion_drops = 0;
+    std::int64_t no_route_drops = 0;
+    std::int64_t electrical_drops = 0;
+  };
+  Totals totals() const;
+
+  // Traffic collection (§5.2): per-(src ToR, dst ToR) bytes since last call.
+  std::vector<std::vector<std::int64_t>> collect_tm();
+
+  // Telemetry tap: invoked for every Data packet as it reaches its
+  // destination host (per-packet delay studies; Appx. B's delay columns).
+  using DeliveryProbe = std::function<void(const Packet&)>;
+  void set_delivery_probe(DeliveryProbe probe) {
+    delivery_probe_ = std::move(probe);
+  }
+  const DeliveryProbe& delivery_probe() const { return delivery_probe_; }
+
+ private:
+  friend class TorSwitch;
+  friend class Host;
+
+  NetworkConfig cfg_;
+  optics::Schedule schedule_;
+  sim::Simulator sim_;
+  Rng master_rng_;
+  std::unique_ptr<SyncModel> sync_;
+  std::unique_ptr<optics::OpticalFabric> optical_;
+  std::unique_ptr<net::ElectricalFabric> electrical_;
+  std::vector<std::unique_ptr<TorSwitch>> tors_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  PacketId packet_seq_ = 0;
+  bool started_ = false;
+  DeliveryProbe delivery_probe_;
+  // Derived slice-window margins (see network.cpp).
+  SimTime head_guard_ = SimTime::zero();
+  SimTime tail_margin_ = SimTime::zero();
+};
+
+}  // namespace oo::core

@@ -1,0 +1,36 @@
+// Routing path abstraction shared by the routing algorithms (producers) and
+// the optical controller (consumer): Path<src, dst, ts> from Tab. 1. A path
+// lists, hop by hop, the node, its egress port, and the departure slice.
+// deploy_routing() compiles paths into time-flow table entries (per-hop or
+// source-routed).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace oo::core {
+
+struct PathHop {
+  NodeId node = kInvalidNode;
+  PortId egress = kInvalidPort;   // optical uplink, or kElectricalEgress
+  SliceId dep_slice = kAnySlice;  // kAnySlice = forward immediately
+};
+
+// Egress pseudo-port for the parallel electrical fabric in hybrid designs.
+inline constexpr PortId kElectricalEgress = -2;
+
+struct Path {
+  // Matched source; kInvalidNode = any source (the compiled first-hop entry
+  // gets a source wildcard — standard for ECMP/WCMP-style tables).
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  // Arrival slice at src this path serves; kAnySlice for TA/static paths.
+  SliceId start_slice = kAnySlice;
+  std::vector<PathHop> hops;
+  double weight = 1.0;  // relative multipath weight (WCMP/UCMP)
+
+  bool valid() const { return !hops.empty() && dst != kInvalidNode; }
+};
+
+}  // namespace oo::core

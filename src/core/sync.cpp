@@ -1,0 +1,14 @@
+#include "core/sync.h"
+
+namespace oo::core {
+
+SyncModel::SyncModel(int num_nodes, SimTime error_bound, Rng rng)
+    : bound_(error_bound) {
+  offsets_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    offsets_.push_back(
+        SimTime::nanos(rng.uniform_i64(-bound_.ns(), bound_.ns())));
+  }
+}
+
+}  // namespace oo::core

@@ -1,0 +1,33 @@
+// Synchronization model. The real system uses a hardware-independent
+// nanosecond-precision protocol (OpSync, separate paper); the framework only
+// depends on its error *bound*: every electrical endpoint's clock is within
+// +/-bound of the optical controller's. We model each node's offset as a
+// fixed draw within the bound (slow drift is irrelevant at slice scale).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace oo::core {
+
+class SyncModel {
+ public:
+  SyncModel(int num_nodes, SimTime error_bound, Rng rng);
+
+  SimTime error_bound() const { return bound_; }
+  // Signed clock offset of `node` relative to fabric time.
+  SimTime offset(NodeId node) const {
+    return offsets_[static_cast<std::size_t>(node)];
+  }
+  // When node `node` believes global instant `t` occurs on its own clock.
+  SimTime local_view(NodeId node, SimTime t) const { return t + offset(node); }
+
+ private:
+  SimTime bound_;
+  std::vector<SimTime> offsets_;
+};
+
+}  // namespace oo::core

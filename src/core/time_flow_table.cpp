@@ -1,0 +1,66 @@
+#include "core/time_flow_table.h"
+
+#include <cassert>
+
+namespace oo::core {
+
+std::uint64_t TimeFlowTable::key_of(SliceId arr, NodeId src, NodeId dst) {
+  // +2 biases wildcards (-1) into non-negative space.
+  const auto a = static_cast<std::uint64_t>(arr + 2);
+  const auto s = static_cast<std::uint64_t>(src + 2);
+  const auto d = static_cast<std::uint64_t>(dst + 2);
+  return (d << 42) | (s << 21) | a;
+}
+
+void TimeFlowTable::add(TftEntry entry) {
+  assert(entry.match.dst != kInvalidNode && "dst is a required match field");
+  assert(!entry.actions.empty());
+  const auto key =
+      key_of(entry.match.arr_slice, entry.match.src, entry.match.dst);
+  auto [it, inserted] = entries_.try_emplace(key, entry);
+  if (!inserted && entry.priority >= it->second.priority) {
+    it->second = std::move(entry);
+  }
+}
+
+void TimeFlowTable::remove(const TftMatch& m) {
+  entries_.erase(key_of(m.arr_slice, m.src, m.dst));
+}
+
+void TimeFlowTable::clear() { entries_.clear(); }
+
+const TftEntry* TimeFlowTable::lookup(SliceId arr_slice, NodeId src,
+                                      NodeId dst) const {
+  // Specificity order mirrors TCAM priority: exact slice+src first, then
+  // exact slice, then exact src, then the pure flow-table wildcard.
+  const std::uint64_t keys[4] = {
+      key_of(arr_slice, src, dst),
+      key_of(arr_slice, kInvalidNode, dst),
+      key_of(kAnySlice, src, dst),
+      key_of(kAnySlice, kInvalidNode, dst),
+  };
+  for (const auto key : keys) {
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+const TftAction& TimeFlowTable::select_action(const TftEntry& entry,
+                                              std::uint32_t hash) {
+  assert(!entry.actions.empty());
+  if (entry.actions.size() == 1) return entry.actions.front();
+  double total = 0.0;
+  for (const auto& a : entry.actions) total += a.weight;
+  const double x =
+      static_cast<double>(hash) / 4294967296.0 * (total > 0 ? total : 1.0);
+  double acc = 0.0;
+  for (const auto& a : entry.actions) {
+    acc += a.weight;
+    if (x < acc) return a;
+  }
+  return entry.actions.back();
+}
+
+}  // namespace oo::core

@@ -1,0 +1,74 @@
+// The time-flow table (§3) — OpenOptics' "narrow waist" between optical
+// hardware and software. Match fields: arrival time slice (wildcardable),
+// source node (wildcardable), destination node. Actions: one or more
+// <egress port, departure slice> hop sequences; a single hop means per-hop
+// lookup, multiple hops mean source routing, and multiple actions form a
+// multipath set selected by packet hash. With both slice fields wildcarded
+// the table reduces to a classical flow table (backward compatibility with
+// TA architectures and static DCNs).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/packet.h"
+
+namespace oo::core {
+
+// How deploy_routing() compiles paths into entries (Tab. 1, LOOKUP).
+enum class LookupMode { PerHop, SourceRouting };
+// Multipath hashing granularity (Tab. 1, MULTIPATH).
+enum class MultipathMode { None, PerPacket, PerFlow };
+
+struct TftMatch {
+  SliceId arr_slice = kAnySlice;  // kAnySlice = wildcard
+  NodeId src = kInvalidNode;      // kInvalidNode = wildcard
+  NodeId dst = kInvalidNode;      // required
+
+  bool operator==(const TftMatch&) const = default;
+};
+
+struct TftAction {
+  // hops[0] is this node's <egress, departure slice>; extra hops are pushed
+  // onto the packet as a source route.
+  std::vector<net::SourceHop> hops;
+  double weight = 1.0;  // WCMP-style weighted multipath
+};
+
+struct TftEntry {
+  TftMatch match;
+  std::vector<TftAction> actions;
+  // Among equally specific matches the highest priority wins. TA designs use
+  // this to overlay new routes atop old ones before reconfiguring (§2.2).
+  int priority = 0;
+};
+
+class TimeFlowTable {
+ public:
+  // Installs or replaces the entry with the identical match+priority.
+  void add(TftEntry entry);
+  // Removes every entry whose match equals `m` (any priority).
+  void remove(const TftMatch& m);
+  void clear();
+
+  // Longest-prefix-of-specificity lookup: (arr,src) exact beats (arr,*)
+  // beats (*,src) beats (*,*); ties broken by priority.
+  const TftEntry* lookup(SliceId arr_slice, NodeId src, NodeId dst) const;
+
+  // Picks an action from the entry's multipath set using the packet hash
+  // (weighted reservoir over action weights).
+  static const TftAction& select_action(const TftEntry& entry,
+                                        std::uint32_t hash);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  static std::uint64_t key_of(SliceId arr, NodeId src, NodeId dst);
+
+  // match-key -> best entry (highest priority) for that exact match.
+  std::unordered_map<std::uint64_t, TftEntry> entries_;
+};
+
+}  // namespace oo::core

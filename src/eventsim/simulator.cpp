@@ -1,0 +1,70 @@
+#include "eventsim/simulator.h"
+
+#include <cassert>
+#include <memory>
+
+namespace oo::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
+  return EventHandle{std::move(flag)};
+}
+
+EventHandle Simulator::schedule_every(SimTime start, SimTime period,
+                                      EventFn fn) {
+  assert(period > SimTime::zero());
+  auto flag = std::make_shared<bool>(false);
+  // The periodic wrapper reschedules itself; the shared cancellation flag
+  // covers every future firing.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  // The event closure holds only a weak_ptr to the rescheduler to avoid a
+  // shared_ptr cycle (tick -> closure -> tick) that would leak.
+  std::weak_ptr<std::function<void(SimTime)>> weak_tick = tick;
+  *tick = [this, period, fn = std::move(fn), flag, weak_tick](SimTime when) {
+    queue_.push(Event{when, next_seq_++,
+                      [period, fn, flag, weak_tick, when]() {
+                        fn();
+                        if (*flag) return;
+                        if (auto t = weak_tick.lock()) (*t)(when + period);
+                      },
+                      flag});
+  };
+  periodic_ticks_.push_back(tick);
+  (*tick)(start);
+  return EventHandle{std::move(flag)};
+}
+
+void Simulator::dispatch(Event& ev) {
+  now_ = ev.when;
+  if (!*ev.cancelled) {
+    ev.fn();
+    ++executed_;
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > until) {
+      now_ = until;
+      return;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (queue_.empty() && now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+}  // namespace oo::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine. A single Simulator owns virtual time;
+// components schedule closures at absolute or relative times. Ties are
+// broken by insertion order, making runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace oo::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+// stays queued but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return cancelled_ != nullptr; }
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, EventFn fn);
+  // Schedule `fn` `delay` from now.
+  EventHandle schedule_in(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  // Periodic timer starting at `start`, repeating every `period` until
+  // cancelled or the run ends. Models the on-chip packet generator that
+  // drives queue rotation and EQO updates (§5.1, Appx A).
+  EventHandle schedule_every(SimTime start, SimTime period, EventFn fn);
+
+  // Run until the queue drains or `until` is reached, whichever first.
+  void run_until(SimTime until);
+  // Run until the event queue drains completely.
+  void run();
+  // Stop the current run loop after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  std::int64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::int64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Keeps periodic-timer reschedulers alive for the simulator's lifetime;
+  // the event closures only hold weak references (see schedule_every).
+  std::vector<std::shared_ptr<std::function<void(SimTime)>>> periodic_ticks_;
+  SimTime now_ = SimTime::zero();
+  std::int64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace oo::sim

@@ -1,0 +1,58 @@
+#include "net/electrical_fabric.h"
+
+#include <cassert>
+
+namespace oo::net {
+
+ElectricalFabric::ElectricalFabric(sim::Simulator& s, int num_nodes,
+                                   BitsPerSec port_bw, SimTime transit,
+                                   std::int64_t max_backlog)
+    : sim_(s),
+      port_bw_(port_bw),
+      transit_(transit),
+      max_backlog_(max_backlog),
+      sinks_(static_cast<std::size_t>(num_nodes)),
+      egress_backlog_bytes_(static_cast<std::size_t>(num_nodes), 0) {
+  ingress_.reserve(static_cast<std::size_t>(num_nodes));
+  egress_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    // Ingress link serializes into the non-blocking core, then the core
+    // transit delay, then the destination's egress port.
+    ingress_.push_back(std::make_unique<Link>(
+        s, port_bw, transit_, [this](Packet&& p) {
+          egress_[static_cast<std::size_t>(p.dst_node)]->transmit(
+              std::move(p));
+        }));
+    egress_.push_back(std::make_unique<Link>(
+        s, port_bw, SimTime::zero(), [this, n](Packet&& p) {
+          egress_backlog_bytes_[static_cast<std::size_t>(n)] -= p.size_bytes;
+          auto& sink = sinks_[static_cast<std::size_t>(n)];
+          assert(sink && "node not attached to electrical fabric");
+          ++p.hops;
+          sink(std::move(p));
+        }));
+  }
+}
+
+void ElectricalFabric::attach(NodeId node, DeliverFn deliver) {
+  sinks_.at(static_cast<std::size_t>(node)) = std::move(deliver);
+}
+
+bool ElectricalFabric::transmit(NodeId from, Packet&& p) {
+  const auto dst = static_cast<std::size_t>(p.dst_node);
+  assert(dst < egress_.size());
+  if (egress_backlog_bytes_[dst] + p.size_bytes > max_backlog_) {
+    ++drops_;
+    return false;
+  }
+  egress_backlog_bytes_[dst] += p.size_bytes;
+  ingress_[static_cast<std::size_t>(from)]->transmit(std::move(p));
+  return true;
+}
+
+SimTime ElectricalFabric::egress_backlog(NodeId node) const {
+  const auto b = egress_backlog_bytes_[static_cast<std::size_t>(node)];
+  return SimTime::nanos(serialization_ns(b, port_bw_));
+}
+
+}  // namespace oo::net

@@ -1,0 +1,25 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace oo::net {
+
+bool Link::idle() const { return busy_until_ <= sim_.now(); }
+
+SimTime Link::transmit(Packet&& p) {
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime ser = SimTime::nanos(serialization_ns(p.size_bytes, bandwidth_));
+  busy_until_ = start + ser;
+  bytes_sent_ += p.size_bytes;
+  window_bytes_ += p.size_bytes;
+  SimTime arrive = busy_until_ + propagation_;
+  if (jitter_ > SimTime::zero()) {
+    arrive += SimTime::nanos(rng_.uniform_i64(0, jitter_.ns()));
+  }
+  sim_.schedule_at(arrive, [this, pkt = std::move(p)]() mutable {
+    deliver_(std::move(pkt));
+  });
+  return busy_until_;
+}
+
+}  // namespace oo::net

@@ -1,0 +1,65 @@
+// Point-to-point link: serialization at a configured bandwidth, then
+// propagation (+ optional per-packet jitter), then delivery to a sink
+// callback. The link keeps a busy-until horizon so back-to-back sends
+// serialize correctly without an explicit egress queue.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "eventsim/simulator.h"
+#include "net/packet.h"
+
+namespace oo::net {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Link(sim::Simulator& s, BitsPerSec bandwidth, SimTime propagation,
+       DeliverFn deliver)
+      : sim_(s),
+        bandwidth_(bandwidth),
+        propagation_(propagation),
+        deliver_(std::move(deliver)) {}
+
+  BitsPerSec bandwidth() const { return bandwidth_; }
+  SimTime propagation() const { return propagation_; }
+
+  // Uniform jitter in [0, j] added to each delivery (models pipeline
+  // processing variance; 0 by default).
+  void set_jitter(SimTime j, Rng rng) {
+    jitter_ = j;
+    rng_ = rng;
+  }
+
+  // Earliest time a new packet could begin serializing.
+  SimTime free_at() const { return busy_until_; }
+  bool idle() const;
+
+  // Serializes the packet (starting at max(now, busy_until)) and delivers it
+  // after propagation. Returns the serialization-complete time.
+  SimTime transmit(Packet&& p);
+
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  // Bytes sent since last reset (bandwidth telemetry, §4.2 bw_usage()).
+  std::int64_t take_bytes_window() {
+    return std::exchange(window_bytes_, 0);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  BitsPerSec bandwidth_;
+  SimTime propagation_;
+  DeliverFn deliver_;
+  SimTime busy_until_ = SimTime::zero();
+  SimTime jitter_ = SimTime::zero();
+  Rng rng_;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t window_bytes_ = 0;
+};
+
+}  // namespace oo::net

@@ -1,0 +1,162 @@
+#include "optics/fabric.h"
+
+#include <cassert>
+
+namespace oo::optics {
+
+OcsProfile ocs_mems() {
+  return OcsProfile{.name = "mems",
+                    .reconfig_delay = SimTime::millis(25),
+                    .min_slice = SimTime::millis(100),
+                    .latency_min = SimTime::nanos(300),
+                    .latency_max = SimTime::nanos(320)};
+}
+
+OcsProfile ocs_rotor() {
+  return OcsProfile{.name = "rotor",
+                    .reconfig_delay = SimTime::micros(2),
+                    .min_slice = SimTime::micros(20),
+                    .latency_min = SimTime::nanos(300),
+                    .latency_max = SimTime::nanos(320)};
+}
+
+OcsProfile ocs_liquid_crystal() {
+  return OcsProfile{.name = "liquid-crystal",
+                    .reconfig_delay = SimTime::micros(10),
+                    .min_slice = SimTime::micros(100),
+                    .latency_min = SimTime::nanos(300),
+                    .latency_max = SimTime::nanos(320)};
+}
+
+OcsProfile ocs_awgr() {
+  return OcsProfile{.name = "awgr",
+                    .reconfig_delay = SimTime::nanos(200),
+                    .min_slice = SimTime::micros(2),
+                    .latency_min = SimTime::nanos(300),
+                    .latency_max = SimTime::nanos(320)};
+}
+
+OcsProfile ocs_emulated() {
+  // Tofino2 cut-through logical OCS (§5.3); latency calibrated to the
+  // measured 1287-1324 ns ToR-to-ToR delay of Fig. 11.
+  return OcsProfile{.name = "emulated",
+                    .reconfig_delay = SimTime::nanos(200),
+                    .min_slice = SimTime::micros(2),
+                    .latency_min = SimTime::nanos(1287),
+                    .latency_max = SimTime::nanos(1324)};
+}
+
+OpticalFabric::OpticalFabric(sim::Simulator& s, Schedule schedule,
+                             OcsProfile profile, Rng rng)
+    : sim_(s),
+      schedule_(std::move(schedule)),
+      profile_(std::move(profile)),
+      rng_(rng) {
+  sinks_.resize(static_cast<std::size_t>(schedule_.num_nodes()));
+  failed_ports_.assign(static_cast<std::size_t>(schedule_.num_nodes()) *
+                           schedule_.uplinks(),
+                       0);
+}
+
+void OpticalFabric::set_port_failed(NodeId node, PortId port, bool failed) {
+  failed_ports_.at(static_cast<std::size_t>(node) * schedule_.uplinks() +
+                   static_cast<std::size_t>(port)) = failed ? 1 : 0;
+}
+
+bool OpticalFabric::port_failed(NodeId node, PortId port) const {
+  return failed_ports_[static_cast<std::size_t>(node) * schedule_.uplinks() +
+                       static_cast<std::size_t>(port)] != 0;
+}
+
+void OpticalFabric::attach(NodeId node, DeliverFn deliver) {
+  assert(node >= 0 && node < schedule_.num_nodes());
+  sinks_[static_cast<std::size_t>(node)] = std::move(deliver);
+}
+
+bool OpticalFabric::reconfiguring() const {
+  return switching_ && sim_.now() < switch_done_;
+}
+
+std::optional<Endpoint> OpticalFabric::live_peer(NodeId from, PortId port,
+                                                 SliceId slice,
+                                                 SimTime at) const {
+  auto cur = schedule_.peer(from, port, slice);
+  if (switching_ && at < switch_done_) {
+    // Mid-reconfiguration: a circuit is up only if the old and new schedule
+    // agree on it (unchanged circuits keep carrying light).
+    auto nxt = next_schedule_.peer(from, port, slice);
+    if (cur && nxt && *cur == *nxt) return cur;
+    return std::nullopt;
+  }
+  return cur;
+}
+
+void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
+                             SimTime tx_start, SimTime tx_end) {
+  // Commit a pending reconfiguration once its window has elapsed.
+  if (switching_ && sim_.now() >= switch_done_) {
+    schedule_ = next_schedule_;
+    switching_ = false;
+  }
+  const std::int64_t abs_a = schedule_.abs_slice_at(tx_start);
+  // Slice-boundary and per-slice retargeting constraints only exist on
+  // rotating (multi-slice) schedules; a TA topology instance holds its
+  // circuits continuously and reconfigures only via reconfigure().
+  if (schedule_.period() > 1) {
+    const std::int64_t abs_b =
+        schedule_.abs_slice_at(tx_end - SimTime::nanos(1));
+    if (abs_a != abs_b) {
+      ++drops_boundary_;
+      return;
+    }
+    const SimTime slice_begin = schedule_.slice_start(abs_a);
+    if (tx_start < slice_begin + profile_.reconfig_delay) {
+      ++drops_guard_;
+      return;
+    }
+  }
+  const SliceId slice = schedule_.slice_of(abs_a);
+  auto peer = live_peer(from, port, slice, tx_start);
+  if (!peer) {
+    ++drops_no_circuit_;
+    return;
+  }
+  if (port_failed(from, port) || port_failed(peer->node, peer->port)) {
+    ++drops_failed_;
+    return;
+  }
+  const SimTime jitter_span = profile_.latency_max - profile_.latency_min;
+  SimTime latency = profile_.latency_min;
+  if (jitter_span > SimTime::zero()) {
+    latency += SimTime::nanos(rng_.uniform_i64(0, jitter_span.ns()));
+  }
+  const NodeId to = peer->node;
+  const PortId in_port = peer->port;
+  auto& sink = sinks_[static_cast<std::size_t>(to)];
+  assert(sink && "destination node not attached to fabric");
+  ++delivered_;
+  ++p.hops;
+  sim_.schedule_at(tx_end + latency,
+                   [&sink, in_port, pkt = std::move(p)]() mutable {
+                     sink(std::move(pkt), in_port);
+                   });
+}
+
+void OpticalFabric::reconfigure(Schedule next, SimTime delay) {
+  // A reconfigure while one is pending: the pending one completes logically
+  // first (its schedule becomes "current" for the diff).
+  if (switching_ && sim_.now() >= switch_done_) {
+    schedule_ = next_schedule_;
+  }
+  next_schedule_ = std::move(next);
+  switching_ = true;
+  switch_done_ = sim_.now() + delay;
+  sim_.schedule_at(switch_done_, [this]() {
+    if (switching_ && sim_.now() >= switch_done_) {
+      schedule_ = next_schedule_;
+      switching_ = false;
+    }
+  });
+}
+
+}  // namespace oo::optics

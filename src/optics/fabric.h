@@ -1,0 +1,112 @@
+// Optical network fabric. Models both a real OCS (bufferless waveguide,
+// reconfiguration downtime) and the paper's emulated logical OCS on a
+// programmable switch (§5.3): time-based connectivity, lookup-table circuit
+// on/off semantics (packets over disconnected circuits are dropped), a
+// configurable reconfiguration window at slice boundaries, and cut-through
+// pipeline latency calibrated to the paper's 1287–1324 ns ToR-to-ToR delay
+// (Fig. 11).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "eventsim/simulator.h"
+#include "net/packet.h"
+#include "optics/schedule.h"
+
+namespace oo::optics {
+
+using net::Packet;
+
+// Device-level characteristics of an OCS technology (§6 Case III).
+struct OcsProfile {
+  std::string name = "emulated";
+  // Downtime at the start of every slice while circuits retarget. Packets
+  // launched into this window are lost (bufferless fabric).
+  SimTime reconfig_delay = SimTime::nanos(200);
+  // Shortest slice the device supports (for feasibility checks).
+  SimTime min_slice = SimTime::micros(2);
+  // One-way fabric latency: cut-through pipeline + propagation. The spread
+  // (max - min) is the delivery jitter the guardband must absorb (§7).
+  SimTime latency_min = SimTime::nanos(1287);
+  SimTime latency_max = SimTime::nanos(1324);
+};
+
+// A few documented technology presets (Fig. 10's four sampled OCSes).
+OcsProfile ocs_mems();            // Polatis-style 3D MEMS: ms reconfiguration
+OcsProfile ocs_rotor();           // RotorNet-style rotor: ~20 us slices
+OcsProfile ocs_liquid_crystal();  // LC-based: ~100-200 us slices
+OcsProfile ocs_awgr();            // Sirius-style AWGR + tunable laser: ns
+OcsProfile ocs_emulated();        // Tofino2-emulated logical OCS (§5.3)
+
+class OpticalFabric {
+ public:
+  // Delivery callback: (packet, ingress port at destination node).
+  using DeliverFn = std::function<void(Packet&&, PortId)>;
+
+  OpticalFabric(sim::Simulator& s, Schedule schedule, OcsProfile profile,
+                Rng rng);
+
+  const Schedule& schedule() const { return schedule_; }
+  const OcsProfile& profile() const { return profile_; }
+
+  void attach(NodeId node, DeliverFn deliver);
+
+  // Launch a packet that occupied the sender's transmitter during
+  // [tx_start, tx_end]. The circuit must be up for that whole interval:
+  //  - both instants in the same slice,
+  //  - past the slice's reconfiguration window,
+  //  - an installed circuit on (from, port) in that slice,
+  //  - outside any in-progress topology reconfiguration for that port pair.
+  // Violations drop the packet (bufferless fabric) and are counted.
+  void transmit(NodeId from, PortId port, Packet&& p, SimTime tx_start,
+                SimTime tx_end);
+
+  // TA-style topology update: after `delay` (circuit retargeting time, e.g.
+  // tens of ms for MEMS), the new schedule takes effect. During the window,
+  // only circuits identical in both schedules stay up.
+  void reconfigure(Schedule next, SimTime delay);
+  bool reconfiguring() const;
+
+  // Failure injection: a failed transceiver/fiber kills every circuit that
+  // touches (node, port) — light simply stops passing. Both directions of
+  // the circuit go dark (the peer's receiver sees nothing). Clearing the
+  // failure restores service on the next transmission.
+  void set_port_failed(NodeId node, PortId port, bool failed);
+  bool port_failed(NodeId node, PortId port) const;
+  std::int64_t drops_failed() const { return drops_failed_; }
+
+  std::int64_t delivered() const { return delivered_; }
+  std::int64_t drops_no_circuit() const { return drops_no_circuit_; }
+  std::int64_t drops_guard() const { return drops_guard_; }
+  std::int64_t drops_boundary() const { return drops_boundary_; }
+  std::int64_t total_drops() const {
+    return drops_no_circuit_ + drops_guard_ + drops_boundary_ +
+           drops_failed_;
+  }
+
+ private:
+  std::optional<Endpoint> live_peer(NodeId from, PortId port, SliceId slice,
+                                    SimTime at) const;
+
+  sim::Simulator& sim_;
+  Schedule schedule_;
+  Schedule next_schedule_;
+  SimTime switch_done_ = SimTime::zero();  // end of in-progress reconfigure
+  bool switching_ = false;
+  OcsProfile profile_;
+  Rng rng_;
+  std::vector<DeliverFn> sinks_;
+  std::vector<char> failed_ports_;  // node x port bitmap
+  std::int64_t delivered_ = 0;
+  std::int64_t drops_no_circuit_ = 0;
+  std::int64_t drops_guard_ = 0;
+  std::int64_t drops_boundary_ = 0;
+  std::int64_t drops_failed_ = 0;
+};
+
+}  // namespace oo::optics

@@ -1,0 +1,100 @@
+#include "optics/schedule.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace oo::optics {
+
+Schedule::Schedule(int num_nodes, int uplinks, SliceId period,
+                   SimTime slice_duration)
+    : num_nodes_(num_nodes),
+      uplinks_(uplinks),
+      period_(period),
+      slice_duration_(slice_duration) {
+  assert(period_ >= 1);
+  assert(slice_duration_ > SimTime::zero());
+  table_.assign(static_cast<std::size_t>(num_nodes_) * uplinks_ * period_,
+                Endpoint{});
+}
+
+std::size_t Schedule::table_index(NodeId node, PortId port,
+                                  SliceId slice) const {
+  return (static_cast<std::size_t>(node) * uplinks_ + port) * period_ + slice;
+}
+
+bool Schedule::feasible(const Circuit& c) const {
+  if (c.a < 0 || c.a >= num_nodes_ || c.b < 0 || c.b >= num_nodes_)
+    return false;
+  if (c.a_port < 0 || c.a_port >= uplinks_ || c.b_port < 0 ||
+      c.b_port >= uplinks_)
+    return false;
+  if (c.a == c.b) return false;
+  if (c.slice != kAnySlice && (c.slice < 0 || c.slice >= period_))
+    return false;
+  const SliceId lo = c.slice == kAnySlice ? 0 : c.slice;
+  const SliceId hi = c.slice == kAnySlice ? period_ - 1 : c.slice;
+  for (SliceId s = lo; s <= hi; ++s) {
+    if (table_[table_index(c.a, c.a_port, s)].node != kInvalidNode)
+      return false;
+    if (table_[table_index(c.b, c.b_port, s)].node != kInvalidNode)
+      return false;
+  }
+  return true;
+}
+
+bool Schedule::add_circuit(const Circuit& c) {
+  if (!feasible(c)) return false;
+  const SliceId lo = c.slice == kAnySlice ? 0 : c.slice;
+  const SliceId hi = c.slice == kAnySlice ? period_ - 1 : c.slice;
+  for (SliceId s = lo; s <= hi; ++s) {
+    table_[table_index(c.a, c.a_port, s)] = Endpoint{c.b, c.b_port};
+    table_[table_index(c.b, c.b_port, s)] = Endpoint{c.a, c.a_port};
+  }
+  circuits_.push_back(c);
+  return true;
+}
+
+std::optional<Endpoint> Schedule::peer(NodeId node, PortId port,
+                                       SliceId slice) const {
+  if (node < 0 || node >= num_nodes_ || port < 0 || port >= uplinks_)
+    return std::nullopt;
+  if (slice == kAnySlice) slice = 0;
+  if (slice < 0 || slice >= period_) return std::nullopt;
+  const Endpoint& e = table_[table_index(node, port, slice)];
+  if (e.node == kInvalidNode) return std::nullopt;
+  return e;
+}
+
+std::vector<std::pair<NodeId, PortId>> Schedule::neighbors(
+    NodeId node, SliceId slice) const {
+  std::vector<std::pair<NodeId, PortId>> out;
+  for (PortId p = 0; p < uplinks_; ++p) {
+    if (auto e = peer(node, p, slice)) out.emplace_back(e->node, p);
+  }
+  return out;
+}
+
+std::optional<Schedule::DirectHop> Schedule::next_direct(NodeId node,
+                                                         NodeId dst,
+                                                         SliceId from) const {
+  for (SliceId k = 0; k < period_; ++k) {
+    const SliceId s = slice_of(from + k);
+    for (PortId p = 0; p < uplinks_; ++p) {
+      if (auto e = peer(node, p, s); e && e->node == dst) {
+        return DirectHop{s, p};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schedule::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "schedule{nodes=%d uplinks=%d period=%d slice=%s circuits=%zu}",
+                num_nodes_, uplinks_, period_, slice_duration_.str().c_str(),
+                circuits_.size());
+  return buf;
+}
+
+}  // namespace oo::optics

@@ -1,0 +1,91 @@
+#include "resource/tofino.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace oo::resource {
+
+namespace {
+// Fitted first-order coefficients (see header). Reference point: 11,556
+// entries (107 slices x 108 destinations), 30% wildcard, 107 queues x 6
+// ports EQO array, congestion detection on.
+constexpr double kSramBase = 0.8, kSramPerEntry = 2.596e-4;
+constexpr double kTcamBase = 0.4, kTcamPerWildcard = 5.48e-4;
+constexpr double kSaluBase = 1.0, kSaluPerEqoReg = 0.013084;
+constexpr double kSaluPushback = 0.7, kSaluOffload = 0.9;
+constexpr double kTernaryBase = 2.0, kTernarySliceMiss = 8.0,
+                 kTernaryPerPort = 0.6333;
+constexpr double kVliwBase = 1.6, kVliwCalendar = 2.0, kVliwCongestion = 2.0,
+                 kVliwPushback = 0.5, kVliwOffload = 0.6;
+constexpr double kXbarBase = 2.0, kXbarTftLookup = 4.0, kXbarEqo = 1.8;
+}  // namespace
+
+TofinoUsage estimate_tofino2(const TofinoInputs& in) {
+  TofinoUsage u;
+  const double wildcard_entries =
+      static_cast<double>(in.tft_entries) * in.wildcard_fraction;
+  const double exact_entries =
+      static_cast<double>(in.tft_entries) - wildcard_entries;
+  const double eqo_regs =
+      in.congestion_detection
+          ? static_cast<double>(in.calendar_queues_per_port) * in.optical_ports
+          : 0.0;
+
+  u.sram_pct = kSramBase + kSramPerEntry * exact_entries / 0.7;
+  u.tcam_pct = kTcamBase + kTcamPerWildcard * wildcard_entries;
+  u.stateful_alu_pct = kSaluBase + kSaluPerEqoReg * eqo_regs +
+                       (in.pushback ? kSaluPushback : 0.0) +
+                       (in.offload ? kSaluOffload : 0.0);
+  u.ternary_xbar_pct =
+      kTernaryBase +
+      (in.congestion_detection ? kTernarySliceMiss : 0.0) +
+      kTernaryPerPort * in.optical_ports;
+  u.vliw_pct = kVliwBase + kVliwCalendar +
+               (in.congestion_detection ? kVliwCongestion : 0.0) +
+               (in.pushback ? kVliwPushback : 0.0) +
+               (in.offload ? kVliwOffload : 0.0);
+  u.exact_xbar_pct = kXbarBase + kXbarTftLookup +
+                     (in.congestion_detection ? kXbarEqo : 0.0);
+
+  auto clamp = [](double& v) { v = std::min(v, 100.0); };
+  clamp(u.sram_pct);
+  clamp(u.tcam_pct);
+  clamp(u.stateful_alu_pct);
+  clamp(u.ternary_xbar_pct);
+  clamp(u.vliw_pct);
+  clamp(u.exact_xbar_pct);
+  return u;
+}
+
+double TofinoUsage::max_pct() const {
+  return std::max({sram_pct, tcam_pct, stateful_alu_pct, ternary_xbar_pct,
+                   vliw_pct, exact_xbar_pct});
+}
+
+std::string TofinoUsage::table() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  Resource        Usage\n"
+                "  SRAM           %5.1f%%\n"
+                "  TCAM           %5.1f%%\n"
+                "  Stateful ALU   %5.1f%%\n"
+                "  Ternary Xbar   %5.1f%%\n"
+                "  VLIW Actions   %5.1f%%\n"
+                "  Exact Xbar     %5.1f%%\n",
+                sram_pct, tcam_pct, stateful_alu_pct, ternary_xbar_pct,
+                vliw_pct, exact_xbar_pct);
+  return buf;
+}
+
+TofinoInputs paper_reference_inputs() {
+  TofinoInputs in;
+  in.tft_entries = 107 * 108;  // full table on the observed ToR
+  in.wildcard_fraction = 0.3;
+  in.calendar_queues_per_port = 107;
+  in.optical_ports = 6;
+  in.congestion_detection = true;
+  return in;
+}
+
+}  // namespace oo::resource

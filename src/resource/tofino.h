@@ -1,0 +1,48 @@
+// Tofino2 resource-usage model (Table 2). Switch ASIC usage is a linear
+// function of the configuration drivers: time-flow table entries consume
+// SRAM (exact-match) and TCAM (wildcard matches), the EQO register array
+// and slice-miss arithmetic consume stateful ALUs and ternary crossbar,
+// action complexity consumes VLIW slots, and lookups consume exact-match
+// crossbar. Coefficients are fitted so the paper's 108-ToR deployment
+// reproduces its published Table 2 (SRAM 3.8%, TCAM 2.3%, sALU 9.4%,
+// ternary xbar 13.8%, VLIW 5.6%, exact xbar 7.8%) — a first-order cost
+// model for what-if sizing, not a P4 compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oo::resource {
+
+struct TofinoInputs {
+  // Time-flow table entries populated on the ToR (full table for the
+  // paper's 108-ToR observed ToR: ~(N-1) slices x N destinations).
+  std::int64_t tft_entries = 0;
+  // Fraction of entries using wildcard (slice/src) matches -> TCAM.
+  double wildcard_fraction = 0.3;
+  int calendar_queues_per_port = 107;
+  int optical_ports = 6;
+  bool congestion_detection = true;  // EQO registers + admission arithmetic
+  bool pushback = false;
+  bool offload = false;
+};
+
+struct TofinoUsage {
+  double sram_pct = 0;
+  double tcam_pct = 0;
+  double stateful_alu_pct = 0;
+  double ternary_xbar_pct = 0;
+  double vliw_pct = 0;
+  double exact_xbar_pct = 0;
+
+  double max_pct() const;
+  std::string table() const;  // formatted like the paper's Table 2
+};
+
+TofinoUsage estimate_tofino2(const TofinoInputs& in);
+
+// The paper's reference configuration (108-ToR Opera topology, full table
+// on the observed ToR, congestion detection on).
+TofinoInputs paper_reference_inputs();
+
+}  // namespace oo::resource

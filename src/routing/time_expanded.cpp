@@ -1,0 +1,126 @@
+#include "routing/time_expanded.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace oo::routing {
+
+EarliestArrival::EarliestArrival(const optics::Schedule& sched, NodeId dst,
+                                 int max_hops)
+    : sched_(sched),
+      dst_(dst),
+      period_(sched.period()),
+      max_hops_(std::max(1, std::min(max_hops, kUnbounded))) {
+  const int n = sched_.num_nodes();
+  const std::size_t states =
+      static_cast<std::size_t>(n) * period_ * (max_hops_ + 1);
+  offset_.assign(states, kInf);
+  choice_.assign(states, Choice{});
+  for (SliceId s = 0; s < period_; ++s) {
+    for (int h = 0; h <= max_hops_; ++h) offset_[index(dst_, s, h)] = 0;
+  }
+
+  // Label-correcting sweeps: states depend on states one slice later
+  // (cyclically) and one hop-budget lower, so ~period sweeps reach the
+  // fixpoint; a no-change sweep terminates early.
+  for (int sweep = 0; sweep <= 2 * period_ + 2; ++sweep) {
+    bool changed = false;
+    for (NodeId m = 0; m < n; ++m) {
+      if (m == dst_) continue;
+      for (SliceId s = 0; s < period_; ++s) {
+        const SliceId s1 = (s + 1) % period_;
+        for (int h = 1; h <= max_hops_; ++h) {
+          int best = offset_[index(m, s, h)];
+          Choice ch = choice_[index(m, s, h)];
+          // Ride a live circuit — HOHO hops on eagerly, so on equal
+          // arrival a hop beats waiting (evaluated first). Port order is
+          // rotated by a (node, slice, dst) hash so equal-cost relay
+          // choices spread across destinations instead of piling onto the
+          // lowest-numbered uplink.
+          const int rot = static_cast<int>(
+              hash_mix((static_cast<std::uint64_t>(m) << 32) ^
+                       (static_cast<std::uint64_t>(s) << 16) ^
+                       static_cast<std::uint64_t>(dst_)) %
+              static_cast<std::uint32_t>(std::max(1, sched_.uplinks())));
+          for (PortId uu = 0; uu < sched_.uplinks(); ++uu) {
+            const PortId u = (uu + rot) % sched_.uplinks();
+            const auto peer = sched_.peer(m, u, s);
+            if (!peer) continue;
+            int cand;
+            if (peer->node == dst_) {
+              cand = 0;
+            } else if (offset_[index(peer->node, s1, h - 1)] < kInf) {
+              cand = 1 + offset_[index(peer->node, s1, h - 1)];
+            } else {
+              continue;
+            }
+            if (cand < best) {
+              best = cand;
+              ch = Choice{Choice::Hop, u};
+            }
+          }
+          // Wait out the slice (keeps the hop budget).
+          if (offset_[index(m, s1, h)] < kInf) {
+            const int cand = 1 + offset_[index(m, s1, h)];
+            if (cand < best) {
+              best = cand;
+              ch = Choice{Choice::Wait, kInvalidPort};
+            }
+          }
+          if (best < offset_[index(m, s, h)]) {
+            offset_[index(m, s, h)] = best;
+            choice_[index(m, s, h)] = ch;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+std::optional<core::Path> EarliestArrival::extract(NodeId src,
+                                                   SliceId start) const {
+  if (!reachable(src, start) && src != dst_) return std::nullopt;
+  core::Path path;
+  path.src = src;
+  path.dst = dst_;
+  path.start_slice = start;
+  NodeId m = src;
+  SliceId s = start;
+  int h = max_hops_;
+  int guard = 4 * period_ + 4;
+  while (m != dst_) {
+    if (--guard < 0 || h < 0) return std::nullopt;  // defensive
+    const Choice& c = choice_[index(m, s, h)];
+    switch (c.kind) {
+      case Choice::Wait:
+        s = (s + 1) % period_;
+        break;
+      case Choice::Hop: {
+        const auto peer = sched_.peer(m, c.port, s);
+        assert(peer);
+        path.hops.push_back(core::PathHop{m, c.port, s});
+        m = peer->node;
+        s = (s + 1) % period_;
+        --h;
+        break;
+      }
+      case Choice::None:
+        return std::nullopt;
+    }
+  }
+  return path;
+}
+
+std::optional<core::Path> earliest_path(const optics::Schedule& sched,
+                                        NodeId src, NodeId dst, SliceId ts,
+                                        int max_hop) {
+  EarliestArrival ea(sched, dst,
+                     max_hop > 0 ? max_hop : EarliestArrival::kUnbounded);
+  return ea.extract(src, ts);
+}
+
+}  // namespace oo::routing

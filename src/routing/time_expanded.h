@@ -1,0 +1,76 @@
+// Time-expanded routing engine for TO schedules (§2.2): earliest-arrival
+// search over (node, slice, remaining-hop-budget) states with one fabric
+// hop per slice (rotor semantics: serialization + propagation are far below
+// a slice, but a packet that hopped must wait for the next slice to hop
+// again). The hop budget matters: unbounded "earliest" tours multiply core
+// load by their path length; HOHO/UCMP keep tours short. This is the
+// computational core behind vlb waits, hoho, ucmp, and the earliest_path()
+// helper of Tab. 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/path.h"
+#include "optics/schedule.h"
+
+namespace oo::routing {
+
+class EarliestArrival {
+ public:
+  static constexpr int kInf = 1 << 29;
+  // A hop budget this large is effectively unbounded for any sane schedule.
+  static constexpr int kUnbounded = 16;
+
+  // Solves the per-destination dynamic program: offset(m, s) = minimal
+  // number of slice boundaries crossed to deliver a packet sitting at m at
+  // the start of slice s to `dst`, using at most `max_hops` fabric hops.
+  EarliestArrival(const optics::Schedule& sched, NodeId dst,
+                  int max_hops = kUnbounded);
+
+  NodeId dst() const { return dst_; }
+  int max_hops() const { return max_hops_; }
+  int offset(NodeId m, SliceId s) const {
+    return offset_[index(m, s, max_hops_)];
+  }
+  // Earliest arrival with at most `h` hops (h <= max_hops).
+  int offset_with_budget(NodeId m, SliceId s, int h) const {
+    return offset_[index(m, s, h)];
+  }
+  bool reachable(NodeId m, SliceId s) const { return offset(m, s) < kInf; }
+
+  // Extracts the earliest-arrival path from (src, start). Ties prefer
+  // hopping on (HOHO rides whatever circuit makes progress) with the hop
+  // budget bounding the tour. nullopt when unreachable.
+  std::optional<core::Path> extract(NodeId src, SliceId start) const;
+
+ private:
+  struct Choice {
+    enum Kind : std::int8_t { None, Wait, Hop } kind = None;
+    PortId port = kInvalidPort;
+  };
+
+  std::size_t index(NodeId m, SliceId s, int h) const {
+    return (static_cast<std::size_t>(m) * period_ +
+            static_cast<std::size_t>(s)) *
+               (max_hops_ + 1) +
+           static_cast<std::size_t>(h);
+  }
+
+  const optics::Schedule& sched_;
+  NodeId dst_;
+  int period_;
+  int max_hops_;
+  std::vector<int> offset_;
+  std::vector<Choice> choice_;
+};
+
+// earliest_path([Circuit], src, dst, ts, max_hop) helper (Tab. 1): the
+// earliest-arrival path with at most `max_hop` fabric hops (max_hop <= 0
+// means unbounded).
+std::optional<core::Path> earliest_path(const optics::Schedule& sched,
+                                        NodeId src, NodeId dst, SliceId ts,
+                                        int max_hop = 0);
+
+}  // namespace oo::routing

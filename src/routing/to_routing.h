@@ -1,0 +1,46 @@
+// Traffic-oblivious routing schemes (§4.2 routing() materializations):
+//   direct_to — wait for the direct circuit (Fig. 2 path 1);
+//   vlb       — RotorNet/Sirius Valiant spraying: one random intermediate
+//               hop now, then the direct circuit (Fig. 2 path 2);
+//   opera     — multi-hop along the always-connected expander of the
+//               current slice (all hops within one slice);
+//   ucmp      — uniform-cost multipath over near-earliest-arrival paths,
+//               compiled with source routing;
+//   hoho      — hop-on hop-off: the single earliest-arrival path, per-hop.
+// All functions return Path sets for deploy_routing() covering every
+// (source, destination, arrival slice).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/path.h"
+#include "optics/schedule.h"
+
+namespace oo::routing {
+
+// Direct-circuit routing: hold until the next slice with a direct circuit.
+std::vector<core::Path> direct_to(const optics::Schedule& sched);
+
+// VLB: direct when a circuit is live this slice; otherwise spray uniformly
+// over all uplinks (random intermediate), intermediates hold for the direct
+// circuit. Source entries are per-source; transit entries wildcard.
+std::vector<core::Path> vlb(const optics::Schedule& sched);
+
+// Opera-style: shortest path inside the current slice's topology; every
+// hop departs in the arrival slice. Per-destination BFS keeps transit
+// entries consistent.
+std::vector<core::Path> opera(const optics::Schedule& sched);
+
+// UCMP: all first-hop alternatives whose arrival is within `slack` slices
+// of the earliest, up to `max_paths`, uniformly weighted; source-routed.
+// `max_hops` bounds the tour (unbounded "earliest" paths multiply core
+// load by their length).
+std::vector<core::Path> ucmp(const optics::Schedule& sched, int max_paths = 4,
+                             int slack = 0, int max_hops = 2);
+
+// HOHO: earliest arrival within the hop budget, hop-on-eagerly ties;
+// per-hop lookup.
+std::vector<core::Path> hoho(const optics::Schedule& sched, int max_hops = 2);
+
+}  // namespace oo::routing

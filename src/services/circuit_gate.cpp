@@ -1,0 +1,56 @@
+#include "services/circuit_gate.h"
+
+namespace oo::services {
+
+void CircuitGate::gate(HostId host, NodeId dst_tor) {
+  gated_.emplace_back(host, dst_tor);
+  net_.host(host).pause_dst(dst_tor);
+}
+
+void CircuitGate::start() {
+  if (started_) return;
+  started_ = true;
+  const auto& sched = net_.schedule();
+  if (sched.period() <= 1) {
+    apply(0);
+    return;
+  }
+  const SimTime dur = sched.slice_duration();
+  apply(sched.slice_at(net_.sim().now()));
+  // Open at each boundary for the new slice's circuits...
+  net_.sim().schedule_every(
+      dur, dur, [this, &sched]() { apply(sched.slice_at(net_.sim().now())); });
+  // ...and close ahead of the next boundary so in-flight packets land
+  // inside the closing window instead of the reconfiguration gap.
+  if (close_lead_ > SimTime::zero() && close_lead_ < dur) {
+    net_.sim().schedule_every(dur - close_lead_, dur,
+                              [this]() { close_all(); });
+  }
+}
+
+void CircuitGate::close_all() {
+  for (const auto& [host, dst] : gated_) {
+    net_.host(host).pause_dst(dst);
+  }
+}
+
+void CircuitGate::apply(SliceId slice) {
+  const auto& sched = net_.schedule();
+  for (const auto& [host, dst] : gated_) {
+    auto& h = net_.host(host);
+    const NodeId tor = h.tor();
+    bool up = false;
+    for (PortId u = 0; u < sched.uplinks() && !up; ++u) {
+      if (auto peer = sched.peer(tor, u, slice); peer && peer->node == dst) {
+        up = true;
+      }
+    }
+    if (up) {
+      h.resume_dst(dst);
+    } else {
+      h.pause_dst(dst);
+    }
+  }
+}
+
+}  // namespace oo::services

@@ -1,0 +1,43 @@
+// Circuit-availability gating, the flow-pausing service (§5.2) driven by
+// the optical schedule: ToRs notify their hosts of upcoming circuit
+// connections; a gated (host -> destination) pair is resumed only while a
+// direct circuit from the host's ToR to the destination is up. This is how
+// direct-circuit routing achieves duty-cycle-proportional throughput with
+// zero reordering (Fig. 9), and how TA designs hold elephants for circuits.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/network.h"
+
+namespace oo::services {
+
+class CircuitGate {
+ public:
+  // `close_lead`: the gate closes this long before each slice boundary so
+  // in-flight packets (stack + link latency) still land inside the window —
+  // the ToR's advance circuit notification.
+  explicit CircuitGate(core::Network& net,
+                       SimTime close_lead = SimTime::micros(5))
+      : net_(net), close_lead_(close_lead) {}
+
+  // Register a (host, destination-ToR) pair for gating. Must be called
+  // before start(); the pair starts paused until its first live slice.
+  void gate(HostId host, NodeId dst_tor);
+
+  // Begins per-slice notification: at each slice boundary every gated pair
+  // is resumed/paused per the new slice's circuits.
+  void start();
+
+ private:
+  void apply(SliceId slice);
+  void close_all();
+
+  core::Network& net_;
+  SimTime close_lead_;
+  std::vector<std::pair<HostId, NodeId>> gated_;
+  bool started_ = false;
+};
+
+}  // namespace oo::services

@@ -1,0 +1,41 @@
+#include "services/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace oo::services {
+
+std::string cdf_csv(const PercentileSampler& s, int points,
+                    const std::string& value_header) {
+  std::string out = value_header + ",quantile\n";
+  char buf[64];
+  for (const auto& [x, q] : s.cdf(points)) {
+    std::snprintf(buf, sizeof buf, "%.6g,%.6g\n", x, q);
+    out += buf;
+  }
+  return out;
+}
+
+std::string summary_csv(
+    const std::vector<std::pair<std::string, const PercentileSampler*>>&
+        series) {
+  std::string out = "label,count,p50,p90,p99,p999,max\n";
+  char buf[192];
+  for (const auto& [label, s] : series) {
+    std::snprintf(buf, sizeof buf, "%s,%zu,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                  label.c_str(), s->count(), s->percentile(50),
+                  s->percentile(90), s->percentile(99), s->percentile(99.9),
+                  s->max());
+    out += buf;
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("export: cannot write " + path);
+  out << content;
+}
+
+}  // namespace oo::services

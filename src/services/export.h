@@ -1,0 +1,25 @@
+// Telemetry export: CSV writers for the monitoring series and FCT
+// samplers, so experiment output can be plotted outside the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace oo::services {
+
+// CDF of a sampler as "value,quantile" rows.
+std::string cdf_csv(const PercentileSampler& s, int points = 100,
+                    const std::string& value_header = "value");
+
+// Percentile summary rows for several labelled samplers:
+// "label,count,p50,p90,p99,p999,max".
+std::string summary_csv(
+    const std::vector<std::pair<std::string, const PercentileSampler*>>&
+        series);
+
+// Write `content` to `path` (throws on failure).
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace oo::services

@@ -1,0 +1,48 @@
+#include "services/failure_recovery.h"
+
+namespace oo::services {
+
+void FailureRecovery::start() {
+  if (started_) return;
+  started_ = true;
+  net_.sim().schedule_every(net_.sim().now() + poll_, poll_, [this]() {
+    const auto drops = net_.optical().drops_failed();
+    if (drops > seen_drops_) {
+      seen_drops_ = drops;
+      recover_now();
+    }
+  });
+}
+
+optics::Schedule FailureRecovery::healthy_schedule() const {
+  const auto& cur = net_.schedule();
+  optics::Schedule healthy(cur.num_nodes(), cur.uplinks(), cur.period(),
+                           cur.slice_duration());
+  for (const auto& c : cur.circuits()) {
+    if (net_.optical().port_failed(c.a, c.a_port) ||
+        net_.optical().port_failed(c.b, c.b_port)) {
+      continue;  // dark fiber: drop the circuit from the plan
+    }
+    healthy.add_circuit(c);
+  }
+  return healthy;
+}
+
+bool FailureRecovery::recover_now() {
+  auto healthy = healthy_schedule();
+  auto paths = reroute_(healthy);
+  if (paths.empty()) return false;
+  // Make-before-break: overlay routes that avoid the failed circuits, then
+  // (logically) retarget the OCS plan. The fabric itself needs no change —
+  // the failed ports already pass no light.
+  if (!ctl_.deploy_routing(paths, core::LookupMode::PerHop,
+                           core::MultipathMode::None, ++priority_,
+                           &healthy)) {
+    return false;
+  }
+  ctl_.deploy_topo(healthy.circuits(), healthy.period(), SimTime::zero());
+  ++recoveries_;
+  return true;
+}
+
+}  // namespace oo::services

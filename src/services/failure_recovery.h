@@ -1,0 +1,52 @@
+// Failure recovery: watches the optical fabric for dark-transceiver drops
+// and steers the topology around failed ports (the ShareBackup-style
+// masking the paper's related work motivates, expressed through the
+// ordinary deploy_topo/deploy_routing workflow). The detector polls the
+// fabric's failure counters (a stand-in for LOS alarms); recovery
+// recompiles the current schedule minus circuits touching failed ports
+// and overlays fresh routing at higher priority.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/network.h"
+
+namespace oo::services {
+
+class FailureRecovery {
+ public:
+  // `reroute` maps a repaired schedule to the replacement paths (the
+  // architecture's routing scheme, e.g. routing::direct_to).
+  using RerouteFn =
+      std::function<std::vector<core::Path>(const optics::Schedule&)>;
+
+  FailureRecovery(core::Network& net, core::Controller& ctl,
+                  RerouteFn reroute, SimTime poll = SimTime::millis(1))
+      : net_(net), ctl_(ctl), reroute_(std::move(reroute)), poll_(poll) {}
+
+  // Begin polling for loss-of-signal drops.
+  void start();
+
+  // Immediately reroute around every currently failed port (also called by
+  // the poller when new failure drops appear).
+  bool recover_now();
+
+  int recoveries() const { return recoveries_; }
+
+ private:
+  // The live schedule minus circuits that touch a failed port.
+  optics::Schedule healthy_schedule() const;
+
+  core::Network& net_;
+  core::Controller& ctl_;
+  RerouteFn reroute_;
+  SimTime poll_;
+  std::int64_t seen_drops_ = 0;
+  int recoveries_ = 0;
+  int priority_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace oo::services

@@ -1,0 +1,35 @@
+#include "services/flow_aging.h"
+
+namespace oo::services {
+
+bool FlowAging::observe(FlowId flow, std::int64_t bytes, SimTime now) {
+  auto& e = flows_[flow];
+  if (e.last_seen + idle_reset_ < now) e.bytes = 0;  // aged out: restart
+  e.bytes += bytes;
+  e.last_seen = now;
+  return e.bytes >= threshold_;
+}
+
+bool FlowAging::is_elephant(FlowId flow, SimTime now) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return false;
+  if (it->second.last_seen + idle_reset_ < now) return false;
+  return it->second.bytes >= threshold_;
+}
+
+std::int64_t FlowAging::bytes_of(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.bytes;
+}
+
+void FlowAging::expire(SimTime now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen + idle_reset_ < now) {
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace oo::services

@@ -1,0 +1,41 @@
+// Flow aging (§5.2): information-agnostic elephant detection à la PIAS —
+// a flow graduates to "elephant" once its cumulative bytes cross a
+// threshold, with idle flows aging back down. TA architectures use this to
+// decide which flows to pause for direct circuits; hybrid designs use it to
+// steer elephants onto the optical fabric.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace oo::services {
+
+class FlowAging {
+ public:
+  FlowAging(std::int64_t elephant_bytes, SimTime idle_reset)
+      : threshold_(elephant_bytes), idle_reset_(idle_reset) {}
+
+  // Records `bytes` observed for `flow` at time `now`; returns true iff the
+  // flow is (now) an elephant.
+  bool observe(FlowId flow, std::int64_t bytes, SimTime now);
+  bool is_elephant(FlowId flow, SimTime now) const;
+  std::int64_t bytes_of(FlowId flow) const;
+  std::size_t tracked() const { return flows_.size(); }
+  // Drops entries idle past the reset horizon (bounded state, as a switch
+  // register array would be).
+  void expire(SimTime now);
+
+ private:
+  struct Entry {
+    std::int64_t bytes = 0;
+    SimTime last_seen;
+  };
+  std::int64_t threshold_;
+  SimTime idle_reset_;
+  std::unordered_map<FlowId, Entry> flows_;
+};
+
+}  // namespace oo::services

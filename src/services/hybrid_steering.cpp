@@ -1,0 +1,25 @@
+#include "services/hybrid_steering.h"
+
+namespace oo::services {
+
+void HybridSteering::prepare(core::Packet& p, NodeId src_tor) {
+  const bool elephant =
+      aging_.observe(p.flow, p.size_bytes, net_.sim().now());
+  if (!elephant) return;
+  const NodeId dst =
+      p.dst_node != kInvalidNode ? p.dst_node : net_.tor_of(p.dst_host);
+  if (dst == src_tor) return;
+  const auto& sched = net_.schedule();
+  // Static (TA) schedule: slice 0 is the topology instance.
+  for (PortId u = 0; u < sched.uplinks(); ++u) {
+    if (auto peer = sched.peer(src_tor, u, 0); peer && peer->node == dst) {
+      p.source_route.assign(1, net::SourceHop{u, kAnySlice});
+      p.route_idx = 0;
+      ++steered_;
+      return;
+    }
+  }
+  // No circuit: the elephant stays on the electrical default route.
+}
+
+}  // namespace oo::services

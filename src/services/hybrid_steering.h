@@ -1,0 +1,33 @@
+// Hybrid electrical-optical traffic steering (c-Through-style, §2.1 TA-1):
+// mice flows ride the parallel electrical network via the default flow-table
+// route; flows classified as elephants by flow aging are steered onto a
+// direct optical circuit when one exists (host-side source routing — the
+// host stack picks the fabric, as c-Through's VLAN selection does).
+#pragma once
+
+#include "core/network.h"
+#include "services/flow_aging.h"
+
+namespace oo::services {
+
+class HybridSteering {
+ public:
+  HybridSteering(core::Network& net, std::int64_t elephant_bytes,
+                 SimTime idle_reset)
+      : net_(net), aging_(elephant_bytes, idle_reset) {}
+
+  // Call on every outgoing packet before Host::send. Observes the flow and,
+  // for elephants with a live direct circuit from the source ToR, pins the
+  // packet to the optical uplink.
+  void prepare(core::Packet& p, NodeId src_tor);
+
+  FlowAging& aging() { return aging_; }
+  std::int64_t steered_packets() const { return steered_; }
+
+ private:
+  core::Network& net_;
+  FlowAging aging_;
+  std::int64_t steered_ = 0;
+};
+
+}  // namespace oo::services

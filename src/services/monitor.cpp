@@ -1,0 +1,69 @@
+#include "services/monitor.h"
+
+namespace oo::services {
+
+namespace {
+
+Monitor::Health snapshot(core::Network& net) {
+  Monitor::Health h;
+  for (NodeId n = 0; n < net.num_tors(); ++n) {
+    const auto& tor = net.tor(n);
+    h.congestion_drops += tor.drops_congestion();
+    h.no_route_drops += tor.drops_no_route();
+    h.slice_misses += tor.slice_misses();
+    h.deferrals += tor.deferrals();
+  }
+  h.fabric_drops = net.optical().total_drops();
+  return h;
+}
+
+}  // namespace
+
+Monitor::Monitor(core::Network& net, SimTime interval)
+    : net_(net),
+      interval_(interval),
+      buffers_(static_cast<std::size_t>(net.num_tors())),
+      utilization_(static_cast<std::size_t>(net.num_tors())),
+      last_tx_bytes_(static_cast<std::size_t>(net.num_tors()), 0) {}
+
+void Monitor::start() {
+  if (started_) return;
+  started_ = true;
+  baseline_ = snapshot(net_);
+  net_.sim().schedule_every(
+      net_.sim().now() + interval_, interval_, [this]() {
+        for (NodeId n = 0; n < net_.num_tors(); ++n) {
+          auto& tor = net_.tor(n);
+          const auto b = tor.buffer_bytes();
+          buffers_[static_cast<std::size_t>(n)].add(static_cast<double>(b));
+          all_.add(static_cast<double>(b));
+
+          std::int64_t tx = 0;
+          for (PortId p = 0; p < tor.num_uplinks(); ++p) {
+            tx += tor.uplink_tx_bytes(p);
+          }
+          const std::int64_t delta =
+              tx - last_tx_bytes_[static_cast<std::size_t>(n)];
+          last_tx_bytes_[static_cast<std::size_t>(n)] = tx;
+          const double capacity_bytes =
+              net_.config().optical_bw / kBitsPerByte * interval_.sec() *
+              static_cast<double>(tor.num_uplinks());
+          utilization_[static_cast<std::size_t>(n)].add(
+              capacity_bytes > 0 ? static_cast<double>(delta) / capacity_bytes
+                                 : 0.0);
+        }
+      });
+}
+
+Monitor::Health Monitor::health() const {
+  const auto now = snapshot(net_);
+  Health d;
+  d.congestion_drops = now.congestion_drops - baseline_.congestion_drops;
+  d.no_route_drops = now.no_route_drops - baseline_.no_route_drops;
+  d.slice_misses = now.slice_misses - baseline_.slice_misses;
+  d.deferrals = now.deferrals - baseline_.deferrals;
+  d.fabric_drops = now.fabric_drops - baseline_.fabric_drops;
+  return d;
+}
+
+}  // namespace oo::services

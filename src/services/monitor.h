@@ -1,0 +1,62 @@
+// Monitoring APIs (§4.2): buffer_usage() and bw_usage() telemetry sampled
+// on an interval — network-health visibility beyond traffic volume.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/network.h"
+
+namespace oo::services {
+
+class Monitor {
+ public:
+  Monitor(core::Network& net, SimTime interval);
+
+  void start();
+
+  // Instantaneous queries (Tab. 1).
+  std::int64_t buffer_usage(NodeId node) const {
+    return net_.tor(node).buffer_bytes();
+  }
+  std::int64_t peak_buffer(NodeId node) const {
+    return net_.tor(node).peak_buffer_bytes();
+  }
+
+  // Sampled series per node: switch buffer occupancy in bytes.
+  const PercentileSampler& buffer_samples(NodeId node) const {
+    return buffers_[static_cast<std::size_t>(node)];
+  }
+  // Aggregate over all nodes.
+  const PercentileSampler& all_buffer_samples() const { return all_; }
+
+  // Uplink utilization per node over each interval, as a fraction of the
+  // optical line rate (bw_usage() of Tab. 1 as a sampled series).
+  const PercentileSampler& utilization_samples(NodeId node) const {
+    return utilization_[static_cast<std::size_t>(node)];
+  }
+
+  // Network-health counters (§4.1 "monitor network health"): deltas of the
+  // switch drop/miss/deferral counters since monitoring began.
+  struct Health {
+    std::int64_t congestion_drops = 0;
+    std::int64_t no_route_drops = 0;
+    std::int64_t slice_misses = 0;
+    std::int64_t deferrals = 0;
+    std::int64_t fabric_drops = 0;
+  };
+  Health health() const;
+
+ private:
+  core::Network& net_;
+  SimTime interval_;
+  std::vector<PercentileSampler> buffers_;
+  std::vector<PercentileSampler> utilization_;
+  std::vector<std::int64_t> last_tx_bytes_;
+  PercentileSampler all_;
+  Health baseline_;
+  bool started_ = false;
+};
+
+}  // namespace oo::services

@@ -1,0 +1,217 @@
+#include "topo/bvn.h"
+#include <functional>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace oo::topo {
+
+namespace {
+
+// Kuhn's augmenting-path bipartite perfect matching restricted to positive
+// entries of `m`, preferring heavy entries (each row tries its columns in
+// descending weight) so the extracted permutation carries as much of the
+// remaining mass as possible. Returns match_row[i] = column or empty.
+std::vector<int> perfect_matching(const std::vector<std::vector<double>>& m,
+                                  double eps) {
+  const int n = static_cast<int>(m.size());
+  std::vector<int> match_col(static_cast<std::size_t>(n), -1);
+
+  // Per-row column preference, heaviest first.
+  std::vector<std::vector<int>> order(static_cast<std::size_t>(n));
+  for (int row = 0; row < n; ++row) {
+    auto& o = order[static_cast<std::size_t>(row)];
+    o.resize(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) o[static_cast<std::size_t>(c)] = c;
+    std::sort(o.begin(), o.end(), [&m, row](int a, int b) {
+      return m[static_cast<std::size_t>(row)][static_cast<std::size_t>(a)] >
+             m[static_cast<std::size_t>(row)][static_cast<std::size_t>(b)];
+    });
+  }
+
+  std::vector<char> used;
+  std::function<bool(int)> try_kuhn = [&](int row) -> bool {
+    for (int col : order[static_cast<std::size_t>(row)]) {
+      if (m[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] <=
+              eps ||
+          used[static_cast<std::size_t>(col)])
+        continue;
+      used[static_cast<std::size_t>(col)] = 1;
+      if (match_col[static_cast<std::size_t>(col)] == -1 ||
+          try_kuhn(match_col[static_cast<std::size_t>(col)])) {
+        match_col[static_cast<std::size_t>(col)] = row;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int row = 0; row < n; ++row) {
+    used.assign(static_cast<std::size_t>(n), 0);
+    if (!try_kuhn(row)) return {};
+  }
+  std::vector<int> match_row(static_cast<std::size_t>(n), -1);
+  for (int col = 0; col < n; ++col) {
+    match_row[static_cast<std::size_t>(match_col[static_cast<std::size_t>(
+        col)])] = col;
+  }
+  return match_row;
+}
+
+}  // namespace
+
+std::vector<BvnComponent> bvn_decompose(const TrafficMatrix& tm,
+                                        int max_components,
+                                        int sinkhorn_iters) {
+  const int n = tm.size();
+  assert(n > 0);
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  // Pad with a small uniform floor so rows/columns with no demand still
+  // admit perfect matchings (idle circuits).
+  double maxv = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) maxv = std::max(maxv, tm.at(i, j));
+  const double floor = maxv > 0 ? maxv * 1e-6 : 1.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          (i == j) ? 0.0 : std::max(tm.at(i, j), floor);
+    }
+  }
+
+  // Sinkhorn toward doubly stochastic.
+  for (int it = 0; it < sinkhorn_iters; ++it) {
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < n; ++j) s += m[i][static_cast<std::size_t>(j)];
+      if (s > 0)
+        for (int j = 0; j < n; ++j) m[i][static_cast<std::size_t>(j)] /= s;
+    }
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int i = 0; i < n; ++i) s += m[static_cast<std::size_t>(i)][j];
+      if (s > 0)
+        for (int i = 0; i < n; ++i) m[static_cast<std::size_t>(i)][j] /= s;
+    }
+  }
+
+  std::vector<BvnComponent> out;
+  const double eps = 1e-9;
+  for (int k = 0; k < max_components; ++k) {
+    auto perm = perfect_matching(m, eps);
+    if (perm.empty()) break;
+    double theta = 1e300;
+    for (int i = 0; i < n; ++i) {
+      theta = std::min(
+          theta,
+          m[static_cast<std::size_t>(i)][static_cast<std::size_t>(perm[i])]);
+    }
+    if (theta <= eps) break;
+    for (int i = 0; i < n; ++i) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(perm[i])] -=
+          theta;
+    }
+    out.push_back(BvnComponent{std::move(perm), theta});
+  }
+  return out;
+}
+
+namespace {
+
+// A directed permutation decomposes into cycles; alternating each even
+// cycle's edges yields two disjoint matchings (odd cycles lose one edge).
+// Circuits are undirected, so this conversion preserves every pair a
+// permutation serves — naively pairing (i, perm[i]) would drop half of
+// each cycle.
+std::vector<std::vector<std::pair<NodeId, NodeId>>> perm_to_matchings(
+    const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> out(2);
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  for (int start = 0; start < n; ++start) {
+    if (visited[static_cast<std::size_t>(start)] ||
+        perm[static_cast<std::size_t>(start)] == start)
+      continue;
+    // Walk the cycle, assigning edges alternately.
+    std::vector<int> cycle;
+    int v = start;
+    while (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = 1;
+      cycle.push_back(v);
+      v = perm[static_cast<std::size_t>(v)];
+    }
+    const std::size_t len = cycle.size();
+    const std::size_t edges = (len % 2 == 0) ? len : len - 1;
+    for (std::size_t e = 0; e < edges; ++e) {
+      const NodeId a = static_cast<NodeId>(cycle[e]);
+      const NodeId b = static_cast<NodeId>(cycle[(e + 1) % len]);
+      if (len == 2 && e == 1) break;  // 2-cycle is a single undirected pair
+      out[e % 2].emplace_back(a, b);
+    }
+  }
+  if (out[1].empty()) out.pop_back();
+  if (out[0].empty()) out.erase(out.begin());
+  return out;
+}
+
+}  // namespace
+
+std::vector<optics::Circuit> bvn(const TrafficMatrix& tm, SliceId period,
+                                 int max_components) {
+  auto comps = bvn_decompose(tm, max_components);
+  std::vector<optics::Circuit> out;
+  if (comps.empty()) return out;
+
+  // Expand permutations into matchings, each inheriting half (or all, for
+  // single-matching permutations) of the component's coefficient.
+  struct Entry {
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    double weight;
+  };
+  std::vector<Entry> matchings;
+  for (const auto& comp : comps) {
+    auto split = perm_to_matchings(comp.perm);
+    for (auto& m : split) {
+      matchings.push_back(
+          Entry{std::move(m),
+                comp.coefficient / static_cast<double>(split.size())});
+    }
+  }
+  if (matchings.empty()) return out;
+
+  double total = 0.0;
+  for (const auto& m : matchings) total += m.weight;
+
+  // Largest-remainder slice allocation: every kept matching gets >= 1
+  // slice; leftovers go to the largest coefficients.
+  const int n_slices = static_cast<int>(period);
+  const int n_m = std::min<int>(static_cast<int>(matchings.size()), n_slices);
+  std::vector<int> alloc(static_cast<std::size_t>(n_m), 1);
+  int used = n_m;
+  for (int k = 0; k < n_m && used < n_slices; ++k) {
+    const int extra = static_cast<int>(
+        std::floor(matchings[static_cast<std::size_t>(k)].weight / total *
+                   n_slices)) -
+        1;
+    const int take = std::min(extra > 0 ? extra : 0, n_slices - used);
+    alloc[static_cast<std::size_t>(k)] += take;
+    used += take;
+  }
+  alloc[0] += n_slices - used;  // round leftover onto the heaviest matching
+
+  SliceId s = 0;
+  for (int k = 0; k < n_m; ++k) {
+    const auto& m = matchings[static_cast<std::size_t>(k)];
+    for (int rep = 0; rep < alloc[static_cast<std::size_t>(k)]; ++rep, ++s) {
+      for (const auto& [a, b] : m.pairs) {
+        out.push_back(optics::Circuit{a, 0, b, 0, s});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::topo

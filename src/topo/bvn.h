@@ -1,0 +1,35 @@
+// Birkhoff–von-Neumann circuit scheduling (§4.2): the BvN(TM)
+// materialization used by Mordia-style slotted TA architectures. The demand
+// matrix is Sinkhorn-normalized toward doubly stochastic, decomposed into
+// permutation matrices (bipartite perfect matchings on the positive
+// support), and each permutation receives slices of the cycle proportional
+// to its coefficient.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "optics/schedule.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::topo {
+
+struct BvnComponent {
+  std::vector<int> perm;  // perm[src] = dst (directed permutation)
+  double coefficient;     // fraction of the cycle this permutation deserves
+};
+
+// Decomposes `tm` into at most `max_components` permutations covering the
+// bulk of the demand. Zero-demand rows/columns are padded so a perfect
+// matching always exists.
+std::vector<BvnComponent> bvn_decompose(const TrafficMatrix& tm,
+                                        int max_components = 16,
+                                        int sinkhorn_iters = 50);
+
+// BvN(TM): compiles the decomposition into a `period`-slice schedule on
+// uplink 0. Each permutation edge (i -> perm[i]) becomes a bidirectional
+// circuit; self-loops are skipped.
+std::vector<optics::Circuit> bvn(const TrafficMatrix& tm, SliceId period,
+                                 int max_components = 16);
+
+}  // namespace oo::topo

@@ -1,0 +1,73 @@
+#include "topo/jupiter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "topo/matching.h"
+#include "topo/round_robin.h"
+
+namespace oo::topo {
+
+std::vector<optics::Circuit> jupiter(const TrafficMatrix& tm, int num_nodes,
+                                     int uplinks,
+                                     const std::vector<optics::Circuit>& prev,
+                                     double hysteresis) {
+  if (tm.empty() || tm.total() <= 0.0) {
+    // Cold start: uniform mesh — one tournament matching per uplink gives
+    // every node `uplinks` distinct neighbors.
+    std::vector<optics::Circuit> out;
+    for (int u = 0; u < uplinks && u < num_nodes - 1; ++u) {
+      for (const auto& [a, b] : tournament_matching(num_nodes, u)) {
+        out.push_back(optics::Circuit{a, static_cast<PortId>(u), b,
+                                      static_cast<PortId>(u), kAnySlice});
+      }
+    }
+    return out;
+  }
+
+  // Incumbent pairs get a hysteresis bonus so unchanged demand keeps its
+  // circuits (minimizing rewiring during the reconfiguration window).
+  std::set<std::pair<NodeId, NodeId>> incumbents;
+  for (const auto& c : prev) {
+    incumbents.insert({std::min(c.a, c.b), std::max(c.a, c.b)});
+  }
+
+  // A small uniform demand floor keeps every matching perfect (no node is
+  // ever left without circuits) while real demand still dominates pair
+  // selection — production fabrics never disconnect idle ToRs.
+  TrafficMatrix residual = tm;
+  {
+    const int n = residual.size();
+    const double eps =
+        (tm.total() / (static_cast<double>(n) * n) + 1.0) * 0.05;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i != j) residual.at(i, j) += eps;
+      }
+    }
+  }
+  const double per_circuit =
+      tm.total() / std::max(1, num_nodes * uplinks / 2);
+  std::vector<optics::Circuit> out;
+  for (int u = 0; u < uplinks; ++u) {
+    TrafficMatrix biased = residual;
+    const int n = biased.size();
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (incumbents.count({i, j}) > 0) {
+          biased.at(i, j) *= hysteresis;
+          biased.at(j, i) *= hysteresis;
+        }
+      }
+    }
+    for (const auto& [a, b] : greedy_max_matching(biased)) {
+      out.push_back(optics::Circuit{a, static_cast<PortId>(u), b,
+                                    static_cast<PortId>(u), kAnySlice});
+      residual.at(a, b) = std::max(0.0, residual.at(a, b) - per_circuit);
+      residual.at(b, a) = std::max(0.0, residual.at(b, a) - per_circuit);
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::topo

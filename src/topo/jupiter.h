@@ -1,0 +1,23 @@
+// Jupiter-style gradually evolving topology (§4.2, Fig. 5b): start from a
+// uniform mesh; on each traffic-matrix collection, recompute demand-driven
+// matchings with hysteresis toward the incumbent circuits so each
+// reconfiguration rewires as little as possible (Google's "gradual
+// evolution" of Jupiter fabrics).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "optics/schedule.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::topo {
+
+// jupiter(TM, prev): static circuits (one matching per uplink). With an
+// empty TM this returns the uniform mesh (tournament matchings 0..U-1).
+// `hysteresis` > 1 biases toward keeping incumbent circuits.
+std::vector<optics::Circuit> jupiter(
+    const TrafficMatrix& tm, int num_nodes, int uplinks,
+    const std::vector<optics::Circuit>& prev = {}, double hysteresis = 1.25);
+
+}  // namespace oo::topo

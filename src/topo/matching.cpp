@@ -1,0 +1,97 @@
+#include "topo/matching.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace oo::topo {
+
+std::vector<std::pair<NodeId, NodeId>> greedy_max_matching(
+    const TrafficMatrix& tm) {
+  const int n = tm.size();
+  struct Edge {
+    double w;
+    NodeId a, b;
+  };
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double w = tm.pair_demand(i, j);
+      if (w > 0) edges.push_back(Edge{w, i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.w != y.w) return x.w > y.w;
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);  // deterministic ties
+  });
+
+  std::vector<NodeId> mate(static_cast<std::size_t>(n), kInvalidNode);
+  for (const auto& e : edges) {
+    if (mate[static_cast<std::size_t>(e.a)] == kInvalidNode &&
+        mate[static_cast<std::size_t>(e.b)] == kInvalidNode) {
+      mate[static_cast<std::size_t>(e.a)] = e.b;
+      mate[static_cast<std::size_t>(e.b)] = e.a;
+    }
+  }
+
+  // 2-opt refinement: for matched pairs (a,b),(c,d) try the two rewirings
+  // and keep any strict improvement. A few sweeps close most of the greedy
+  // gap.
+  auto weight = [&tm](NodeId x, NodeId y) { return tm.pair_demand(x, y); };
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    bool improved = false;
+    for (NodeId a = 0; a < n; ++a) {
+      const NodeId b = mate[static_cast<std::size_t>(a)];
+      if (b == kInvalidNode || b < a) continue;
+      for (NodeId c = a + 1; c < n; ++c) {
+        const NodeId d = mate[static_cast<std::size_t>(c)];
+        if (d == kInvalidNode || d < c || c == b || d == b) continue;
+        const double cur = weight(a, b) + weight(c, d);
+        const double alt1 = weight(a, c) + weight(b, d);
+        const double alt2 = weight(a, d) + weight(b, c);
+        if (alt1 > cur && alt1 >= alt2) {
+          mate[static_cast<std::size_t>(a)] = c;
+          mate[static_cast<std::size_t>(c)] = a;
+          mate[static_cast<std::size_t>(b)] = d;
+          mate[static_cast<std::size_t>(d)] = b;
+          improved = true;
+        } else if (alt2 > cur) {
+          mate[static_cast<std::size_t>(a)] = d;
+          mate[static_cast<std::size_t>(d)] = a;
+          mate[static_cast<std::size_t>(b)] = c;
+          mate[static_cast<std::size_t>(c)] = b;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId j = mate[static_cast<std::size_t>(i)];
+    if (j != kInvalidNode && i < j) out.emplace_back(i, j);
+  }
+  return out;
+}
+
+std::vector<optics::Circuit> edmonds(const TrafficMatrix& tm, int uplinks,
+                                     double per_circuit_capacity) {
+  TrafficMatrix residual = tm;
+  std::vector<optics::Circuit> out;
+  for (int u = 0; u < uplinks; ++u) {
+    const auto matching = greedy_max_matching(residual);
+    if (matching.empty()) break;
+    for (const auto& [a, b] : matching) {
+      out.push_back(optics::Circuit{a, static_cast<PortId>(u), b,
+                                    static_cast<PortId>(u), kAnySlice});
+      // The circuit absorbs demand in both directions up to its capacity.
+      residual.at(a, b) =
+          std::max(0.0, residual.at(a, b) - per_circuit_capacity);
+      residual.at(b, a) =
+          std::max(0.0, residual.at(b, a) - per_circuit_capacity);
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::topo

@@ -1,0 +1,29 @@
+// Weighted matching for TA circuit scheduling (§4.2): the edmonds(TM)
+// materialization used by c-Through-style architectures. We use greedy
+// maximum-weight matching with 2-opt refinement instead of full Edmonds
+// blossom — it is within 1/2 of optimal (greedy bound), typically much
+// closer after refinement, and is what deployed prototypes approximate; see
+// DESIGN.md substitution notes.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "optics/schedule.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::topo {
+
+// One maximum-weight matching over pair_demand(); only pairs with positive
+// demand are matched.
+std::vector<std::pair<NodeId, NodeId>> greedy_max_matching(
+    const TrafficMatrix& tm);
+
+// edmonds(TM): demand-driven circuits, one matching per optical uplink on
+// the residual demand (each uplink's circuit serves `per_circuit_capacity`
+// demand units before the residual is recomputed). Static (kAnySlice)
+// circuits — a TA topology instance.
+std::vector<optics::Circuit> edmonds(const TrafficMatrix& tm, int uplinks,
+                                     double per_circuit_capacity);
+
+}  // namespace oo::topo

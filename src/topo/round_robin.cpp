@@ -1,0 +1,128 @@
+#include "topo/round_robin.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace oo::topo {
+
+std::vector<std::pair<NodeId, NodeId>> tournament_matching(int n, int round) {
+  assert(n >= 2 && n % 2 == 0);
+  assert(round >= 0 && round < n - 1);
+  // Circle method: node n-1 is fixed; 0..n-2 rotate around it.
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(static_cast<std::size_t>(n / 2));
+  const int m = n - 1;
+  out.emplace_back(static_cast<NodeId>(n - 1), static_cast<NodeId>(round));
+  for (int i = 1; i <= (n - 2) / 2; ++i) {
+    const int a = (round + i) % m;
+    const int b = (round - i + m) % m;
+    out.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  }
+  return out;
+}
+
+SliceId round_robin_period(int num_nodes, int dimension) {
+  if (dimension <= 1) return static_cast<SliceId>(num_nodes - 1);
+  const int side = static_cast<int>(
+      std::llround(std::pow(static_cast<double>(num_nodes),
+                            1.0 / static_cast<double>(dimension))));
+  return static_cast<SliceId>(dimension * (side - 1));
+}
+
+std::vector<optics::Circuit> round_robin_1d(int num_nodes, int uplinks) {
+  assert(num_nodes % 2 == 0 && "rotor schedules need an even node count");
+  const int period = num_nodes - 1;
+  std::vector<optics::Circuit> out;
+  out.reserve(static_cast<std::size_t>(period) * uplinks * num_nodes / 2);
+  for (int u = 0; u < uplinks; ++u) {
+    // Phase-shift each uplink so a slice's union of matchings spreads
+    // connectivity across the cycle (Opera-style).
+    const int phase = uplinks > 0 ? u * period / uplinks : 0;
+    for (int s = 0; s < period; ++s) {
+      const int round = (s + phase) % period;
+      for (const auto& [a, b] : tournament_matching(num_nodes, round)) {
+        out.push_back(optics::Circuit{a, static_cast<PortId>(u), b,
+                                      static_cast<PortId>(u),
+                                      static_cast<SliceId>(s)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<optics::Circuit> round_robin_nd(int num_nodes, int dimension) {
+  assert(dimension >= 1);
+  if (dimension == 1) return round_robin_1d(num_nodes, 1);
+  const int side = static_cast<int>(
+      std::llround(std::pow(static_cast<double>(num_nodes),
+                            1.0 / static_cast<double>(dimension))));
+  int check = 1;
+  for (int d = 0; d < dimension; ++d) check *= side;
+  assert(check == num_nodes && "node count must be side^dimension");
+  assert(side % 2 == 0 && "grid side must be even for perfect matchings");
+
+  // Coordinates: node id in mixed radix base `side`.
+  auto coord = [side](NodeId n, int d) {
+    int v = n;
+    for (int i = 0; i < d; ++i) v /= side;
+    return v % side;
+  };
+  auto with_coord = [side](NodeId n, int d, int val) {
+    int stride = 1;
+    for (int i = 0; i < d; ++i) stride *= side;
+    const int cur = (n / stride) % side;
+    return static_cast<NodeId>(n + (val - cur) * stride);
+  };
+
+  const int rounds = side - 1;
+  std::vector<optics::Circuit> out;
+  for (int s = 0; s < dimension * rounds; ++s) {
+    const int dim = s % dimension;
+    const int round = (s / dimension) % rounds;
+    const auto pairs = tournament_matching(side, round);
+    // Apply the side-level matching within every grid line along `dim`.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (coord(n, dim) != 0) continue;  // one representative per line
+      for (const auto& [a, b] : pairs) {
+        const NodeId na = with_coord(n, dim, a);
+        const NodeId nb = with_coord(n, dim, b);
+        out.push_back(optics::Circuit{na, 0, nb, 0, static_cast<SliceId>(s)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<optics::Circuit> random_matchings(int num_nodes, int uplinks,
+                                              SliceId period,
+                                              std::uint64_t seed) {
+  assert(num_nodes % 2 == 0);
+  Rng rng(seed);
+  std::vector<NodeId> ids(static_cast<std::size_t>(num_nodes));
+  std::vector<optics::Circuit> out;
+  for (SliceId s = 0; s < period; ++s) {
+    for (int u = 0; u < uplinks; ++u) {
+      // Fisher-Yates shuffle, then pair adjacent entries.
+      for (int i = 0; i < num_nodes; ++i) {
+        ids[static_cast<std::size_t>(i)] = static_cast<NodeId>(i);
+      }
+      for (int i = num_nodes - 1; i > 0; --i) {
+        const auto j = static_cast<int>(
+            rng.uniform(static_cast<std::uint32_t>(i + 1)));
+        std::swap(ids[static_cast<std::size_t>(i)],
+                  ids[static_cast<std::size_t>(j)]);
+      }
+      for (int i = 0; i + 1 < num_nodes; i += 2) {
+        out.push_back(optics::Circuit{ids[static_cast<std::size_t>(i)],
+                                      static_cast<PortId>(u),
+                                      ids[static_cast<std::size_t>(i + 1)],
+                                      static_cast<PortId>(u), s});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::topo

@@ -1,0 +1,42 @@
+// Traffic-oblivious optical schedules (§4.2): round_robin(dimension, uplink)
+// materializes topo() for TO architectures. The single-dimensional variant
+// is the RotorNet/Opera rotor schedule (period N-1 perfect matchings via the
+// tournament circle method, uplinks phase-shifted so every slice's union of
+// matchings diversifies connectivity); the multi-dimensional variant is the
+// Shale-style grid schedule.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "optics/schedule.h"
+
+namespace oo::topo {
+
+// Perfect matching r (0..n-2) of the round-robin tournament on n nodes
+// (n must be even): the building block of every rotor schedule.
+std::vector<std::pair<NodeId, NodeId>> tournament_matching(int n, int round);
+
+// 1-D rotor schedule: `uplinks` phase-shifted tournament rotations over all
+// `num_nodes` (even) endpoints. Period = num_nodes - 1 slices. Every pair of
+// nodes gets a direct circuit on every uplink once per cycle.
+std::vector<optics::Circuit> round_robin_1d(int num_nodes, int uplinks);
+
+// Multi-dimensional (Shale) schedule: nodes form a `dimension`-D grid with
+// side = num_nodes^(1/dimension) (must be exact and even); slices cycle
+// through dimensions, rotating a tournament within each grid line on
+// uplink 0. Period = dimension * (side - 1).
+std::vector<optics::Circuit> round_robin_nd(int num_nodes, int dimension);
+
+// Period of the schedules above (what to pass to deploy_topo/compile).
+SliceId round_robin_period(int num_nodes, int dimension = 1);
+
+// Seeded random-permutation schedule: each (slice, uplink) gets an
+// independent random perfect matching — the randomized expander variant of
+// Opera-class designs (tournament rotations are one fixed choice of
+// matchings; random draws diversify the per-slice union).
+std::vector<optics::Circuit> random_matchings(int num_nodes, int uplinks,
+                                              SliceId period,
+                                              std::uint64_t seed);
+
+}  // namespace oo::topo

@@ -1,0 +1,66 @@
+#include "topo/sorn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "topo/round_robin.h"
+
+namespace oo::topo {
+
+std::vector<optics::Circuit> sorn(const TrafficMatrix& tm, int num_nodes,
+                                  SliceId period) {
+  assert(num_nodes % 2 == 0);
+  const int rounds = num_nodes - 1;
+  assert(period >= rounds && "period must fit all matchings at least once");
+
+  // Demand served by each tournament matching.
+  std::vector<double> weight(static_cast<std::size_t>(rounds), 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [a, b] : tournament_matching(num_nodes, r)) {
+      weight[static_cast<std::size_t>(r)] +=
+          tm.empty() ? 1.0 : tm.pair_demand(a, b);
+    }
+  }
+  const double total =
+      std::accumulate(weight.begin(), weight.end(), 0.0);
+
+  // Largest-remainder allocation with a floor of one slice per matching.
+  std::vector<int> alloc(static_cast<std::size_t>(rounds), 1);
+  int used = rounds;
+  if (total > 0) {
+    std::vector<int> order(static_cast<std::size_t>(rounds));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      return weight[static_cast<std::size_t>(x)] >
+             weight[static_cast<std::size_t>(y)];
+    });
+    for (int r : order) {
+      if (used >= period) break;
+      const int want = static_cast<int>(
+          weight[static_cast<std::size_t>(r)] / total * period);
+      const int extra = std::min(std::max(want - 1, 0),
+                                 static_cast<int>(period) - used);
+      alloc[static_cast<std::size_t>(r)] += extra;
+      used += extra;
+    }
+    // Any leftover slices go to the hottest matching.
+    alloc[static_cast<std::size_t>(order.front())] +=
+        static_cast<int>(period) - used;
+  } else {
+    alloc[0] += static_cast<int>(period) - used;
+  }
+
+  std::vector<optics::Circuit> out;
+  SliceId s = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int rep = 0; rep < alloc[static_cast<std::size_t>(r)]; ++rep, ++s) {
+      for (const auto& [a, b] : tournament_matching(num_nodes, r)) {
+        out.push_back(optics::Circuit{a, 0, b, 0, s});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::topo

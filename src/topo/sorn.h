@@ -1,0 +1,23 @@
+// Semi-oblivious round-robin (§4.3, Fig. 5c): a custom topology algorithm
+// extending round_robin() — the optical schedule is still a batch of
+// matchings loaded like a TO cycle, but matchings whose pairs carry hot
+// demand occupy more slices (dense connections between hotspots, sparse
+// elsewhere). Demonstrates OpenOptics' TA+TO boundary-breaking.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "optics/schedule.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::topo {
+
+// Builds a `period`-slice schedule on uplink 0 for an even `num_nodes`:
+// tournament matchings weighted by the demand they serve, allocated slices
+// by largest remainder (each matching keeps >= 1 slice so the schedule
+// remains universally connected over a cycle).
+std::vector<optics::Circuit> sorn(const TrafficMatrix& tm, int num_nodes,
+                                  SliceId period);
+
+}  // namespace oo::topo

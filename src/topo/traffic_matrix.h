@@ -1,0 +1,56 @@
+// Global traffic matrix built by the traffic-collection service (§4.1):
+// demand in bytes (or any consistent unit) between endpoint nodes over the
+// collection interval. TA circuit-scheduling algorithms consume this.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace oo::topo {
+
+class TrafficMatrix {
+ public:
+  TrafficMatrix() : n_(0) {}
+  explicit TrafficMatrix(int n) : n_(n), v_(static_cast<std::size_t>(n) * n, 0.0) {}
+
+  static TrafficMatrix from_bytes(
+      const std::vector<std::vector<std::int64_t>>& bytes) {
+    TrafficMatrix tm(static_cast<int>(bytes.size()));
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (std::size_t j = 0; j < bytes[i].size(); ++j) {
+        tm.at(static_cast<int>(i), static_cast<int>(j)) =
+            static_cast<double>(bytes[i][j]);
+      }
+    }
+    return tm;
+  }
+
+  int size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  double& at(int i, int j) {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return v_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  double at(int i, int j) const {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return v_[static_cast<std::size_t>(i) * n_ + j];
+  }
+
+  // Symmetric demand between i and j — circuits are bidirectional, so
+  // matching algorithms weigh both directions.
+  double pair_demand(int i, int j) const { return at(i, j) + at(j, i); }
+
+  double total() const {
+    double s = 0.0;
+    for (double x : v_) s += x;
+    return s;
+  }
+
+ private:
+  int n_;
+  std::vector<double> v_;
+};
+
+}  // namespace oo::topo

@@ -1,0 +1,65 @@
+#include "transport/udp_probe.h"
+
+#include "transport/flow_transfer.h"
+
+namespace oo::transport {
+
+using core::Packet;
+using core::PacketType;
+
+UdpProbe::UdpProbe(core::Network& net, HostId pinger, HostId responder,
+                   SimTime interval, std::int64_t size_bytes)
+    : net_(net),
+      pinger_(pinger),
+      responder_(responder),
+      interval_(interval),
+      size_bytes_(size_bytes),
+      flow_(FlowTransfer::alloc_flow_id()),
+      alive_(std::make_shared<bool>(true)) {
+  net_.host(responder_).bind_flow(flow_, [this](Packet&& p) {
+    // Echo the probe back, preserving the original tx timestamp.
+    Packet echo;
+    echo.type = PacketType::Probe;
+    echo.flow = flow_;
+    echo.dst_host = pinger_;
+    echo.size_bytes = p.size_bytes;
+    echo.probe_echo = p.probe_echo;
+    net_.host(responder_).send(std::move(echo));
+  });
+  net_.host(pinger_).bind_flow(flow_, [this](Packet&& p) {
+    ++received_;
+    const SimTime rtt = net_.sim().now() - p.probe_echo;
+    rtts_us_.add(rtt.us());
+  });
+}
+
+UdpProbe::~UdpProbe() {
+  *alive_ = false;
+  timer_.cancel();
+  net_.host(responder_).unbind_flow(flow_);
+  net_.host(pinger_).unbind_flow(flow_);
+}
+
+void UdpProbe::start() {
+  auto alive = alive_;
+  timer_ = net_.sim().schedule_every(net_.sim().now() + interval_, interval_,
+                                     [this, alive]() {
+                                       if (*alive) send_probe();
+                                     });
+  send_probe();
+}
+
+void UdpProbe::stop() { timer_.cancel(); }
+
+void UdpProbe::send_probe() {
+  ++sent_;
+  Packet p;
+  p.type = PacketType::Probe;
+  p.flow = flow_;
+  p.dst_host = responder_;
+  p.size_bytes = size_bytes_;
+  p.probe_echo = net_.sim().now();
+  net_.host(pinger_).send(std::move(p));
+}
+
+}  // namespace oo::transport

@@ -1,0 +1,47 @@
+// UDP RTT probing (Fig. 13): a pinger sends fixed-size datagrams at a fixed
+// interval; the responder echoes them back; per-packet RTTs accumulate in a
+// percentile sampler. Mirrors the "Realizing RotorNet" UDP latency
+// experiment OpenOptics reproduces for emulation-accuracy validation.
+#pragma once
+
+#include <memory>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/network.h"
+
+namespace oo::transport {
+
+class UdpProbe {
+ public:
+  UdpProbe(core::Network& net, HostId pinger, HostId responder,
+           SimTime interval, std::int64_t size_bytes = 1500);
+  ~UdpProbe();
+  UdpProbe(const UdpProbe&) = delete;
+  UdpProbe& operator=(const UdpProbe&) = delete;
+
+  void start();
+  void stop();
+
+  const PercentileSampler& rtts_us() const { return rtts_us_; }
+  std::int64_t sent() const { return sent_; }
+  std::int64_t received() const { return received_; }
+
+ private:
+  void send_probe();
+
+  core::Network& net_;
+  HostId pinger_;
+  HostId responder_;
+  SimTime interval_;
+  std::int64_t size_bytes_;
+  FlowId flow_;
+  sim::EventHandle timer_;
+  PercentileSampler rtts_us_;
+  std::int64_t sent_ = 0;
+  std::int64_t received_ = 0;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace oo::transport

@@ -1,0 +1,53 @@
+#include "workload/allreduce.h"
+
+#include <cassert>
+
+namespace oo::workload {
+
+RingAllreduce::RingAllreduce(core::Network& net, std::vector<HostId> ring,
+                             std::int64_t data_bytes, DoneFn done,
+                             transport::TcpConfig tcp)
+    : net_(net),
+      ring_(std::move(ring)),
+      chunk_bytes_(data_bytes / static_cast<std::int64_t>(ring_.size())),
+      done_(std::move(done)),
+      tcp_(tcp) {
+  assert(ring_.size() >= 2);
+  if (chunk_bytes_ <= 0) chunk_bytes_ = 1;
+}
+
+void RingAllreduce::start() {
+  start_time_ = net_.sim().now();
+  step_ = 0;
+  run_step();
+}
+
+void RingAllreduce::run_step() {
+  if (step_ >= steps_total()) {
+    finished_ = true;
+    current_.clear();
+    if (done_) done_(net_.sim().now() - start_time_);
+    return;
+  }
+  pending_ = static_cast<int>(ring_.size());
+  current_.clear();
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const HostId src = ring_[i];
+    const HostId dst = ring_[(i + 1) % ring_.size()];
+    auto tcp = std::make_unique<transport::TcpLite>(net_, src, dst, tcp_);
+    tcp->set_message(chunk_bytes_, [this](SimTime) {
+      if (--pending_ == 0) {
+        // Advance one event later: connections must not die inside their
+        // own completion callback.
+        net_.sim().schedule_at(net_.sim().now(), [this]() {
+          ++step_;
+          run_step();
+        });
+      }
+    });
+    current_.push_back(std::move(tcp));
+  }
+  for (auto& tcp : current_) tcp->start();
+}
+
+}  // namespace oo::workload

@@ -1,0 +1,57 @@
+// Gloo-style ring allreduce (§6 Traffic): the throughput-intensive elephant
+// workload (Fig. 8b). N participants, 2(N-1) steps; in each step every host
+// sends a data/N chunk to its ring successor over a congestion-controlled
+// TCP-lite connection (elephants must adapt to circuit capacity). Steps are
+// barriered (Gloo pipelines chunks, but the barrier approximation preserves
+// the bandwidth-bound completion behaviour; see DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/network.h"
+#include "transport/tcp_lite.h"
+
+namespace oo::workload {
+
+class RingAllreduce {
+ public:
+  using DoneFn = std::function<void(SimTime total)>;
+
+  // `tcp` tunes the per-chunk connections; architectures with heavy
+  // multipath reordering (VLB spraying) raise the dupack threshold, the
+  // reordering-tolerant transport rotor designs assume.
+  RingAllreduce(core::Network& net, std::vector<HostId> ring,
+                std::int64_t data_bytes, DoneFn done,
+                transport::TcpConfig tcp = default_tcp());
+
+  static transport::TcpConfig default_tcp() {
+    transport::TcpConfig cfg;
+    cfg.app_rate_cap = 0;  // collective is NIC-bound, not CPU-bound
+    cfg.rto = SimTime::millis(3);
+    return cfg;
+  }
+
+  void start();
+  bool finished() const { return finished_; }
+  int steps_total() const {
+    return 2 * (static_cast<int>(ring_.size()) - 1);
+  }
+
+ private:
+  void run_step();
+
+  core::Network& net_;
+  std::vector<HostId> ring_;
+  std::int64_t chunk_bytes_;
+  DoneFn done_;
+  transport::TcpConfig tcp_;
+  int step_ = 0;
+  int pending_ = 0;
+  SimTime start_time_;
+  bool finished_ = false;
+  std::vector<std::unique_ptr<transport::TcpLite>> current_;
+};
+
+}  // namespace oo::workload

@@ -1,0 +1,34 @@
+#include "workload/kv.h"
+
+namespace oo::workload {
+
+KvWorkload::KvWorkload(core::Network& net, HostId server,
+                       std::vector<HostId> clients, SimTime mean_interval,
+                       std::int64_t op_bytes)
+    : net_(net),
+      pool_(net),
+      server_(server),
+      clients_(std::move(clients)),
+      mean_interval_(mean_interval),
+      op_bytes_(op_bytes),
+      rng_(net.fork_rng()) {}
+
+void KvWorkload::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < clients_.size(); ++i) schedule_next(i);
+}
+
+void KvWorkload::schedule_next(std::size_t client_idx) {
+  const SimTime wait = SimTime::nanos(static_cast<std::int64_t>(
+      rng_.exponential(static_cast<double>(mean_interval_.ns()))));
+  net_.sim().schedule_in(wait, [this, client_idx]() {
+    if (!running_) return;
+    pool_.launch(clients_[client_idx], server_, op_bytes_, {},
+                 [this](SimTime fct, std::int64_t) {
+                   fct_us_.add(fct.us());
+                 });
+    schedule_next(client_idx);
+  });
+}
+
+}  // namespace oo::workload

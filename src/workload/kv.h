@@ -1,0 +1,41 @@
+// Memcached/Memslap model (§6 Traffic): one KV server, many benchmarking
+// clients performing fixed-size SETs (4.2 KB writes) at millisecond-scale
+// exponential intervals. The latency-sensitive mice workload of the
+// architecture comparison (Fig. 8a) and the OCS-choice study (Fig. 10).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/network.h"
+#include "workload/transfer_pool.h"
+
+namespace oo::workload {
+
+class KvWorkload {
+ public:
+  KvWorkload(core::Network& net, HostId server, std::vector<HostId> clients,
+             SimTime mean_interval, std::int64_t op_bytes = 4200);
+
+  void start();
+  void stop() { running_ = false; }
+
+  const PercentileSampler& fct_us() const { return fct_us_; }
+  std::int64_t ops_completed() const { return pool_.completed(); }
+
+ private:
+  void schedule_next(std::size_t client_idx);
+
+  core::Network& net_;
+  TransferPool pool_;
+  HostId server_;
+  std::vector<HostId> clients_;
+  SimTime mean_interval_;
+  std::int64_t op_bytes_;
+  Rng rng_;
+  PercentileSampler fct_us_;
+  bool running_ = false;
+};
+
+}  // namespace oo::workload

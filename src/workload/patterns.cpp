@@ -1,0 +1,92 @@
+#include "workload/patterns.h"
+
+#include <cassert>
+
+namespace oo::workload {
+
+PatternRun::PatternRun(
+    core::Network& net,
+    std::vector<std::tuple<HostId, HostId, std::int64_t>> flows,
+    transport::FlowTransferConfig cfg, DoneFn done)
+    : net_(net),
+      pool_(net),
+      flows_(std::move(flows)),
+      cfg_(cfg),
+      done_(std::move(done)) {}
+
+void PatternRun::start() {
+  started_ = true;
+  start_time_ = net_.sim().now();
+  pending_ = static_cast<int>(flows_.size());
+  if (pending_ == 0) {
+    if (done_) done_(SimTime::zero());
+    return;
+  }
+  for (const auto& [src, dst, bytes] : flows_) {
+    pool_.launch(src, dst, bytes, cfg_,
+                 [this](SimTime fct, std::int64_t) {
+                   fct_us_.add(fct.us());
+                   if (--pending_ == 0 && done_) {
+                     done_(net_.sim().now() - start_time_);
+                   }
+                 });
+  }
+}
+
+std::vector<std::tuple<HostId, HostId, std::int64_t>> permutation_flows(
+    int num_hosts, int hosts_per_tor, std::int64_t bytes, Rng& rng) {
+  // Random derangement with no intra-ToR pairs: shuffle destinations until
+  // every source maps off-rack (retry loop converges fast for the sizes we
+  // simulate).
+  std::vector<HostId> dst(static_cast<std::size_t>(num_hosts));
+  for (int i = 0; i < num_hosts; ++i) dst[static_cast<std::size_t>(i)] = i;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    for (int i = num_hosts - 1; i > 0; --i) {
+      const auto j =
+          static_cast<int>(rng.uniform(static_cast<std::uint32_t>(i + 1)));
+      std::swap(dst[static_cast<std::size_t>(i)],
+                dst[static_cast<std::size_t>(j)]);
+    }
+    bool ok = true;
+    for (int i = 0; i < num_hosts && ok; ++i) {
+      ok = dst[static_cast<std::size_t>(i)] / hosts_per_tor !=
+           i / hosts_per_tor;
+    }
+    if (ok) break;
+  }
+  std::vector<std::tuple<HostId, HostId, std::int64_t>> out;
+  out.reserve(static_cast<std::size_t>(num_hosts));
+  for (int i = 0; i < num_hosts; ++i) {
+    if (dst[static_cast<std::size_t>(i)] / hosts_per_tor ==
+        i / hosts_per_tor) {
+      continue;  // give up on stubborn residue rather than loop forever
+    }
+    out.emplace_back(static_cast<HostId>(i), dst[static_cast<std::size_t>(i)],
+                     bytes);
+  }
+  return out;
+}
+
+std::vector<std::tuple<HostId, HostId, std::int64_t>> incast_flows(
+    int num_hosts, HostId sink, std::int64_t bytes_per_sender) {
+  std::vector<std::tuple<HostId, HostId, std::int64_t>> out;
+  for (HostId h = 0; h < num_hosts; ++h) {
+    if (h == sink) continue;
+    out.emplace_back(h, sink, bytes_per_sender);
+  }
+  return out;
+}
+
+std::vector<std::tuple<HostId, HostId, std::int64_t>> all_to_all_flows(
+    int num_hosts, int hosts_per_tor, std::int64_t bytes_per_pair) {
+  std::vector<std::tuple<HostId, HostId, std::int64_t>> out;
+  for (HostId a = 0; a < num_hosts; ++a) {
+    for (HostId b = 0; b < num_hosts; ++b) {
+      if (a == b || a / hosts_per_tor == b / hosts_per_tor) continue;
+      out.emplace_back(a, b, bytes_per_pair);
+    }
+  }
+  return out;
+}
+
+}  // namespace oo::workload

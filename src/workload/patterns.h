@@ -1,0 +1,53 @@
+// Classic synthetic DCN patterns: permutation (each host sends to a fixed
+// distinct partner), incast (many-to-one), and all-to-all shuffles — the
+// stress geometries optical-DCN papers evaluate beyond trace replay.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/network.h"
+#include "workload/transfer_pool.h"
+
+namespace oo::workload {
+
+// Runs one synchronized round of transfers and reports per-flow FCTs plus
+// the round's overall completion time.
+class PatternRun {
+ public:
+  using DoneFn = std::function<void(SimTime round_time)>;
+
+  // Each (src, dst, bytes) triple becomes one transfer; the round completes
+  // when every transfer finishes.
+  PatternRun(core::Network& net,
+             std::vector<std::tuple<HostId, HostId, std::int64_t>> flows,
+             transport::FlowTransferConfig cfg, DoneFn done);
+
+  void start();
+  bool finished() const { return pending_ == 0 && started_; }
+  const PercentileSampler& fct_us() const { return fct_us_; }
+
+ private:
+  core::Network& net_;
+  TransferPool pool_;
+  std::vector<std::tuple<HostId, HostId, std::int64_t>> flows_;
+  transport::FlowTransferConfig cfg_;
+  DoneFn done_;
+  int pending_ = 0;
+  bool started_ = false;
+  SimTime start_time_;
+  PercentileSampler fct_us_;
+};
+
+// Flow-set builders. Hosts are 0..num_hosts-1; `hosts_per_tor` keeps the
+// patterns inter-ToR.
+std::vector<std::tuple<HostId, HostId, std::int64_t>> permutation_flows(
+    int num_hosts, int hosts_per_tor, std::int64_t bytes, Rng& rng);
+std::vector<std::tuple<HostId, HostId, std::int64_t>> incast_flows(
+    int num_hosts, HostId sink, std::int64_t bytes_per_sender);
+std::vector<std::tuple<HostId, HostId, std::int64_t>> all_to_all_flows(
+    int num_hosts, int hosts_per_tor, std::int64_t bytes_per_pair);
+
+}  // namespace oo::workload

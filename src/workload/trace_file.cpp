@@ -1,0 +1,119 @@
+#include "workload/trace_file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oo::workload {
+
+std::vector<TraceFlow> parse_trace(const std::string& text) {
+  std::vector<TraceFlow> flows;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::int64_t start_ns;
+    long long src, dst, bytes;
+    if (!(ls >> start_ns)) continue;  // blank/comment line
+    if (!(ls >> src >> dst >> bytes)) {
+      throw std::runtime_error("trace: malformed line " +
+                               std::to_string(lineno));
+    }
+    if (src < 0 || dst < 0 || bytes <= 0 || start_ns < 0) {
+      throw std::runtime_error("trace: invalid values at line " +
+                               std::to_string(lineno));
+    }
+    flows.push_back(TraceFlow{SimTime::nanos(start_ns),
+                              static_cast<HostId>(src),
+                              static_cast<HostId>(dst), bytes});
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const TraceFlow& a, const TraceFlow& b) {
+              return a.start < b.start;
+            });
+  return flows;
+}
+
+std::string format_trace(const std::vector<TraceFlow>& flows) {
+  std::string out = "# start_ns src_host dst_host bytes\n";
+  char buf[96];
+  for (const auto& f : flows) {
+    std::snprintf(buf, sizeof buf, "%lld %d %d %lld\n",
+                  static_cast<long long>(f.start.ns()), f.src, f.dst,
+                  static_cast<long long>(f.bytes));
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<TraceFlow> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_trace(ss.str());
+}
+
+void save_trace_file(const std::string& path,
+                     const std::vector<TraceFlow>& flows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  out << format_trace(flows);
+}
+
+std::vector<TraceFlow> synthesize_trace(TraceKind kind, double load,
+                                        int num_hosts, int hosts_per_tor,
+                                        BitsPerSec host_bw, SimTime horizon,
+                                        Rng rng) {
+  const auto& cdf = trace_cdf(kind);
+  const double mean = mean_flow_size(cdf);
+  const double offered_bps =
+      load * host_bw * static_cast<double>(num_hosts);
+  const double lambda = offered_bps / (kBitsPerByte * mean);
+  const double mean_gap_ns = 1e9 / lambda;
+
+  std::vector<TraceFlow> flows;
+  SimTime t = SimTime::zero();
+  while (true) {
+    t += SimTime::nanos(
+        static_cast<std::int64_t>(rng.exponential(mean_gap_ns)));
+    if (t >= horizon) break;
+    const auto src = static_cast<HostId>(
+        rng.uniform(static_cast<std::uint32_t>(num_hosts)));
+    HostId dst = src;
+    for (int tries = 0;
+         tries < 64 && dst / hosts_per_tor == src / hosts_per_tor; ++tries) {
+      dst = static_cast<HostId>(
+          rng.uniform(static_cast<std::uint32_t>(num_hosts)));
+    }
+    if (dst / hosts_per_tor == src / hosts_per_tor) continue;
+    flows.push_back(TraceFlow{
+        t, src, dst,
+        static_cast<std::int64_t>(sample_flow_size(cdf, rng))});
+  }
+  return flows;
+}
+
+FileReplay::FileReplay(core::Network& net, std::vector<TraceFlow> flows,
+                       transport::FlowTransferConfig transfer)
+    : net_(net), pool_(net), flows_(std::move(flows)), transfer_(transfer) {}
+
+void FileReplay::start() {
+  for (const auto& f : flows_) {
+    net_.sim().schedule_at(
+        std::max(f.start, net_.sim().now()), [this, f]() {
+          pool_.launch(f.src, f.dst, f.bytes, transfer_,
+                       [this](SimTime fct, std::int64_t) {
+                         fct_us_.add(fct.us());
+                       });
+        });
+  }
+}
+
+}  // namespace oo::workload

@@ -1,0 +1,207 @@
+#include "workload/traces.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace oo::workload {
+
+const char* trace_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::Rpc: return "RPC";
+    case TraceKind::Hadoop: return "Hadoop";
+    case TraceKind::KvStore: return "KV-store";
+  }
+  return "?";
+}
+
+const std::vector<CdfPoint>& trace_cdf(TraceKind k) {
+  // Shapes follow the published workload characterizations: Homa's RPC
+  // workload (bimodal, long tail), Facebook's Hadoop cluster (small-flow
+  // heavy with multi-MB shuffle tail), and the Memcached KV store (tiny
+  // objects, rare large values).
+  static const std::vector<CdfPoint> rpc = {
+      {100, 0.20},   {300, 0.40},   {1e3, 0.60},  {3e3, 0.70},
+      {1e4, 0.78},   {5e4, 0.85},   {2e5, 0.92},  {1e6, 0.97},
+      {5e6, 0.995},  {3e7, 1.0},
+  };
+  static const std::vector<CdfPoint> hadoop = {
+      {250, 0.15},   {1e3, 0.45},   {1e4, 0.70},  {1e5, 0.85},
+      {1e6, 0.94},   {1e7, 0.99},   {1e8, 1.0},
+  };
+  static const std::vector<CdfPoint> kv = {
+      {64, 0.20},    {128, 0.50},   {512, 0.80},  {1e3, 0.90},
+      {4200, 0.97},  {1e5, 0.999},  {1e6, 1.0},
+  };
+  switch (k) {
+    case TraceKind::Rpc: return rpc;
+    case TraceKind::Hadoop: return hadoop;
+    case TraceKind::KvStore: return kv;
+  }
+  return rpc;
+}
+
+double sample_flow_size(const std::vector<CdfPoint>& cdf, Rng& rng) {
+  const double u = rng.uniform01();
+  double prev_b = 1.0, prev_c = 0.0;
+  for (const auto& pt : cdf) {
+    if (u <= pt.cum) {
+      const double frac =
+          (pt.cum > prev_c) ? (u - prev_c) / (pt.cum - prev_c) : 1.0;
+      // Log-linear interpolation matches heavy-tailed size distributions.
+      return std::exp(std::log(prev_b) +
+                      frac * (std::log(pt.bytes) - std::log(prev_b)));
+    }
+    prev_b = pt.bytes;
+    prev_c = pt.cum;
+  }
+  return cdf.back().bytes;
+}
+
+double mean_flow_size(const std::vector<CdfPoint>& cdf) {
+  double mean = 0.0, prev_b = 1.0, prev_c = 0.0;
+  for (const auto& pt : cdf) {
+    // Within a log-linear segment the size is log-uniform on [a, b]; its
+    // exact mean is (b - a) / ln(b / a).
+    const double a = prev_b, b = pt.bytes;
+    const double seg_mean = (b > a) ? (b - a) / std::log(b / a) : a;
+    mean += (pt.cum - prev_c) * seg_mean;
+    prev_b = pt.bytes;
+    prev_c = pt.cum;
+  }
+  return mean;
+}
+
+TraceReplay::TraceReplay(core::Network& net, TraceKind kind, double load,
+                         transport::FlowTransferConfig transfer)
+    : net_(net),
+      pool_(net),
+      kind_(kind),
+      transfer_(transfer),
+      rng_(net.fork_rng()) {
+  assert(load > 0.0 && load <= 1.0);
+  const double mean = mean_flow_size(trace_cdf(kind_));
+  // Offered bits/s = load x aggregate host bandwidth; arrivals are Poisson
+  // with rate lambda = offered / (8 x mean flow size).
+  const double offered_bps = load * net_.config().host_bw *
+                             static_cast<double>(net_.num_hosts());
+  const double lambda = offered_bps / (kBitsPerByte * mean);
+  mean_interarrival_ = SimTime::nanos(
+      static_cast<std::int64_t>(1e9 / lambda));
+  if (mean_interarrival_ <= SimTime::zero()) {
+    mean_interarrival_ = SimTime::nanos(1);
+  }
+}
+
+void TraceReplay::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void TraceReplay::schedule_next() {
+  const SimTime wait = SimTime::nanos(static_cast<std::int64_t>(
+      rng_.exponential(static_cast<double>(mean_interarrival_.ns()))));
+  net_.sim().schedule_in(wait, [this]() {
+    if (!running_) return;
+    const int nh = net_.num_hosts();
+    const HostId src = static_cast<HostId>(
+        rng_.uniform(static_cast<std::uint32_t>(nh)));
+    HostId dst = src;
+    // Inter-ToR destination (core-link traffic).
+    for (int tries = 0; tries < 64 && net_.tor_of(dst) == net_.tor_of(src);
+         ++tries) {
+      dst = static_cast<HostId>(rng_.uniform(static_cast<std::uint32_t>(nh)));
+    }
+    if (net_.tor_of(dst) != net_.tor_of(src)) {
+      const auto bytes = static_cast<std::int64_t>(
+          sample_flow_size(trace_cdf(kind_), rng_));
+      bytes_offered_ += bytes;
+      const bool mouse = bytes < 100'000;
+      pool_.launch(src, dst, bytes, transfer_,
+                   [this, mouse](SimTime fct, std::int64_t) {
+                     if (mouse) {
+                       mice_fct_us_.add(fct.us());
+                     } else {
+                       elephant_fct_us_.add(fct.us());
+                     }
+                   });
+    }
+    schedule_next();
+  });
+}
+
+OpenLoopReplay::OpenLoopReplay(core::Network& net, TraceKind kind,
+                               double load, std::int64_t mss,
+                               BitsPerSec flow_pace_bps)
+    : net_(net),
+      kind_(kind),
+      mss_(mss),
+      flow_pace_bps_(flow_pace_bps),
+      rng_(net.fork_rng()) {
+  assert(load > 0.0 && load <= 1.0);
+  const double mean = mean_flow_size(trace_cdf(kind_));
+  const double offered_bps = load * net_.config().host_bw *
+                             static_cast<double>(net_.num_hosts());
+  const double lambda = offered_bps / (kBitsPerByte * mean);
+  mean_interarrival_ =
+      SimTime::nanos(static_cast<std::int64_t>(1e9 / lambda));
+  if (mean_interarrival_ <= SimTime::zero()) {
+    mean_interarrival_ = SimTime::nanos(1);
+  }
+}
+
+void OpenLoopReplay::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void OpenLoopReplay::schedule_next() {
+  const SimTime wait = SimTime::nanos(static_cast<std::int64_t>(
+      rng_.exponential(static_cast<double>(mean_interarrival_.ns()))));
+  net_.sim().schedule_in(wait, [this]() {
+    if (!running_) return;
+    const int nh = net_.num_hosts();
+    const HostId src = static_cast<HostId>(
+        rng_.uniform(static_cast<std::uint32_t>(nh)));
+    HostId dst = src;
+    for (int tries = 0; tries < 64 && net_.tor_of(dst) == net_.tor_of(src);
+         ++tries) {
+      dst = static_cast<HostId>(rng_.uniform(static_cast<std::uint32_t>(nh)));
+    }
+    if (net_.tor_of(dst) != net_.tor_of(src)) {
+      auto remaining = static_cast<std::int64_t>(
+          sample_flow_size(trace_cdf(kind_), rng_));
+      bytes_offered_ += remaining;
+      const FlowId flow = transport::FlowTransfer::alloc_flow_id();
+      // Packets enter the host stack back-to-back (line rate) or spread at
+      // the flow pace; no acks, no windows.
+      SimTime at = net_.sim().now();
+      const SimTime gap =
+          flow_pace_bps_ > 0
+              ? SimTime::nanos(serialization_ns(mss_ + 64, flow_pace_bps_))
+              : SimTime::zero();
+      while (remaining > 0) {
+        const std::int64_t len = std::min(remaining, mss_);
+        remaining -= len;
+        core::Packet p;
+        p.type = core::PacketType::Data;
+        p.flow = flow;
+        p.dst_host = dst;
+        p.payload = len;
+        p.size_bytes = len + 64;
+        ++packets_offered_;
+        if (gap == SimTime::zero()) {
+          net_.host(src).send(std::move(p));
+        } else {
+          net_.sim().schedule_at(at, [this, src,
+                                      pkt = std::move(p)]() mutable {
+            net_.host(src).send(std::move(pkt));
+          });
+          at += gap;
+        }
+      }
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace oo::workload

@@ -1,0 +1,100 @@
+// Production DCN trace models (§7 experimental setup): flow-size CDFs
+// shaped after the published distributions of the Homa RPC workload, the
+// Facebook Hadoop cluster, and the Facebook Memcached KV store, replayed as
+// Poisson flow arrivals scaled to a target core-link utilization. The
+// benches use these where the paper replays the real traces (Tab. 3/4).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/network.h"
+#include "workload/transfer_pool.h"
+
+namespace oo::workload {
+
+enum class TraceKind { Rpc, Hadoop, KvStore };
+
+const char* trace_name(TraceKind k);
+
+struct CdfPoint {
+  double bytes;
+  double cum;  // P(size <= bytes)
+};
+
+// Flow-size CDF of the trace (log-linear interpolation between points).
+const std::vector<CdfPoint>& trace_cdf(TraceKind k);
+double sample_flow_size(const std::vector<CdfPoint>& cdf, Rng& rng);
+double mean_flow_size(const std::vector<CdfPoint>& cdf);
+
+// Poisson open-loop flow generator across random inter-ToR host pairs.
+// `load` is the fraction of aggregate host bandwidth offered (0.4 = the
+// paper's 40% core utilization).
+class TraceReplay {
+ public:
+  TraceReplay(core::Network& net, TraceKind kind, double load,
+              transport::FlowTransferConfig transfer = {});
+
+  void start();
+  void stop() { running_ = false; }
+
+  // FCT split the way Fig. 8 reports: mice (< 100 KB) vs elephants.
+  const PercentileSampler& mice_fct_us() const { return mice_fct_us_; }
+  const PercentileSampler& elephant_fct_us() const {
+    return elephant_fct_us_;
+  }
+  std::int64_t flows_completed() const { return pool_.completed(); }
+  std::int64_t flows_launched() const { return pool_.launched(); }
+  std::int64_t bytes_offered() const { return bytes_offered_; }
+
+ private:
+  void schedule_next();
+
+  core::Network& net_;
+  TransferPool pool_;
+  TraceKind kind_;
+  transport::FlowTransferConfig transfer_;
+  SimTime mean_interarrival_;
+  Rng rng_;
+  PercentileSampler mice_fct_us_;
+  PercentileSampler elephant_fct_us_;
+  std::int64_t bytes_offered_ = 0;
+  bool running_ = false;
+};
+
+// Open-loop trace replay: flows are emitted as raw packet trains with no
+// transport backpressure — the paper's §7 methodology (replayed traces at a
+// target utilization). Use this for buffer-occupancy and loss studies
+// (Tab. 3/4) where closed-loop windows would throttle exactly the schemes
+// with long circuit waits and mask their buffering.
+class OpenLoopReplay {
+ public:
+  // `flow_pace_bps` spreads each flow's packets at the given rate instead
+  // of dumping them at host line rate (0 = line rate). Long flows in the
+  // replayed traces are paced by their applications, not NIC-speed bursts.
+  OpenLoopReplay(core::Network& net, TraceKind kind, double load,
+                 std::int64_t mss = 8936, BitsPerSec flow_pace_bps = 0);
+
+  void start();
+  void stop() { running_ = false; }
+
+  std::int64_t packets_offered() const { return packets_offered_; }
+  std::int64_t bytes_offered() const { return bytes_offered_; }
+
+ private:
+  void schedule_next();
+
+  core::Network& net_;
+  TraceKind kind_;
+  std::int64_t mss_;
+  BitsPerSec flow_pace_bps_;
+  SimTime mean_interarrival_;
+  Rng rng_;
+  std::int64_t packets_offered_ = 0;
+  std::int64_t bytes_offered_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace oo::workload

@@ -1,0 +1,23 @@
+#include "workload/transfer_pool.h"
+
+namespace oo::workload {
+
+void TransferPool::launch(HostId src, HostId dst, std::int64_t bytes,
+                          transport::FlowTransferConfig cfg, DoneFn done) {
+  const std::int64_t key = next_key_++;
+  ++launched_;
+  auto transfer = std::make_unique<transport::FlowTransfer>(
+      net_, src, dst, bytes, cfg,
+      [this, key, done = std::move(done)](SimTime fct,
+                                          std::int64_t retrans) {
+        ++completed_;
+        if (done) done(fct, retrans);
+        // Reclaim after the callback stack unwinds.
+        net_.sim().schedule_at(net_.sim().now(),
+                               [this, key]() { live_.erase(key); });
+      });
+  transfer->start();
+  live_.emplace(key, std::move(transfer));
+}
+
+}  // namespace oo::workload

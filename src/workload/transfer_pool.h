@@ -1,0 +1,38 @@
+// Owns in-flight FlowTransfers and reclaims them safely after completion
+// (destruction is deferred one simulator event so a transfer never dies
+// inside its own completion callback).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/network.h"
+#include "transport/flow_transfer.h"
+
+namespace oo::workload {
+
+class TransferPool {
+ public:
+  using DoneFn = std::function<void(SimTime fct, std::int64_t retrans)>;
+
+  explicit TransferPool(core::Network& net) : net_(net) {}
+
+  void launch(HostId src, HostId dst, std::int64_t bytes,
+              transport::FlowTransferConfig cfg, DoneFn done);
+
+  std::size_t active() const { return live_.size(); }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t launched() const { return launched_; }
+
+ private:
+  core::Network& net_;
+  std::unordered_map<std::int64_t, std::unique_ptr<transport::FlowTransfer>>
+      live_;
+  std::int64_t next_key_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t launched_ = 0;
+};
+
+}  // namespace oo::workload

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/calendar_queue.h"
+#include "core/eqo.h"
+#include "core/guardband.h"
+#include "core/sync.h"
+
+namespace oo::core {
+namespace {
+
+using namespace oo::literals;
+
+net::Packet make_packet(std::int64_t bytes) {
+  net::Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(CalendarQueue, OnlyActiveQueueUnpaused) {
+  CalendarQueuePort port(4, 1 << 20);
+  EXPECT_FALSE(port.active_queue().paused());
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_TRUE(port.queue_at_rank(r).paused()) << r;
+  }
+}
+
+TEST(CalendarQueue, RankMapsToFutureQueue) {
+  CalendarQueuePort port(4, 1 << 20);
+  EXPECT_EQ(port.try_enqueue(make_packet(100), 2), EnqueueVerdict::Ok);
+  EXPECT_EQ(port.queue_at_rank(2).bytes(), 100);
+  EXPECT_EQ(port.active_queue().bytes(), 0);
+  // Two rotations later that queue is active.
+  port.rotate();
+  port.rotate();
+  EXPECT_EQ(port.active_queue().bytes(), 100);
+  EXPECT_FALSE(port.active_queue().paused());
+}
+
+TEST(CalendarQueue, RotationWrapsAround) {
+  CalendarQueuePort port(3, 1 << 20);
+  EXPECT_EQ(port.active_index(), 0);
+  port.rotate();
+  port.rotate();
+  port.rotate();
+  EXPECT_EQ(port.active_index(), 0);
+}
+
+TEST(CalendarQueue, RankOverflow) {
+  CalendarQueuePort port(4, 1 << 20);
+  EXPECT_EQ(port.try_enqueue(make_packet(100), 4),
+            EnqueueVerdict::RankOverflow);
+  EXPECT_EQ(port.try_enqueue(make_packet(100), -1),
+            EnqueueVerdict::RankOverflow);
+  EXPECT_EQ(port.rank_overflows(), 2);
+}
+
+TEST(CalendarQueue, CapacityFull) {
+  CalendarQueuePort port(2, 1000);
+  EXPECT_EQ(port.try_enqueue(make_packet(800), 0), EnqueueVerdict::Ok);
+  EXPECT_EQ(port.try_enqueue(make_packet(800), 0), EnqueueVerdict::Full);
+  EXPECT_EQ(port.full_rejects(), 1);
+  // Other queue unaffected.
+  EXPECT_EQ(port.try_enqueue(make_packet(800), 1), EnqueueVerdict::Ok);
+  EXPECT_EQ(port.total_bytes(), 1600);
+  EXPECT_EQ(port.peak_total_bytes(), 1600);
+}
+
+TEST(CalendarQueue, PausedQueueHoldsPackets) {
+  CalendarQueuePort port(2, 1 << 20);
+  port.try_enqueue(make_packet(100), 1);
+  EXPECT_FALSE(port.queue_at_rank(1).dequeue().has_value());  // paused
+  port.rotate();
+  EXPECT_TRUE(port.active_queue().dequeue().has_value());
+}
+
+TEST(Eqo, TracksEnqueues) {
+  QueueOccupancyEstimator eqo(4, 100e9, 50_ns);
+  eqo.on_enqueue(1, 1500);
+  eqo.on_enqueue(1, 500);
+  EXPECT_EQ(eqo.estimate(1), 2000);
+  EXPECT_EQ(eqo.estimate(0), 0);
+}
+
+TEST(Eqo, TickDrainsActiveAtLineRate) {
+  QueueOccupancyEstimator eqo(2, 100e9, 50_ns);
+  eqo.on_enqueue(0, 10000);
+  eqo.on_tick(0);  // one 50 ns tick at 100 Gbps = 625 B
+  EXPECT_EQ(eqo.estimate(0), 10000 - 625);
+}
+
+TEST(Eqo, ClampsAtZero) {
+  QueueOccupancyEstimator eqo(2, 100e9, 50_ns);
+  eqo.on_enqueue(0, 100);
+  eqo.on_tick(0);
+  EXPECT_EQ(eqo.estimate(0), 0);
+  eqo.on_tick(0);
+  EXPECT_EQ(eqo.estimate(0), 0);
+}
+
+TEST(Eqo, DrainWindowMatchesTickSequence) {
+  QueueOccupancyEstimator a(1, 100e9, 50_ns);
+  QueueOccupancyEstimator b(1, 100e9, 50_ns);
+  a.on_enqueue(0, 50000);
+  b.on_enqueue(0, 50000);
+  // a: 10 discrete ticks; b: one lazy window covering (0, 500ns].
+  for (int i = 0; i < 10; ++i) a.on_tick(0);
+  b.drain_window(0, 0_ns, 500_ns);
+  EXPECT_EQ(a.estimate(0), b.estimate(0));
+}
+
+TEST(Eqo, DrainWindowTickGridAlignment) {
+  QueueOccupancyEstimator eqo(1, 100e9, 50_ns);
+  eqo.on_enqueue(0, 10000);
+  // (10ns, 49ns] contains no grid point -> no drain.
+  eqo.drain_window(0, 10_ns, 49_ns);
+  EXPECT_EQ(eqo.estimate(0), 10000);
+  // (49ns, 51ns] contains the 50ns tick -> one drain.
+  eqo.drain_window(0, 49_ns, 51_ns);
+  EXPECT_EQ(eqo.estimate(0), 10000 - 625);
+}
+
+TEST(Eqo, ErrorBoundedByOneTick) {
+  // Property (Fig. 12): if the queue truly drains at line rate, the
+  // estimate lags by at most one tick's worth of bytes.
+  QueueOccupancyEstimator eqo(1, 100e9, 50_ns);
+  std::int64_t truth = 0;
+  SimTime last = 0_ns;
+  for (int i = 1; i <= 100; ++i) {
+    const SimTime now = SimTime::nanos(i * 37);  // not tick-aligned
+    // True queue drains at exact line rate.
+    const std::int64_t drained = bytes_in_ns((now - last).ns(), 100e9);
+    truth = std::max<std::int64_t>(0, truth - drained);
+    eqo.drain_window(0, last, now);
+    last = now;
+    if (i % 3 == 0) {
+      truth += 1500;
+      eqo.on_enqueue(0, 1500);
+    }
+    EXPECT_LE(eqo.error_vs(0, truth), 625 + 46)  // tick + sub-ns slop
+        << "at i=" << i;
+  }
+}
+
+TEST(Guardband, PaperDerivation) {
+  // §7: 34 + 58 + 56 = 148 ns analytic, 200 ns with headroom, 2 us slice.
+  const auto g = derive_guardband(GuardbandInputs{});
+  EXPECT_EQ(g.rotation_variance, 34_ns);
+  EXPECT_EQ(g.eqo_delay, 58_ns);
+  EXPECT_EQ(g.sync_window, 56_ns);
+  EXPECT_EQ(g.analytic, 148_ns);
+  EXPECT_EQ(g.guardband, 200_ns);
+  EXPECT_EQ(g.min_slice, 2_us);
+}
+
+TEST(Guardband, ScalesWithInputs) {
+  GuardbandInputs in;
+  in.sync_error = 100_ns;  // worse sync -> larger guardband
+  const auto g = derive_guardband(in);
+  EXPECT_GT(g.guardband, 200_ns);
+  EXPECT_EQ(g.min_slice, g.guardband * 10);
+}
+
+TEST(Sync, OffsetsWithinBound) {
+  SyncModel sync(64, 28_ns, Rng{99});
+  for (NodeId n = 0; n < 64; ++n) {
+    EXPECT_LE(sync.offset(n).ns(), 28);
+    EXPECT_GE(sync.offset(n).ns(), -28);
+  }
+  EXPECT_EQ(sync.local_view(0, 100_ns), 100_ns + sync.offset(0));
+}
+
+TEST(Sync, Deterministic) {
+  SyncModel a(8, 28_ns, Rng{5});
+  SyncModel b(8, 28_ns, Rng{5});
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(a.offset(n), b.offset(n));
+}
+
+}  // namespace
+}  // namespace oo::core

@@ -1,0 +1,168 @@
+#include "optics/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace oo::optics {
+namespace {
+
+using namespace oo::literals;
+using net::Packet;
+
+Packet make_packet(std::int64_t bytes = 1500) {
+  Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+struct FabricTest : ::testing::Test {
+  FabricTest() {
+    Schedule sched(2, 1, 2, 100_us);
+    sched.add_circuit({0, 0, 1, 0, 0});  // slice 0 only
+    profile.reconfig_delay = 1_us;
+    profile.latency_min = 300_ns;
+    profile.latency_max = 300_ns;  // deterministic
+    fab = std::make_unique<OpticalFabric>(sim, sched, profile, Rng{1});
+    fab->attach(0, [this](Packet&& p, PortId in) {
+      ++got0;
+      last_port = in;
+      last = std::move(p);
+    });
+    fab->attach(1, [this](Packet&& p, PortId in) {
+      ++got1;
+      last_port = in;
+      last = std::move(p);
+    });
+  }
+  sim::Simulator sim;
+  OcsProfile profile = ocs_emulated();
+  std::unique_ptr<OpticalFabric> fab;
+  int got0 = 0, got1 = 0;
+  PortId last_port = kInvalidPort;
+  Packet last;
+};
+
+TEST_F(FabricTest, DeliversOverLiveCircuit) {
+  sim.schedule_at(10_us, [&]() {
+    fab->transmit(0, 0, make_packet(), sim.now(), sim.now() + 120_ns);
+  });
+  sim.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(fab->delivered(), 1);
+  EXPECT_EQ(last_port, 0);
+  EXPECT_EQ(last.hops, 1);
+  // Arrival = tx_end + 300 ns.
+  EXPECT_EQ(sim.now(), 10_us + 120_ns + 300_ns);
+}
+
+TEST_F(FabricTest, DropsWithoutCircuit) {
+  // Slice 1 has no circuits.
+  sim.schedule_at(110_us, [&]() {
+    fab->transmit(0, 0, make_packet(), sim.now(), sim.now() + 120_ns);
+  });
+  sim.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(fab->drops_no_circuit(), 1);
+}
+
+TEST_F(FabricTest, DropsInReconfigurationWindow) {
+  // Slice starts at 200 us (abs slice 2 -> slice 0); the first 1 us is the
+  // retargeting window.
+  sim.schedule_at(200_us + 500_ns, [&]() {
+    fab->transmit(0, 0, make_packet(), sim.now(), sim.now() + 120_ns);
+  });
+  sim.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(fab->drops_guard(), 1);
+}
+
+TEST_F(FabricTest, DropsAcrossSliceBoundary) {
+  // Transmission straddling 100 us boundary.
+  sim.schedule_at(100_us - 60_ns, [&]() {
+    fab->transmit(0, 0, make_packet(), sim.now(), sim.now() + 120_ns);
+  });
+  sim.run();
+  EXPECT_EQ(fab->drops_boundary(), 1);
+  EXPECT_EQ(got1, 0);
+}
+
+TEST_F(FabricTest, TxEndingExactlyAtBoundaryOk) {
+  sim.schedule_at(100_us - 120_ns, [&]() {
+    fab->transmit(0, 0, make_packet(), sim.now(), sim.now() + 120_ns);
+  });
+  sim.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(fab->drops_boundary(), 0);
+}
+
+TEST(FabricReconfig, UnchangedCircuitsStayUpDuringSwitch) {
+  sim::Simulator sim;
+  Schedule before(3, 1, 1, SimTime::seconds(3600));
+  before.add_circuit({0, 0, 1, 0, kAnySlice});
+  Schedule after(3, 1, 1, SimTime::seconds(3600));
+  after.add_circuit({0, 0, 1, 0, kAnySlice});  // unchanged circuit
+  OcsProfile prof = ocs_mems();
+  prof.reconfig_delay = 0_ns;
+  prof.latency_min = prof.latency_max = 100_ns;
+  OpticalFabric fab(sim, before, prof, Rng{1});
+  int got1 = 0;
+  fab.attach(0, [](net::Packet&&, PortId) {});
+  fab.attach(1, [&](net::Packet&&, PortId) { ++got1; });
+  fab.attach(2, [](net::Packet&&, PortId) {});
+
+  fab.reconfigure(after, SimTime::millis(25));
+  // During the window the unchanged 0<->1 circuit still carries light.
+  sim.schedule_at(1_ms, [&]() {
+    net::Packet p;
+    p.size_bytes = 100;
+    fab.transmit(0, 0, std::move(p), sim.now(), sim.now() + 8_ns);
+  });
+  sim.run_until(2_ms);
+  EXPECT_EQ(got1, 1);
+}
+
+TEST(FabricReconfig, ChangedCircuitsDownDuringSwitchThenUp) {
+  sim::Simulator sim;
+  Schedule before(3, 1, 1, SimTime::seconds(3600));
+  before.add_circuit({0, 0, 1, 0, kAnySlice});
+  Schedule after(3, 1, 1, SimTime::seconds(3600));
+  after.add_circuit({0, 0, 2, 0, kAnySlice});  // 0's circuit retargets to 2
+  OcsProfile prof = ocs_mems();
+  prof.reconfig_delay = 0_ns;
+  prof.latency_min = prof.latency_max = 100_ns;
+  OpticalFabric fab(sim, before, prof, Rng{1});
+  int got1 = 0, got2 = 0;
+  fab.attach(0, [](net::Packet&&, PortId) {});
+  fab.attach(1, [&](net::Packet&&, PortId) { ++got1; });
+  fab.attach(2, [&](net::Packet&&, PortId) { ++got2; });
+
+  fab.reconfigure(after, SimTime::millis(25));
+  auto send = [&]() {
+    net::Packet p;
+    p.size_bytes = 100;
+    fab.transmit(0, 0, std::move(p), sim.now(), sim.now() + 8_ns);
+  };
+  sim.schedule_at(1_ms, send);   // mid-switch: dropped
+  sim.schedule_at(30_ms, send);  // after switch: reaches node 2
+  sim.run_until(40_ms);
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 1);
+  EXPECT_EQ(fab.drops_no_circuit(), 1);
+}
+
+TEST(FabricProfiles, PresetsAreSane) {
+  for (const auto& prof : {ocs_mems(), ocs_rotor(), ocs_liquid_crystal(),
+                           ocs_awgr(), ocs_emulated()}) {
+    EXPECT_GT(prof.min_slice, SimTime::zero()) << prof.name;
+    EXPECT_GE(prof.latency_max, prof.latency_min) << prof.name;
+    EXPECT_GE(prof.reconfig_delay, SimTime::zero()) << prof.name;
+    // Reconfiguration must fit inside the minimum slice.
+    EXPECT_LT(prof.reconfig_delay, prof.min_slice) << prof.name;
+  }
+  // The emulated fabric reproduces Fig. 11's delay band.
+  const auto e = ocs_emulated();
+  EXPECT_EQ(e.latency_min, 1287_ns);
+  EXPECT_EQ(e.latency_max, 1324_ns);
+}
+
+}  // namespace
+}  // namespace oo::optics

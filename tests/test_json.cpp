@@ -1,0 +1,101 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace oo::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-2").as_double(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntDoubleInterop) {
+  EXPECT_DOUBLE_EQ(parse("42").as_double(), 42.0);
+  EXPECT_EQ(parse("42.9").as_int(), 42);
+}
+
+TEST(Json, ParsesContainers) {
+  const auto v = parse(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[1].as_int(), 2);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "d");
+  EXPECT_TRUE(v.at("e").is_null());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("zz"));
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[ ]").as_array().empty());
+}
+
+TEST(Json, Whitespace) {
+  const auto v = parse("  {\n\t\"k\" :\r 1 }  ");
+  EXPECT_EQ(v.at("k").as_int(), 1);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(parse(R"("s\\s")").as_string(), "s\\s");
+  EXPECT_EQ(parse(R"("\t\r\b\f\/")").as_string(), "\t\r\b\f/");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, Getters) {
+  const auto v = parse(R"({"i": 5, "d": 2.5, "s": "x", "b": true})");
+  EXPECT_EQ(v.get_int("i", 0), 5);
+  EXPECT_EQ(v.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0), 2.5);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_FALSE(v.get_bool("missing", false));
+}
+
+TEST(Json, Errors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("-"), ParseError);
+}
+
+TEST(Json, TypeErrors) {
+  const auto v = parse("{\"a\": 1}");
+  EXPECT_THROW(v.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_THROW(parse("3").as_bool(), std::runtime_error);
+}
+
+TEST(Json, DumpRoundTrip) {
+  const std::string src =
+      R"({"arr":[1,2.5,"three",null,true],"nested":{"k":"v"}})";
+  const auto v = parse(src);
+  const auto again = parse(v.dump());
+  EXPECT_EQ(again.at("arr").as_array().size(), 5u);
+  EXPECT_EQ(again.at("nested").at("k").as_string(), "v");
+  // Pretty dump also round-trips.
+  const auto pretty = parse(v.dump(2));
+  EXPECT_EQ(pretty.at("arr").as_array()[2].as_string(), "three");
+}
+
+TEST(Json, DumpEscapes) {
+  Value v{std::string("a\"b\nc")};
+  EXPECT_EQ(parse(v.dump()).as_string(), "a\"b\nc");
+}
+
+}  // namespace
+}  // namespace oo::json

@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace oo {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformI64) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform_i64(-50, 50);
+    ASSERT_GE(x, -50);
+    ASSERT_LE(x, 50);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(17);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.gaussian(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, WeightedPickRespectWeights) {
+  Rng r(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[r.weighted_pick(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedPickDegenerate) {
+  Rng r(23);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_EQ(r.weighted_pick(zero), 0u);  // falls back to first index
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  // Child stream should not replay the parent stream.
+  Rng parent2(29);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child.next_u32(), child2.next_u32());  // deterministic fork
+  }
+}
+
+TEST(HashMix, SpreadsBits) {
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash_mix(i));
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(hash_mix(1), hash_mix(2));
+}
+
+}  // namespace
+}  // namespace oo

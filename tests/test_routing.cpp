@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/ta_routing.h"
+#include "routing/time_expanded.h"
+#include "routing/to_routing.h"
+#include "topo/round_robin.h"
+
+namespace oo::routing {
+namespace {
+
+using namespace oo::literals;
+using core::Path;
+
+optics::Schedule fig2_schedule() {
+  // The paper's Fig. 2 example: 4 nodes, 3 slices; at ts=0 circuits
+  // {N0-N1, N2-N3}, ts=1 {N0-N2, N1-N3}, ts=2 {N0-N3, N1-N2}.
+  optics::Schedule s(4, 1, 3, 100_us);
+  s.add_circuit({0, 0, 1, 0, 0});
+  s.add_circuit({2, 0, 3, 0, 0});
+  s.add_circuit({0, 0, 2, 0, 1});
+  s.add_circuit({1, 0, 3, 0, 1});
+  s.add_circuit({0, 0, 3, 0, 2});
+  s.add_circuit({1, 0, 2, 0, 2});
+  return s;
+}
+
+optics::Schedule rotor_schedule(int n, int uplinks = 1) {
+  optics::Schedule s(n, uplinks, topo::round_robin_period(n), 100_us);
+  for (const auto& c : topo::round_robin_1d(n, uplinks)) s.add_circuit(c);
+  return s;
+}
+
+TEST(EarliestArrival, Fig2DirectVsMultiHop) {
+  const auto sched = fig2_schedule();
+  // Packet at N0 at ts=0 destined N3 (the paper's running example):
+  // direct path waits until ts=2 (offset 2); multi-hop via N1 leaves now
+  // and hops N1->N3 at ts=1 (offset 1). Earliest arrival = the multi-hop.
+  EarliestArrival ea(sched, 3);
+  EXPECT_EQ(ea.offset(0, 0), 1);
+  const auto path = ea.extract(0, 0);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hops.size(), 2u);
+  EXPECT_EQ(path->hops[0].node, 0);
+  EXPECT_EQ(path->hops[0].dep_slice, 0);  // ride N0-N1 now
+  EXPECT_EQ(path->hops[1].node, 1);
+  EXPECT_EQ(path->hops[1].dep_slice, 1);  // then N1-N3 at ts=1
+}
+
+TEST(EarliestArrival, DirectWhenCircuitLive) {
+  const auto sched = fig2_schedule();
+  EarliestArrival ea(sched, 3);
+  // At ts=2 the direct N0-N3 circuit is live: offset 0, single hop.
+  EXPECT_EQ(ea.offset(0, 2), 0);
+  const auto path = ea.extract(0, 2);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hops.size(), 1u);
+  EXPECT_EQ(path->hops[0].dep_slice, 2);
+}
+
+TEST(EarliestArrival, SelfIsZero) {
+  const auto sched = fig2_schedule();
+  EarliestArrival ea(sched, 0);
+  EXPECT_EQ(ea.offset(0, 0), 0);
+  const auto p = ea.extract(0, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->hops.empty());
+}
+
+TEST(EarliestArrival, SatisfiesBellmanEquation) {
+  // Property: the fixpoint obeys offset(m,s) = min(1 + offset(m, s+1),
+  // min over live circuits of [0 if neighbor == d else 1 + offset(v, s+1)]).
+  const auto sched = rotor_schedule(8);
+  for (NodeId d : {1, 4, 7}) {
+    EarliestArrival ea(sched, d);
+    for (NodeId m = 0; m < 8; ++m) {
+      if (m == d) continue;
+      for (SliceId s = 0; s < sched.period(); ++s) {
+        const SliceId s1 = (s + 1) % sched.period();
+        int best = 1 + ea.offset(m, s1);  // wait
+        for (const auto& [v, port] : sched.neighbors(m, s)) {
+          (void)port;
+          if (v == d) {
+            best = std::min(best, 0);
+          } else {
+            best = std::min(best, 1 + ea.offset(v, s1));
+          }
+        }
+        EXPECT_EQ(ea.offset(m, s), best) << m << " " << s << " -> " << d;
+      }
+    }
+  }
+}
+
+TEST(EarliestArrival, NeverWorseThanDirectWait) {
+  const auto sched = rotor_schedule(8);
+  for (NodeId d : {2, 5}) {
+    EarliestArrival ea(sched, d);
+    for (NodeId m = 0; m < 8; ++m) {
+      if (m == d) continue;
+      for (SliceId s = 0; s < sched.period(); ++s) {
+        const auto hop = sched.next_direct(m, d, s);
+        ASSERT_TRUE(hop.has_value());
+        const int direct_wait =
+            (hop->slice - s + sched.period()) % sched.period();
+        EXPECT_LE(ea.offset(m, s), direct_wait);
+      }
+    }
+  }
+}
+
+TEST(EarliestPathHelper, HopBound) {
+  const auto sched = fig2_schedule();
+  // With a 1-hop budget the best option is waiting for the direct circuit
+  // at ts=2; with 2 hops the multi-hop path arrives a slice earlier.
+  const auto p = earliest_path(sched, 0, 3, 0, /*max_hop=*/1);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->hops.size(), 1u);
+  EXPECT_EQ(p->hops[0].dep_slice, 2);
+  const auto q = earliest_path(sched, 0, 3, 0, 2);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->hops.size(), 2u);
+  EXPECT_EQ(q->hops[1].dep_slice, 1);
+}
+
+TEST(EarliestArrival, HopBudgetMonotone) {
+  // More hop budget never hurts the arrival time.
+  const auto sched = rotor_schedule(8);
+  for (NodeId d : {3, 6}) {
+    EarliestArrival tight(sched, d, 1);
+    EarliestArrival loose(sched, d, 4);
+    for (NodeId m = 0; m < 8; ++m) {
+      if (m == d) continue;
+      for (SliceId s = 0; s < sched.period(); ++s) {
+        EXPECT_LE(loose.offset(m, s), tight.offset(m, s));
+      }
+    }
+  }
+}
+
+TEST(EarliestArrival, ExtractRespectsBudget) {
+  const auto sched = rotor_schedule(8);
+  for (int budget : {1, 2, 3}) {
+    EarliestArrival ea(sched, 5, budget);
+    for (SliceId s = 0; s < sched.period(); ++s) {
+      const auto p = ea.extract(0, s);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_LE(static_cast<int>(p->hops.size()), budget);
+    }
+  }
+}
+
+TEST(DirectTo, WaitsForDirectCircuit) {
+  const auto sched = fig2_schedule();
+  const auto paths = direct_to(sched);
+  // Every (src, dst, slice) has exactly one single-hop path.
+  EXPECT_EQ(paths.size(), 4u * 3u * 3u);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.hops.size(), 1u);
+    const auto peer =
+        sched.peer(p.hops[0].node, p.hops[0].egress, p.hops[0].dep_slice);
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_EQ(peer->node, p.dst);
+  }
+}
+
+TEST(Vlb, DirectWhenAvailableElseTwoHop) {
+  const auto sched = fig2_schedule();
+  const auto paths = vlb(sched);
+  for (const auto& p : paths) {
+    ASSERT_GE(p.hops.size(), 1u);
+    ASSERT_LE(p.hops.size(), 2u);
+    if (p.hops.size() == 1 && p.src != kInvalidNode) {
+      // Source-specific direct: the circuit is live in the arrival slice.
+      EXPECT_EQ(p.hops[0].dep_slice, p.start_slice);
+    } else if (p.hops.size() == 2) {
+      // Spray leg leaves immediately.
+      EXPECT_EQ(p.hops[0].dep_slice, p.start_slice);
+      EXPECT_EQ(p.src, p.hops[0].node);  // per-source entry
+    }
+    // Wildcard 1-hop paths are the hold-for-direct transit fallback.
+  }
+  // Fallback coverage: a wildcard hold-for-direct entry exists for every
+  // (node, arrival slice, destination) — cross-slice arrivals never miss.
+  std::set<std::tuple<NodeId, SliceId, NodeId>> wildcard;
+  for (const auto& p : paths) {
+    if (p.src == kInvalidNode && p.hops.size() == 1) {
+      wildcard.insert({p.hops[0].node, p.start_slice, p.dst});
+    }
+  }
+  EXPECT_EQ(wildcard.size(), 4u * 3u * 3u);
+  // N0 at ts=0 to N3: no direct circuit; spray via N1.
+  bool found_spray = false;
+  for (const auto& p : paths) {
+    if (p.src == 0 && p.dst == 3 && p.start_slice == 0 &&
+        p.hops.size() == 2) {
+      found_spray = true;
+      EXPECT_EQ(p.hops[1].node, 1);
+      EXPECT_EQ(p.hops[1].dep_slice, 1);
+    }
+  }
+  EXPECT_TRUE(found_spray);
+}
+
+TEST(Opera, PathsStayInOneSlice) {
+  const auto sched = rotor_schedule(8, 2);
+  const auto paths = opera(sched);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    for (const auto& h : p.hops) {
+      EXPECT_EQ(h.dep_slice, p.start_slice);  // same-slice expander hops
+    }
+  }
+  // With 2 phase-shifted uplinks every slice's topology should reach every
+  // destination from every source (expander property at n=8).
+  std::set<std::tuple<NodeId, NodeId, SliceId>> covered;
+  for (const auto& p : paths) {
+    covered.insert({p.hops[0].node, p.dst, p.start_slice});
+  }
+  EXPECT_EQ(covered.size(),
+            static_cast<std::size_t>(8 * 7 * sched.period()));
+}
+
+TEST(Hoho, PathsAchieveEarliestArrival) {
+  const auto sched = rotor_schedule(8);
+  const auto paths = hoho(sched, /*max_hops=*/2);
+  for (const auto& p : paths) {
+    EarliestArrival ea(sched, p.dst, 2);
+    const int best = ea.offset(p.hops[0].node, p.start_slice);
+    // Path arrival offset: last hop's dep slice relative to start.
+    const int arrival =
+        (p.hops.back().dep_slice - p.start_slice + sched.period()) %
+        sched.period();
+    EXPECT_EQ(arrival, best);
+  }
+}
+
+TEST(Ucmp, WeightsAreUniformAndPathsNearOptimal) {
+  const auto sched = rotor_schedule(8);
+  const auto paths = ucmp(sched, /*max_paths=*/4, /*slack=*/0);
+  ASSERT_FALSE(paths.empty());
+  // Group by (first node, dst, slice): weights uniform, sum to 1.
+  std::map<std::tuple<NodeId, NodeId, SliceId>, std::vector<double>> groups;
+  for (const auto& p : paths) {
+    groups[{p.hops[0].node, p.dst, p.start_slice}].push_back(p.weight);
+  }
+  for (const auto& [key, ws] : groups) {
+    double sum = 0;
+    for (double w : ws) {
+      EXPECT_DOUBLE_EQ(w, ws[0]);  // uniform cost
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // And each path achieves the optimum (slack 0) within the hop budget.
+  for (const auto& p : paths) {
+    EarliestArrival ea(sched, p.dst, 2);
+    const int best = ea.offset(p.hops[0].node, p.start_slice);
+    const int arrival =
+        (p.hops.back().dep_slice - p.start_slice + sched.period()) %
+        sched.period();
+    EXPECT_LE(arrival, best);
+  }
+}
+
+optics::Schedule static_line(int n) {
+  // 0-1-2-...-(n-1) chain on a static schedule, 2 ports per node.
+  optics::Schedule s(n, 2, 1, SimTime::seconds(3600));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    s.add_circuit({i, 1, static_cast<NodeId>(i + 1), 0, kAnySlice});
+  }
+  return s;
+}
+
+TEST(Ecmp, ShortestPathsOnChain) {
+  const auto sched = static_line(4);
+  const auto paths = ecmp(sched);
+  // Path from 0 to 3 must have 3 hops.
+  bool found = false;
+  for (const auto& p : paths) {
+    if (p.hops[0].node == 0 && p.dst == 3) {
+      found = true;
+      EXPECT_EQ(p.hops.size(), 3u);
+      for (const auto& h : p.hops) EXPECT_EQ(h.dep_slice, kAnySlice);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EcmpWcmp, ParallelCircuitHandling) {
+  // Two parallel circuits 0<->1: ECMP collapses to one option per
+  // neighbor; WCMP keeps both ports.
+  optics::Schedule s(2, 2, 1, SimTime::seconds(3600));
+  s.add_circuit({0, 0, 1, 0, kAnySlice});
+  s.add_circuit({0, 1, 1, 1, kAnySlice});
+  const auto e = ecmp(s);
+  const auto w = wcmp(s);
+  auto count_first_hops = [](const std::vector<Path>& ps, NodeId from) {
+    int c = 0;
+    for (const auto& p : ps) {
+      if (p.hops[0].node == from) ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count_first_hops(e, 0), 1);
+  EXPECT_EQ(count_first_hops(w, 0), 2);
+}
+
+TEST(Ksp, FindsDisjointAlternatives) {
+  // Diamond: 0-1-3 and 0-2-3.
+  optics::Schedule s(4, 2, 1, SimTime::seconds(3600));
+  s.add_circuit({0, 0, 1, 0, kAnySlice});
+  s.add_circuit({0, 1, 2, 0, kAnySlice});
+  s.add_circuit({1, 1, 3, 0, kAnySlice});
+  s.add_circuit({2, 1, 3, 1, kAnySlice});
+  const auto paths = ksp(s, 2);
+  int from0to3 = 0;
+  for (const auto& p : paths) {
+    if (p.hops[0].node == 0 && p.dst == 3) {
+      ++from0to3;
+      EXPECT_EQ(p.hops.size(), 2u);
+      EXPECT_DOUBLE_EQ(p.weight, 0.5);
+    }
+  }
+  EXPECT_EQ(from0to3, 2);  // both diamond arms found
+}
+
+TEST(Ksp, SinglePathWhenNoAlternative) {
+  const auto sched = static_line(3);
+  const auto paths = ksp(sched, 3);
+  int from0to2 = 0;
+  for (const auto& p : paths) {
+    if (p.hops[0].node == 0 && p.dst == 2) {
+      ++from0to2;
+      EXPECT_DOUBLE_EQ(p.weight, 1.0);
+    }
+  }
+  EXPECT_EQ(from0to2, 1);
+}
+
+TEST(ElectricalDefault, CoversAllPairs) {
+  const auto paths = electrical_default(4);
+  EXPECT_EQ(paths.size(), 12u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops.size(), 1u);
+    EXPECT_EQ(p.hops[0].egress, core::kElectricalEgress);
+  }
+}
+
+}  // namespace
+}  // namespace oo::routing

@@ -1,0 +1,134 @@
+#include "eventsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oo::sim {
+namespace {
+
+using namespace oo::literals;
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3_us, [&]() { order.push_back(3); });
+  s.schedule_at(1_us, [&]() { order.push_back(1); });
+  s.schedule_at(2_us, [&]() { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_us);
+}
+
+TEST(Simulator, TiesBreakByInsertion) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(1_us, [&order, i]() { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  SimTime seen;
+  s.schedule_at(5_us, [&]() {
+    s.schedule_in(2_us, [&]() { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 7_us);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1_us, [&]() { ++fired; });
+  s.schedule_at(10_us, [&]() { ++fired; });
+  s.run_until(5_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_us);
+  s.run_until(20_us);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenEmpty) {
+  Simulator s;
+  s.run_until(42_us);
+  EXPECT_EQ(s.now(), 42_us);
+}
+
+TEST(Simulator, Cancellation) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1_us, [&]() { ++fired; });
+  s.schedule_at(500_ns, [&h]() { h.cancel(); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1_us, [&]() { ++fired; });
+  s.run();
+  h.cancel();  // must not crash
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, PeriodicTimer) {
+  Simulator s;
+  int ticks = 0;
+  s.schedule_every(10_us, 10_us, [&]() { ++ticks; });
+  s.run_until(55_us);
+  EXPECT_EQ(ticks, 5);  // at 10,20,30,40,50
+}
+
+TEST(Simulator, PeriodicCancelStops) {
+  Simulator s;
+  int ticks = 0;
+  auto h = s.schedule_every(10_us, 10_us, [&]() { ++ticks; });
+  s.schedule_at(35_us, [&h]() { h.cancel(); });
+  s.run_until(100_us);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, StopInsideEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1_us, [&]() {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2_us, [&]() { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledFromEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) s.schedule_in(1_ns, recurse);
+  };
+  s.schedule_at(SimTime::zero(), recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.events_executed(), 100);
+}
+
+TEST(Simulator, SameTimeSelfSchedule) {
+  // Scheduling at `now` from within an event must still run (FIFO order).
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(1_us, [&]() {
+    s.schedule_at(s.now(), [&]() { ran = true; });
+  });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace oo::sim

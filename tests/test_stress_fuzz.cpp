@@ -1,0 +1,187 @@
+// Stress and fuzz coverage: event-engine determinism at scale, JSON
+// round-trip fuzzing, link jitter bounds, and schedule invariants under
+// random construction.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "eventsim/simulator.h"
+#include "net/link.h"
+#include "optics/schedule.h"
+
+namespace oo {
+namespace {
+
+using namespace oo::literals;
+
+TEST(StressEventEngine, LargeCascadeDeterministic) {
+  auto run = []() {
+    sim::Simulator s;
+    Rng rng(99);
+    std::uint64_t checksum = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+      checksum = checksum * 1099511628211ULL ^
+                 static_cast<std::uint64_t>(s.now().ns());
+      if (depth <= 0) return;
+      const int fanout = 1 + static_cast<int>(rng.uniform(3));
+      for (int i = 0; i < fanout; ++i) {
+        s.schedule_in(SimTime::nanos(1 + rng.uniform(1000)),
+                      [&spawn, depth]() { spawn(depth - 1); });
+      }
+    };
+    for (int i = 0; i < 2000; ++i) {
+      s.schedule_at(SimTime::nanos(i), [&spawn]() { spawn(4); });
+    }
+    s.run();
+    return std::pair<std::uint64_t, std::int64_t>(checksum,
+                                                  s.events_executed());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.second, 50000);
+}
+
+TEST(StressEventEngine, CancellationStorm) {
+  sim::Simulator s;
+  int fired = 0;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 10000; ++i) {
+    handles.push_back(
+        s.schedule_at(SimTime::nanos(100 + i), [&]() { ++fired; }));
+  }
+  // Cancel every other one.
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  s.run();
+  EXPECT_EQ(fired, 5000);
+}
+
+TEST(JsonFuzz, RandomValuesRoundTrip) {
+  Rng rng(31337);
+  std::function<json::Value(int)> gen = [&](int depth) -> json::Value {
+    const double x = rng.uniform01();
+    if (depth <= 0 || x < 0.25) {
+      switch (rng.uniform(4)) {
+        case 0: return json::Value{static_cast<std::int64_t>(
+            rng.uniform_i64(-1'000'000, 1'000'000))};
+        case 1: return json::Value{rng.uniform01() * 1e6 - 5e5};
+        case 2: return json::Value{rng.uniform01() < 0.5};
+        default: {
+          std::string s;
+          const auto len = rng.uniform(12);
+          for (std::uint32_t i = 0; i < len; ++i) {
+            s += static_cast<char>('a' + rng.uniform(26));
+          }
+          if (rng.uniform01() < 0.2) s += "\"\\\n\t";
+          return json::Value{s};
+        }
+      }
+    }
+    if (x < 0.6) {
+      json::Array arr;
+      const auto len = rng.uniform(5);
+      for (std::uint32_t i = 0; i < len; ++i) arr.push_back(gen(depth - 1));
+      return json::Value{std::move(arr)};
+    }
+    json::Object obj;
+    const auto len = rng.uniform(5);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      obj.emplace("k" + std::to_string(i), gen(depth - 1));
+    }
+    return json::Value{std::move(obj)};
+  };
+  for (int round = 0; round < 200; ++round) {
+    const auto v = gen(3);
+    const auto compact = v.dump();
+    const auto pretty = v.dump(2);
+    // Round-trips parse and re-dump identically (canonical form).
+    EXPECT_EQ(json::parse(compact).dump(), compact) << compact;
+    EXPECT_EQ(json::parse(pretty).dump(), compact);
+  }
+}
+
+TEST(JsonFuzz, GarbageNeverCrashes) {
+  Rng rng(777);
+  const std::string alphabet = "{}[]\",:0123456789.eE+-truefalsn \n\t\\";
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    const auto len = rng.uniform(40);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      text += alphabet[rng.uniform(
+          static_cast<std::uint32_t>(alphabet.size()))];
+    }
+    try {
+      (void)json::parse(text);  // either parses or throws ParseError
+    } catch (const json::ParseError&) {
+    } catch (const std::runtime_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(LinkJitter, BoundedAndVarying) {
+  sim::Simulator s;
+  std::vector<SimTime> arrivals;
+  net::Link link(s, 100e9, 1_us, [&](net::Packet&&) {
+    arrivals.push_back(s.now());
+  });
+  link.set_jitter(50_ns, Rng{5});
+  for (int i = 0; i < 200; ++i) {
+    s.schedule_at(SimTime::micros(10 * i), [&]() {
+      net::Packet p;
+      p.size_bytes = 1500;
+      link.transmit(std::move(p));
+    });
+  }
+  s.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  std::set<std::int64_t> offsets;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    // Arrival = send + 120ns serialization + 1us prop + jitter[0,50].
+    const std::int64_t base =
+        static_cast<std::int64_t>(i) * 10'000 + 120 + 1000;
+    const std::int64_t off = arrivals[i].ns() - base;
+    EXPECT_GE(off, 0);
+    EXPECT_LE(off, 50);
+    offsets.insert(off);
+  }
+  EXPECT_GT(offsets.size(), 5u);  // jitter actually varies
+}
+
+TEST(ScheduleFuzz, RandomCircuitsNeverCorruptInvariants) {
+  Rng rng(4242);
+  for (int round = 0; round < 50; ++round) {
+    const int n = 4 + 2 * static_cast<int>(rng.uniform(5));
+    const int uplinks = 1 + static_cast<int>(rng.uniform(3));
+    const SliceId period = 1 + static_cast<SliceId>(rng.uniform(8));
+    optics::Schedule sched(n, uplinks, period, 100_us);
+    int accepted = 0;
+    for (int i = 0; i < 100; ++i) {
+      optics::Circuit c{
+          static_cast<NodeId>(rng.uniform(static_cast<std::uint32_t>(n + 1)) - 0),
+          static_cast<PortId>(rng.uniform(static_cast<std::uint32_t>(uplinks + 1))),
+          static_cast<NodeId>(rng.uniform(static_cast<std::uint32_t>(n + 1))),
+          static_cast<PortId>(rng.uniform(static_cast<std::uint32_t>(uplinks + 1))),
+          static_cast<SliceId>(rng.uniform(static_cast<std::uint32_t>(period + 1))) -
+              (rng.uniform01() < 0.2 ? 1 : 0)};
+      const bool feasible = sched.feasible(c);
+      const bool added = sched.add_circuit(c);
+      EXPECT_EQ(feasible, added);
+      if (added) ++accepted;
+    }
+    EXPECT_EQ(sched.circuits().size(), static_cast<std::size_t>(accepted));
+    // Symmetry invariant: peer(peer(x)) == x for every installed circuit.
+    for (const auto& c : sched.circuits()) {
+      const SliceId lo = c.slice == kAnySlice ? 0 : c.slice;
+      const auto p = sched.peer(c.a, c.a_port, lo);
+      ASSERT_TRUE(p.has_value());
+      const auto q = sched.peer(p->node, p->port, lo);
+      ASSERT_TRUE(q.has_value());
+      EXPECT_EQ(q->node, c.a);
+      EXPECT_EQ(q->port, c.a_port);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oo

@@ -1,0 +1,192 @@
+// TDTCP-lite per-phase congestion state and optical-fabric failure
+// injection.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "routing/ta_routing.h"
+#include "routing/to_routing.h"
+#include "topo/round_robin.h"
+#include "transport/tcp_lite.h"
+#include "transport/tdtcp.h"
+
+namespace oo {
+namespace {
+
+using namespace oo::literals;
+using core::Controller;
+using core::LookupMode;
+using core::MultipathMode;
+using core::Network;
+using core::NetworkConfig;
+
+std::unique_ptr<Network> make_electrical(int tors = 2) {
+  NetworkConfig cfg;
+  cfg.num_tors = tors;
+  cfg.calendar_mode = false;
+  cfg.electrical_bw = 100e9;
+  optics::Schedule sched(tors, 1, 1, SimTime::seconds(3600));
+  auto net = std::make_unique<Network>(cfg, sched, optics::ocs_emulated());
+  Controller ctl(*net);
+  ctl.deploy_routing(routing::electrical_default(tors), LookupMode::PerHop,
+                     MultipathMode::None);
+  net->start();
+  return net;
+}
+
+std::unique_ptr<Network> make_rotor(int tors, int uplinks = 1) {
+  NetworkConfig cfg;
+  cfg.num_tors = tors;
+  cfg.calendar_mode = true;
+  optics::Schedule sched(tors, uplinks, topo::round_robin_period(tors),
+                         100_us);
+  for (const auto& c : topo::round_robin_1d(tors, uplinks)) {
+    sched.add_circuit(c);
+  }
+  auto net = std::make_unique<Network>(cfg, sched, optics::ocs_emulated());
+  Controller ctl(*net);
+  ctl.deploy_routing(routing::direct_to(net->schedule()), LookupMode::PerHop,
+                     MultipathMode::None);
+  net->start();
+  return net;
+}
+
+TEST(Tdtcp, SaturatesCleanPath) {
+  auto net = make_electrical();
+  transport::TcpConfig cfg;
+  cfg.app_rate_cap = 40e9;
+  transport::TdtcpLite tcp(*net, 0, 1, cfg);
+  tcp.start();
+  net->sim().run_until(20_ms);
+  EXPECT_GT(tcp.goodput_bps(), 25e9);
+  EXPECT_LE(tcp.goodput_bps(), 41e9);
+  EXPECT_EQ(tcp.reorder_events(), 0);
+  EXPECT_EQ(tcp.phases(), 1);  // period-1 schedule: one phase
+}
+
+TEST(Tdtcp, OnePhasePerScheduleSlice) {
+  auto net = make_rotor(8);
+  transport::TcpConfig cfg;
+  transport::TdtcpLite tcp(*net, 0, 4, cfg);
+  EXPECT_EQ(tcp.phases(), 7);
+}
+
+TEST(Tdtcp, DeliversOverRotor) {
+  auto net = make_rotor(4);
+  transport::TcpConfig cfg;
+  cfg.app_rate_cap = 20e9;
+  transport::TdtcpLite tcp(*net, 0, 2, cfg);
+  tcp.start();
+  net->sim().run_until(50_ms);
+  EXPECT_GT(tcp.acked_bytes(), 1 << 20);
+}
+
+TEST(Tdtcp, PhaseWindowsGrowWithAckedData) {
+  auto net = make_rotor(4);
+  transport::TcpConfig cfg;
+  cfg.init_cwnd = 10;
+  transport::TdtcpLite tcp(*net, 0, 2, cfg);
+  tcp.start();
+  net->sim().run_until(50_ms);
+  // Every phase sends (packets park in calendar queues until the direct
+  // slice) and each phase's window grows on its own acks.
+  double grown = 0;
+  for (int ph = 0; ph < tcp.phases(); ++ph) {
+    grown = std::max(grown, tcp.cwnd_of(ph));
+  }
+  EXPECT_GT(grown, 10.0);
+  EXPECT_GT(tcp.acked_bytes(), 0);
+}
+
+TEST(FailureInjection, FailedPortDropsTraffic) {
+  auto net = make_rotor(4);
+  int got = 0;
+  net->host(1).bind_flow(1, [&](core::Packet&&) { ++got; });
+  auto send = [&]() {
+    core::Packet p;
+    p.type = core::PacketType::Data;
+    p.flow = 1;
+    p.dst_host = 1;
+    p.size_bytes = 1500;
+    net->host(0).send(std::move(p));
+  };
+  net->sim().schedule_at(10_us, send);
+  net->sim().run_until(2_ms);
+  EXPECT_EQ(got, 1);
+
+  net->optical().set_port_failed(0, 0, true);
+  EXPECT_TRUE(net->optical().port_failed(0, 0));
+  net->sim().schedule_at(net->sim().now() + 10_us, send);
+  net->sim().run_until(net->sim().now() + 2_ms);
+  EXPECT_EQ(got, 1);  // lost in the dark fiber
+  EXPECT_GT(net->optical().drops_failed(), 0);
+}
+
+TEST(FailureInjection, PeerSideFailureAlsoKillsCircuit) {
+  auto net = make_rotor(4);
+  int got = 0;
+  net->host(1).bind_flow(1, [&](core::Packet&&) { ++got; });
+  // Fail the RECEIVER's transceiver; sender port is healthy.
+  net->optical().set_port_failed(1, 0, true);
+  net->sim().schedule_at(10_us, [&]() {
+    core::Packet p;
+    p.type = core::PacketType::Data;
+    p.flow = 1;
+    p.dst_host = 1;
+    p.size_bytes = 1500;
+    net->host(0).send(std::move(p));
+  });
+  net->sim().run_until(2_ms);
+  EXPECT_EQ(got, 0);
+  EXPECT_GT(net->optical().drops_failed(), 0);
+}
+
+TEST(FailureInjection, ClearingFailureRestoresService) {
+  auto net = make_rotor(4);
+  int got = 0;
+  net->host(1).bind_flow(1, [&](core::Packet&&) { ++got; });
+  net->optical().set_port_failed(0, 0, true);
+  auto send = [&]() {
+    core::Packet p;
+    p.type = core::PacketType::Data;
+    p.flow = 1;
+    p.dst_host = 1;
+    p.size_bytes = 1500;
+    net->host(0).send(std::move(p));
+  };
+  net->sim().schedule_at(10_us, send);
+  net->sim().run_until(2_ms);
+  EXPECT_EQ(got, 0);
+  net->optical().set_port_failed(0, 0, false);
+  net->sim().schedule_at(net->sim().now() + 10_us, send);
+  net->sim().run_until(net->sim().now() + 2_ms);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(FailureInjection, MultiUplinkSurvivesSingleTransceiverLoss) {
+  // With 2 uplinks a failed transceiver halves direct opportunities but
+  // direct routing still reaches every destination within a cycle.
+  auto net = make_rotor(8, 2);
+  net->optical().set_port_failed(0, 0, true);
+  int got = 0;
+  net->host(4).bind_flow(1, [&](core::Packet&&) { ++got; });
+  // Direct entries pick specific uplinks per slice; some transmissions die
+  // on the dark port, but retransmission-free delivery still happens when
+  // the surviving port's slice carries the packet. Send several packets
+  // across different slices.
+  for (int i = 0; i < 14; ++i) {
+    net->sim().schedule_at(SimTime::micros(10 + 100 * i), [&]() {
+      core::Packet p;
+      p.type = core::PacketType::Data;
+      p.flow = 1;
+      p.dst_host = 4;
+      p.size_bytes = 1500;
+      net->host(0).send(std::move(p));
+    });
+  }
+  net->sim().run_until(5_ms);
+  EXPECT_GT(got, 0);                             // some arrive via port 1
+  EXPECT_GT(net->optical().drops_failed(), 0);  // some died on port 0
+}
+
+}  // namespace
+}  // namespace oo

@@ -1,0 +1,83 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+
+namespace oo {
+namespace {
+
+using namespace oo::literals;
+
+TEST(SimTime, LiteralsAndConversions) {
+  EXPECT_EQ((1_us).ns(), 1000);
+  EXPECT_EQ((1_ms).ns(), 1'000'000);
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_us).ms(), 2.5);
+  EXPECT_DOUBLE_EQ((1500_ms).sec(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(2_us + 3_us, 5_us);
+  EXPECT_EQ(5_us - 3_us, 2_us);
+  EXPECT_EQ(2_us * 3, 6_us);
+  EXPECT_EQ(3 * 2_us, 6_us);
+  EXPECT_EQ(7_us / (2_us), 3);
+  EXPECT_EQ(7_us % (2_us), 1_us);
+  SimTime t = 1_us;
+  t += 500_ns;
+  EXPECT_EQ(t, 1500_ns);
+  t -= 1_us;
+  EXPECT_EQ(t, 500_ns);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_LE(2_ns, 2_ns);
+  EXPECT_GT(1_us, 999_ns);
+  EXPECT_EQ(SimTime::zero(), 0_ns);
+  EXPECT_LT(SimTime::zero(), SimTime::max());
+}
+
+TEST(SimTime, NegativeValues) {
+  const SimTime neg = 1_us - 3_us;
+  EXPECT_EQ(neg.ns(), -2000);
+  EXPECT_LT(neg, SimTime::zero());
+}
+
+TEST(SimTime, StringFormat) {
+  EXPECT_EQ((500_ns).str(), "500ns");
+  EXPECT_EQ((1500_ns).str(), "1.500us");
+  EXPECT_EQ((2500_us).str(), "2.500ms");
+  EXPECT_EQ((1500_ms).str(), "1.500s");
+}
+
+TEST(Units, SerializationNs) {
+  // 1500 B at 100 Gbps = 120 ns exactly.
+  EXPECT_EQ(serialization_ns(1500, 100e9), 120);
+  // Rounds up: 1 B at 100 Gbps = 0.08 ns -> 1 ns.
+  EXPECT_EQ(serialization_ns(1, 100e9), 1);
+  EXPECT_EQ(serialization_ns(0, 100e9), 0);
+  // 9000 B at 10 Gbps = 7200 ns.
+  EXPECT_EQ(serialization_ns(9000, 10e9), 7200);
+}
+
+TEST(Units, BytesInNs) {
+  // 100 Gbps = 12.5 B/ns.
+  EXPECT_EQ(bytes_in_ns(100, 100e9), 1250);
+  EXPECT_EQ(bytes_in_ns(0, 100e9), 0);
+  // Floor behaviour.
+  EXPECT_EQ(bytes_in_ns(1, 10e9), 1);
+}
+
+TEST(Units, RoundTripBound) {
+  // serialization_ns(bytes_in_ns(t)) <= t (floor then ceil stays within).
+  for (std::int64_t t : {50, 100, 777, 12345}) {
+    const auto b = bytes_in_ns(t, 100e9);
+    EXPECT_LE(serialization_ns(b, 100e9), t + 1);
+  }
+}
+
+}  // namespace
+}  // namespace oo

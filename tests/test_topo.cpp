@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/bvn.h"
+#include "topo/jupiter.h"
+#include "topo/matching.h"
+#include "topo/sorn.h"
+#include "topo/traffic_matrix.h"
+
+namespace oo::topo {
+namespace {
+
+TrafficMatrix uniform_tm(int n, double v = 1.0) {
+  TrafficMatrix tm(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) tm.at(i, j) = v;
+  return tm;
+}
+
+TEST(TrafficMatrix, Basics) {
+  TrafficMatrix tm(3);
+  tm.at(0, 1) = 5;
+  tm.at(1, 0) = 3;
+  EXPECT_DOUBLE_EQ(tm.pair_demand(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(tm.pair_demand(1, 0), 8.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 8.0);
+  EXPECT_FALSE(tm.empty());
+  EXPECT_TRUE(TrafficMatrix{}.empty());
+}
+
+TEST(TrafficMatrix, FromBytes) {
+  std::vector<std::vector<std::int64_t>> bytes = {{0, 10}, {20, 0}};
+  const auto tm = TrafficMatrix::from_bytes(bytes);
+  EXPECT_DOUBLE_EQ(tm.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(tm.at(1, 0), 20.0);
+}
+
+TEST(Matching, PicksHeaviestPairs) {
+  TrafficMatrix tm(4);
+  tm.at(0, 3) = 100;  // heavy
+  tm.at(1, 2) = 90;
+  tm.at(0, 1) = 5;
+  tm.at(2, 3) = 5;
+  const auto m = greedy_max_matching(tm);
+  ASSERT_EQ(m.size(), 2u);
+  std::set<std::pair<NodeId, NodeId>> pairs(m.begin(), m.end());
+  EXPECT_TRUE(pairs.count({0, 3}));
+  EXPECT_TRUE(pairs.count({1, 2}));
+}
+
+TEST(Matching, TwoOptImprovesGreedyTrap) {
+  // Greedy takes (1,2)=10 first, leaving (0,3)=1; optimal pairs (0,1)+(2,3)
+  // = 9+9 = 18 beats greedy's 11. 2-opt should find the swap.
+  TrafficMatrix tm(4);
+  tm.at(1, 2) = 10;
+  tm.at(0, 1) = 9;
+  tm.at(2, 3) = 9;
+  tm.at(0, 3) = 1;
+  const auto m = greedy_max_matching(tm);
+  double total = 0;
+  for (const auto& [a, b] : m) total += tm.pair_demand(a, b);
+  EXPECT_GE(total, 18.0);
+}
+
+TEST(Matching, IgnoresZeroDemand) {
+  TrafficMatrix tm(4);
+  tm.at(0, 1) = 5;
+  const auto m = greedy_max_matching(tm);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (std::pair<NodeId, NodeId>{0, 1}));
+}
+
+TEST(Edmonds, OneMatchingPerUplink) {
+  auto tm = uniform_tm(6, 100.0);
+  const auto circuits = edmonds(tm, /*uplinks=*/2, /*capacity=*/50.0);
+  // Each uplink yields up to 3 circuits on 6 nodes.
+  EXPECT_GE(circuits.size(), 5u);
+  std::set<std::pair<NodeId, PortId>> used;
+  for (const auto& c : circuits) {
+    EXPECT_EQ(c.slice, kAnySlice);
+    EXPECT_TRUE(used.insert({c.a, c.a_port}).second);
+    EXPECT_TRUE(used.insert({c.b, c.b_port}).second);
+  }
+}
+
+TEST(Bvn, DecomposesUniformDemand) {
+  const auto comps = bvn_decompose(uniform_tm(6), 8);
+  ASSERT_FALSE(comps.empty());
+  double total = 0;
+  for (const auto& c : comps) {
+    EXPECT_GT(c.coefficient, 0.0);
+    total += c.coefficient;
+    // Each component is a valid permutation.
+    std::set<int> seen(c.perm.begin(), c.perm.end());
+    EXPECT_EQ(seen.size(), c.perm.size());
+  }
+  EXPECT_LE(total, 1.0 + 1e-6);
+  EXPECT_GT(total, 0.5);  // covers the bulk
+}
+
+TEST(Bvn, SkewedDemandGetsMoreSlices) {
+  TrafficMatrix tm = uniform_tm(4, 1.0);
+  tm.at(0, 1) = 1000.0;
+  tm.at(1, 0) = 1000.0;
+  const SliceId period = 12;
+  const auto circuits = bvn(tm, period);
+  int hot = 0;
+  std::set<SliceId> slices;
+  for (const auto& c : circuits) {
+    slices.insert(c.slice);
+    const bool is01 = (c.a == 0 && c.b == 1) || (c.a == 1 && c.b == 0);
+    if (is01) ++hot;
+  }
+  // The hot pair appears in well over its uniform share of slices.
+  EXPECT_GT(hot, static_cast<int>(period) / 3);
+  EXPECT_LE(static_cast<SliceId>(slices.size()), period);
+}
+
+TEST(Bvn, CircuitsAreFeasible) {
+  const SliceId period = 8;
+  const auto circuits = bvn(uniform_tm(6), period);
+  optics::Schedule s(6, 1, period, SimTime::micros(100));
+  for (const auto& c : circuits) {
+    EXPECT_TRUE(s.add_circuit(c)) << c.a << "-" << c.b << "@" << c.slice;
+  }
+}
+
+TEST(Jupiter, ColdStartIsUniformMesh) {
+  const auto circuits = jupiter(TrafficMatrix{}, 8, 3);
+  EXPECT_EQ(circuits.size(), 3u * 4u);  // 3 matchings x 4 pairs
+  optics::Schedule s(8, 3, 1, SimTime::seconds(1));
+  for (const auto& c : circuits) EXPECT_TRUE(s.add_circuit(c));
+  // Every node has exactly 3 distinct neighbors.
+  for (NodeId n = 0; n < 8; ++n) {
+    std::set<NodeId> nbrs;
+    for (const auto& [v, p] : s.neighbors(n, 0)) {
+      (void)p;
+      nbrs.insert(v);
+    }
+    EXPECT_EQ(nbrs.size(), 3u) << "node " << n;
+  }
+}
+
+TEST(Jupiter, HysteresisKeepsIncumbents) {
+  // Demand slightly favors a rewire, but within the hysteresis band the
+  // incumbent circuits survive.
+  auto prev = jupiter(TrafficMatrix{}, 4, 1);
+  ASSERT_EQ(prev.size(), 2u);
+  TrafficMatrix tm(4);
+  for (const auto& c : prev) {
+    tm.at(c.a, c.b) = 100.0;  // incumbents carry demand
+  }
+  // A competing pairing that is only 10% better.
+  TrafficMatrix tm2 = tm;
+  const auto next = jupiter(tm2, 4, 1, prev, /*hysteresis=*/1.25);
+  std::set<std::pair<NodeId, NodeId>> prev_pairs, next_pairs;
+  for (const auto& c : prev)
+    prev_pairs.insert({std::min(c.a, c.b), std::max(c.a, c.b)});
+  for (const auto& c : next)
+    next_pairs.insert({std::min(c.a, c.b), std::max(c.a, c.b)});
+  EXPECT_EQ(prev_pairs, next_pairs);
+}
+
+TEST(Jupiter, AdaptsToStrongDemandShift) {
+  auto prev = jupiter(TrafficMatrix{}, 4, 1);
+  TrafficMatrix tm(4);
+  // Demand strongly on a pairing different from the mesh.
+  tm.at(0, 2) = 1000.0;
+  tm.at(1, 3) = 1000.0;
+  const auto next = jupiter(tm, 4, 1, prev);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& c : next)
+    pairs.insert({std::min(c.a, c.b), std::max(c.a, c.b)});
+  EXPECT_TRUE(pairs.count({0, 2}));
+  EXPECT_TRUE(pairs.count({1, 3}));
+}
+
+TEST(Sorn, AllocatesPeriodExactly) {
+  TrafficMatrix tm = uniform_tm(6);
+  tm.at(0, 1) = 500.0;  // hotspot
+  const SliceId period = 15;
+  const auto circuits = sorn(tm, 6, period);
+  std::set<SliceId> slices;
+  for (const auto& c : circuits) slices.insert(c.slice);
+  EXPECT_EQ(slices.size(), static_cast<std::size_t>(period));
+  // Feasible as one schedule.
+  optics::Schedule s(6, 1, period, SimTime::micros(100));
+  for (const auto& c : circuits) ASSERT_TRUE(s.add_circuit(c));
+  // Hot pair gets more direct slices than a cold pair.
+  int hot = 0, cold = 0;
+  for (SliceId t = 0; t < period; ++t) {
+    for (const auto& [v, p] : s.neighbors(0, t)) {
+      (void)p;
+      if (v == 1) ++hot;
+    }
+    for (const auto& [v, p] : s.neighbors(2, t)) {
+      (void)p;
+      if (v == 3) ++cold;
+    }
+  }
+  EXPECT_GT(hot, cold);
+  EXPECT_GE(cold, 1);  // universal connectivity floor
+}
+
+TEST(Sorn, UniformDemandDegeneratesToRoundRobin) {
+  const SliceId period = 5;
+  const auto circuits = sorn(uniform_tm(6), 6, period);
+  // 5 matchings, one slice each.
+  std::set<SliceId> slices;
+  for (const auto& c : circuits) slices.insert(c.slice);
+  EXPECT_EQ(slices.size(), 5u);
+}
+
+}  // namespace
+}  // namespace oo::topo
