@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_response.dir/ablation_response.cpp.o"
+  "CMakeFiles/ablation_response.dir/ablation_response.cpp.o.d"
+  "ablation_response"
+  "ablation_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

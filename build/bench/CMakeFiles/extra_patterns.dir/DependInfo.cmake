@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_patterns.cpp" "bench/CMakeFiles/extra_patterns.dir/extra_patterns.cpp.o" "gcc" "bench/CMakeFiles/extra_patterns.dir/extra_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/oo_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/oo_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/oo_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/oo_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/oo_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/oo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/oo_resource.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_patterns.dir/extra_patterns.cpp.o"
+  "CMakeFiles/extra_patterns.dir/extra_patterns.cpp.o.d"
+  "extra_patterns"
+  "extra_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fct.dir/fig08_fct.cpp.o"
+  "CMakeFiles/fig08_fct.dir/fig08_fct.cpp.o.d"
+  "fig08_fct"
+  "fig08_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

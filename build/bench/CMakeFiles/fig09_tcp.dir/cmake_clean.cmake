@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tcp.dir/fig09_tcp.cpp.o"
+  "CMakeFiles/fig09_tcp.dir/fig09_tcp.cpp.o.d"
+  "fig09_tcp"
+  "fig09_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

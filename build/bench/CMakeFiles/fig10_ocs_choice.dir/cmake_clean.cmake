@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ocs_choice.dir/fig10_ocs_choice.cpp.o"
+  "CMakeFiles/fig10_ocs_choice.dir/fig10_ocs_choice.cpp.o.d"
+  "fig10_ocs_choice"
+  "fig10_ocs_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ocs_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

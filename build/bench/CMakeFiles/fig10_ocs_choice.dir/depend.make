@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_ocs_choice.
+# This may be replaced when dependencies are built.

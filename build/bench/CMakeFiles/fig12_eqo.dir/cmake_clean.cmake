@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_eqo.dir/fig12_eqo.cpp.o"
+  "CMakeFiles/fig12_eqo.dir/fig12_eqo.cpp.o.d"
+  "fig12_eqo"
+  "fig12_eqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_eqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_offload_rtt.dir/fig14_offload_rtt.cpp.o"
+  "CMakeFiles/fig14_offload_rtt.dir/fig14_offload_rtt.cpp.o.d"
+  "fig14_offload_rtt"
+  "fig14_offload_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_offload_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

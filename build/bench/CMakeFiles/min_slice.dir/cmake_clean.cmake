@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_slice.dir/min_slice.cpp.o"
+  "CMakeFiles/min_slice.dir/min_slice.cpp.o.d"
+  "min_slice"
+  "min_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_buffer.dir/table3_buffer.cpp.o"
+  "CMakeFiles/table3_buffer.dir/table3_buffer.cpp.o.d"
+  "table3_buffer"
+  "table3_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pushback.dir/table4_pushback.cpp.o"
+  "CMakeFiles/table4_pushback.dir/table4_pushback.cpp.o.d"
+  "table4_pushback"
+  "table4_pushback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pushback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

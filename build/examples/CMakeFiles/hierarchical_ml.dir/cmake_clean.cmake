@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_ml.dir/hierarchical_ml.cpp.o"
+  "CMakeFiles/hierarchical_ml.dir/hierarchical_ml.cpp.o.d"
+  "hierarchical_ml"
+  "hierarchical_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_evolving.dir/jupiter_evolving.cpp.o"
+  "CMakeFiles/jupiter_evolving.dir/jupiter_evolving.cpp.o.d"
+  "jupiter_evolving"
+  "jupiter_evolving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_evolving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

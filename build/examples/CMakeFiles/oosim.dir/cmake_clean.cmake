@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosim.dir/oosim.cpp.o"
+  "CMakeFiles/oosim.dir/oosim.cpp.o.d"
+  "oosim"
+  "oosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_oblivious.dir/semi_oblivious.cpp.o"
+  "CMakeFiles/semi_oblivious.dir/semi_oblivious.cpp.o.d"
+  "semi_oblivious"
+  "semi_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semi_oblivious.
+# This may be replaced when dependencies are built.

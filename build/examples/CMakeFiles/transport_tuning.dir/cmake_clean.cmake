@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_tuning.dir/transport_tuning.cpp.o"
+  "CMakeFiles/transport_tuning.dir/transport_tuning.cpp.o.d"
+  "transport_tuning"
+  "transport_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("eventsim")
+subdirs("net")
+subdirs("optics")
+subdirs("core")
+subdirs("topo")
+subdirs("routing")
+subdirs("services")
+subdirs("transport")
+subdirs("workload")
+subdirs("arch")
+subdirs("api")
+subdirs("resource")

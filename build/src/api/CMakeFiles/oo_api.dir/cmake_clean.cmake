@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_api.dir/openoptics.cpp.o"
+  "CMakeFiles/oo_api.dir/openoptics.cpp.o.d"
+  "liboo_api.a"
+  "liboo_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

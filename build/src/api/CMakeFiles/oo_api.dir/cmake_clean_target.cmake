@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboo_api.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_arch.dir/arch.cpp.o"
+  "CMakeFiles/oo_arch.dir/arch.cpp.o.d"
+  "liboo_arch.a"
+  "liboo_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_common.dir/json.cpp.o"
+  "CMakeFiles/oo_common.dir/json.cpp.o.d"
+  "CMakeFiles/oo_common.dir/log.cpp.o"
+  "CMakeFiles/oo_common.dir/log.cpp.o.d"
+  "CMakeFiles/oo_common.dir/rng.cpp.o"
+  "CMakeFiles/oo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/oo_common.dir/stats.cpp.o"
+  "CMakeFiles/oo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oo_common.dir/time.cpp.o"
+  "CMakeFiles/oo_common.dir/time.cpp.o.d"
+  "liboo_common.a"
+  "liboo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

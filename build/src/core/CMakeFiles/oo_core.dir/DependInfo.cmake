@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calendar_queue.cpp" "src/core/CMakeFiles/oo_core.dir/calendar_queue.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/calendar_queue.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/oo_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/eqo.cpp" "src/core/CMakeFiles/oo_core.dir/eqo.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/eqo.cpp.o.d"
+  "/root/repo/src/core/guardband.cpp" "src/core/CMakeFiles/oo_core.dir/guardband.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/guardband.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/oo_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/sync.cpp" "src/core/CMakeFiles/oo_core.dir/sync.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/sync.cpp.o.d"
+  "/root/repo/src/core/time_flow_table.cpp" "src/core/CMakeFiles/oo_core.dir/time_flow_table.cpp.o" "gcc" "src/core/CMakeFiles/oo_core.dir/time_flow_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

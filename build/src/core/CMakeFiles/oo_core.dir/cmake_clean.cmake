@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_core.dir/calendar_queue.cpp.o"
+  "CMakeFiles/oo_core.dir/calendar_queue.cpp.o.d"
+  "CMakeFiles/oo_core.dir/controller.cpp.o"
+  "CMakeFiles/oo_core.dir/controller.cpp.o.d"
+  "CMakeFiles/oo_core.dir/eqo.cpp.o"
+  "CMakeFiles/oo_core.dir/eqo.cpp.o.d"
+  "CMakeFiles/oo_core.dir/guardband.cpp.o"
+  "CMakeFiles/oo_core.dir/guardband.cpp.o.d"
+  "CMakeFiles/oo_core.dir/network.cpp.o"
+  "CMakeFiles/oo_core.dir/network.cpp.o.d"
+  "CMakeFiles/oo_core.dir/sync.cpp.o"
+  "CMakeFiles/oo_core.dir/sync.cpp.o.d"
+  "CMakeFiles/oo_core.dir/time_flow_table.cpp.o"
+  "CMakeFiles/oo_core.dir/time_flow_table.cpp.o.d"
+  "liboo_core.a"
+  "liboo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_eventsim.dir/simulator.cpp.o"
+  "CMakeFiles/oo_eventsim.dir/simulator.cpp.o.d"
+  "liboo_eventsim.a"
+  "liboo_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/electrical_fabric.cpp" "src/net/CMakeFiles/oo_net.dir/electrical_fabric.cpp.o" "gcc" "src/net/CMakeFiles/oo_net.dir/electrical_fabric.cpp.o.d"
+  "/root/repo/src/net/fifo_queue.cpp" "src/net/CMakeFiles/oo_net.dir/fifo_queue.cpp.o" "gcc" "src/net/CMakeFiles/oo_net.dir/fifo_queue.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/oo_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/oo_net.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

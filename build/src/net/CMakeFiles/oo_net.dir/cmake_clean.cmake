@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_net.dir/electrical_fabric.cpp.o"
+  "CMakeFiles/oo_net.dir/electrical_fabric.cpp.o.d"
+  "CMakeFiles/oo_net.dir/fifo_queue.cpp.o"
+  "CMakeFiles/oo_net.dir/fifo_queue.cpp.o.d"
+  "CMakeFiles/oo_net.dir/link.cpp.o"
+  "CMakeFiles/oo_net.dir/link.cpp.o.d"
+  "liboo_net.a"
+  "liboo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

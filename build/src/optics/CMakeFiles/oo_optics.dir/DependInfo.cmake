@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/fabric.cpp" "src/optics/CMakeFiles/oo_optics.dir/fabric.cpp.o" "gcc" "src/optics/CMakeFiles/oo_optics.dir/fabric.cpp.o.d"
+  "/root/repo/src/optics/schedule.cpp" "src/optics/CMakeFiles/oo_optics.dir/schedule.cpp.o" "gcc" "src/optics/CMakeFiles/oo_optics.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_optics.dir/fabric.cpp.o"
+  "CMakeFiles/oo_optics.dir/fabric.cpp.o.d"
+  "CMakeFiles/oo_optics.dir/schedule.cpp.o"
+  "CMakeFiles/oo_optics.dir/schedule.cpp.o.d"
+  "liboo_optics.a"
+  "liboo_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_resource.dir/tofino.cpp.o"
+  "CMakeFiles/oo_resource.dir/tofino.cpp.o.d"
+  "liboo_resource.a"
+  "liboo_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

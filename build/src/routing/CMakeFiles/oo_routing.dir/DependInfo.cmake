@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ta_routing.cpp" "src/routing/CMakeFiles/oo_routing.dir/ta_routing.cpp.o" "gcc" "src/routing/CMakeFiles/oo_routing.dir/ta_routing.cpp.o.d"
+  "/root/repo/src/routing/time_expanded.cpp" "src/routing/CMakeFiles/oo_routing.dir/time_expanded.cpp.o" "gcc" "src/routing/CMakeFiles/oo_routing.dir/time_expanded.cpp.o.d"
+  "/root/repo/src/routing/to_routing.cpp" "src/routing/CMakeFiles/oo_routing.dir/to_routing.cpp.o" "gcc" "src/routing/CMakeFiles/oo_routing.dir/to_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

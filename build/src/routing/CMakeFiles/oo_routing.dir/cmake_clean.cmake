@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_routing.dir/ta_routing.cpp.o"
+  "CMakeFiles/oo_routing.dir/ta_routing.cpp.o.d"
+  "CMakeFiles/oo_routing.dir/time_expanded.cpp.o"
+  "CMakeFiles/oo_routing.dir/time_expanded.cpp.o.d"
+  "CMakeFiles/oo_routing.dir/to_routing.cpp.o"
+  "CMakeFiles/oo_routing.dir/to_routing.cpp.o.d"
+  "liboo_routing.a"
+  "liboo_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

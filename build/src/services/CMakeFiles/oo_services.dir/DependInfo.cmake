@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/circuit_gate.cpp" "src/services/CMakeFiles/oo_services.dir/circuit_gate.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/circuit_gate.cpp.o.d"
+  "/root/repo/src/services/collector.cpp" "src/services/CMakeFiles/oo_services.dir/collector.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/collector.cpp.o.d"
+  "/root/repo/src/services/export.cpp" "src/services/CMakeFiles/oo_services.dir/export.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/export.cpp.o.d"
+  "/root/repo/src/services/failure_recovery.cpp" "src/services/CMakeFiles/oo_services.dir/failure_recovery.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/failure_recovery.cpp.o.d"
+  "/root/repo/src/services/flow_aging.cpp" "src/services/CMakeFiles/oo_services.dir/flow_aging.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/flow_aging.cpp.o.d"
+  "/root/repo/src/services/hybrid_steering.cpp" "src/services/CMakeFiles/oo_services.dir/hybrid_steering.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/hybrid_steering.cpp.o.d"
+  "/root/repo/src/services/monitor.cpp" "src/services/CMakeFiles/oo_services.dir/monitor.cpp.o" "gcc" "src/services/CMakeFiles/oo_services.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/oo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_services.dir/circuit_gate.cpp.o"
+  "CMakeFiles/oo_services.dir/circuit_gate.cpp.o.d"
+  "CMakeFiles/oo_services.dir/collector.cpp.o"
+  "CMakeFiles/oo_services.dir/collector.cpp.o.d"
+  "CMakeFiles/oo_services.dir/export.cpp.o"
+  "CMakeFiles/oo_services.dir/export.cpp.o.d"
+  "CMakeFiles/oo_services.dir/failure_recovery.cpp.o"
+  "CMakeFiles/oo_services.dir/failure_recovery.cpp.o.d"
+  "CMakeFiles/oo_services.dir/flow_aging.cpp.o"
+  "CMakeFiles/oo_services.dir/flow_aging.cpp.o.d"
+  "CMakeFiles/oo_services.dir/hybrid_steering.cpp.o"
+  "CMakeFiles/oo_services.dir/hybrid_steering.cpp.o.d"
+  "CMakeFiles/oo_services.dir/monitor.cpp.o"
+  "CMakeFiles/oo_services.dir/monitor.cpp.o.d"
+  "liboo_services.a"
+  "liboo_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

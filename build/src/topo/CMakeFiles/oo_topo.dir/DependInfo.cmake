@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bvn.cpp" "src/topo/CMakeFiles/oo_topo.dir/bvn.cpp.o" "gcc" "src/topo/CMakeFiles/oo_topo.dir/bvn.cpp.o.d"
+  "/root/repo/src/topo/jupiter.cpp" "src/topo/CMakeFiles/oo_topo.dir/jupiter.cpp.o" "gcc" "src/topo/CMakeFiles/oo_topo.dir/jupiter.cpp.o.d"
+  "/root/repo/src/topo/matching.cpp" "src/topo/CMakeFiles/oo_topo.dir/matching.cpp.o" "gcc" "src/topo/CMakeFiles/oo_topo.dir/matching.cpp.o.d"
+  "/root/repo/src/topo/round_robin.cpp" "src/topo/CMakeFiles/oo_topo.dir/round_robin.cpp.o" "gcc" "src/topo/CMakeFiles/oo_topo.dir/round_robin.cpp.o.d"
+  "/root/repo/src/topo/sorn.cpp" "src/topo/CMakeFiles/oo_topo.dir/sorn.cpp.o" "gcc" "src/topo/CMakeFiles/oo_topo.dir/sorn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_topo.dir/bvn.cpp.o"
+  "CMakeFiles/oo_topo.dir/bvn.cpp.o.d"
+  "CMakeFiles/oo_topo.dir/jupiter.cpp.o"
+  "CMakeFiles/oo_topo.dir/jupiter.cpp.o.d"
+  "CMakeFiles/oo_topo.dir/matching.cpp.o"
+  "CMakeFiles/oo_topo.dir/matching.cpp.o.d"
+  "CMakeFiles/oo_topo.dir/round_robin.cpp.o"
+  "CMakeFiles/oo_topo.dir/round_robin.cpp.o.d"
+  "CMakeFiles/oo_topo.dir/sorn.cpp.o"
+  "CMakeFiles/oo_topo.dir/sorn.cpp.o.d"
+  "liboo_topo.a"
+  "liboo_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

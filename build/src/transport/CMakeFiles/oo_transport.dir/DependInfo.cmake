@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/flow_transfer.cpp" "src/transport/CMakeFiles/oo_transport.dir/flow_transfer.cpp.o" "gcc" "src/transport/CMakeFiles/oo_transport.dir/flow_transfer.cpp.o.d"
+  "/root/repo/src/transport/tcp_lite.cpp" "src/transport/CMakeFiles/oo_transport.dir/tcp_lite.cpp.o" "gcc" "src/transport/CMakeFiles/oo_transport.dir/tcp_lite.cpp.o.d"
+  "/root/repo/src/transport/tdtcp.cpp" "src/transport/CMakeFiles/oo_transport.dir/tdtcp.cpp.o" "gcc" "src/transport/CMakeFiles/oo_transport.dir/tdtcp.cpp.o.d"
+  "/root/repo/src/transport/trim_retx.cpp" "src/transport/CMakeFiles/oo_transport.dir/trim_retx.cpp.o" "gcc" "src/transport/CMakeFiles/oo_transport.dir/trim_retx.cpp.o.d"
+  "/root/repo/src/transport/udp_probe.cpp" "src/transport/CMakeFiles/oo_transport.dir/udp_probe.cpp.o" "gcc" "src/transport/CMakeFiles/oo_transport.dir/udp_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

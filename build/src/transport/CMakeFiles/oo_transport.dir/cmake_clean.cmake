@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_transport.dir/flow_transfer.cpp.o"
+  "CMakeFiles/oo_transport.dir/flow_transfer.cpp.o.d"
+  "CMakeFiles/oo_transport.dir/tcp_lite.cpp.o"
+  "CMakeFiles/oo_transport.dir/tcp_lite.cpp.o.d"
+  "CMakeFiles/oo_transport.dir/tdtcp.cpp.o"
+  "CMakeFiles/oo_transport.dir/tdtcp.cpp.o.d"
+  "CMakeFiles/oo_transport.dir/trim_retx.cpp.o"
+  "CMakeFiles/oo_transport.dir/trim_retx.cpp.o.d"
+  "CMakeFiles/oo_transport.dir/udp_probe.cpp.o"
+  "CMakeFiles/oo_transport.dir/udp_probe.cpp.o.d"
+  "liboo_transport.a"
+  "liboo_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

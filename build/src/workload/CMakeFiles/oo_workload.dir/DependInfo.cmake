@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/allreduce.cpp" "src/workload/CMakeFiles/oo_workload.dir/allreduce.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/allreduce.cpp.o.d"
+  "/root/repo/src/workload/kv.cpp" "src/workload/CMakeFiles/oo_workload.dir/kv.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/kv.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/oo_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/patterns.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/workload/CMakeFiles/oo_workload.dir/trace_file.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/trace_file.cpp.o.d"
+  "/root/repo/src/workload/traces.cpp" "src/workload/CMakeFiles/oo_workload.dir/traces.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/traces.cpp.o.d"
+  "/root/repo/src/workload/transfer_pool.cpp" "src/workload/CMakeFiles/oo_workload.dir/transfer_pool.cpp.o" "gcc" "src/workload/CMakeFiles/oo_workload.dir/transfer_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/oo_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_workload.dir/allreduce.cpp.o"
+  "CMakeFiles/oo_workload.dir/allreduce.cpp.o.d"
+  "CMakeFiles/oo_workload.dir/kv.cpp.o"
+  "CMakeFiles/oo_workload.dir/kv.cpp.o.d"
+  "CMakeFiles/oo_workload.dir/patterns.cpp.o"
+  "CMakeFiles/oo_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/oo_workload.dir/trace_file.cpp.o"
+  "CMakeFiles/oo_workload.dir/trace_file.cpp.o.d"
+  "CMakeFiles/oo_workload.dir/traces.cpp.o"
+  "CMakeFiles/oo_workload.dir/traces.cpp.o.d"
+  "CMakeFiles/oo_workload.dir/transfer_pool.cpp.o"
+  "CMakeFiles/oo_workload.dir/transfer_pool.cpp.o.d"
+  "liboo_workload.a"
+  "liboo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/oo_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_arch2.cpp" "tests/CMakeFiles/oo_tests.dir/test_arch2.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_arch2.cpp.o.d"
+  "/root/repo/tests/test_calendar_eqo.cpp" "tests/CMakeFiles/oo_tests.dir/test_calendar_eqo.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_calendar_eqo.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/oo_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_eqo_sweep.cpp" "tests/CMakeFiles/oo_tests.dir/test_eqo_sweep.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_eqo_sweep.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/oo_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/oo_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/oo_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/oo_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_misc_api.cpp" "tests/CMakeFiles/oo_tests.dir/test_misc_api.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_misc_api.cpp.o.d"
+  "/root/repo/tests/test_monitor2.cpp" "tests/CMakeFiles/oo_tests.dir/test_monitor2.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_monitor2.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/oo_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/oo_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_paper_semantics.cpp" "tests/CMakeFiles/oo_tests.dir/test_paper_semantics.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_paper_semantics.cpp.o.d"
+  "/root/repo/tests/test_patterns_recovery.cpp" "tests/CMakeFiles/oo_tests.dir/test_patterns_recovery.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_patterns_recovery.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/oo_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_resource_api.cpp" "tests/CMakeFiles/oo_tests.dir/test_resource_api.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_resource_api.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/oo_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/oo_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/oo_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_services.cpp" "tests/CMakeFiles/oo_tests.dir/test_services.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_services.cpp.o.d"
+  "/root/repo/tests/test_shale.cpp" "tests/CMakeFiles/oo_tests.dir/test_shale.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_shale.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/oo_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/oo_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stress_fuzz.cpp" "tests/CMakeFiles/oo_tests.dir/test_stress_fuzz.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_stress_fuzz.cpp.o.d"
+  "/root/repo/tests/test_tdtcp_failure.cpp" "tests/CMakeFiles/oo_tests.dir/test_tdtcp_failure.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_tdtcp_failure.cpp.o.d"
+  "/root/repo/tests/test_tft.cpp" "tests/CMakeFiles/oo_tests.dir/test_tft.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_tft.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/oo_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/oo_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/oo_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/oo_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_trim_retx.cpp" "tests/CMakeFiles/oo_tests.dir/test_trim_retx.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_trim_retx.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/oo_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/oo_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/oo_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/oo_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/oo_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/oo_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/oo_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/oo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/oo_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/oo_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/oo_resource.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
