@@ -1,0 +1,115 @@
+// Robustness bench: how fast the event-driven recovery loop turns a dark
+// port into a repaired topology. Part 1 drives repeated fail/repair cycles
+// under traffic and reports detection latency (LOS debounce), MTTR, and
+// availability. Part 2 wall-clocks a single recover_now() — prune, reroute,
+// validate, redeploy — as the fabric grows, to show the control-plane cost
+// of a recovery scales with network size, not with traffic.
+#include <chrono>
+#include <cstdio>
+
+#include "arch/arch.h"
+#include "bench/bench_util.h"
+#include "routing/to_routing.h"
+#include "services/failure_recovery.h"
+#include "services/fault_plan.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+arch::Instance rotor_instance(int tors) {
+  arch::Params p;
+  p.tors = tors;
+  p.hosts_per_tor = 1;
+  p.uplinks = 2;
+  p.slice = 100_us;
+  auto inst = arch::make_rotornet(p, arch::RotorRouting::Direct);
+  return inst;
+}
+
+services::FailureRecovery::RerouteFn direct_reroute() {
+  return [](const optics::Schedule& s) { return routing::direct_to(s); };
+}
+
+void steady_traffic(arch::Instance& inst) {
+  inst.net->sim().schedule_every(50_us, 100_us, [net = inst.net.get()]() {
+    for (HostId src : {HostId{0}, HostId{1}, HostId{2}, HostId{3}}) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 100 + src;
+      pkt.dst_host = (src + 5) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+}
+
+void fail_repair_cycles() {
+  auto inst = rotor_instance(16);
+  services::FailureRecovery recovery(*inst.net, *inst.ctl, direct_reroute(),
+                                     /*scrub=*/SimTime::zero());
+  recovery.start();
+  steady_traffic(inst);
+
+  // Three ports flapping out of phase: every down edge is a detection +
+  // reroute, every up edge a re-admission (both count as recoveries).
+  services::FaultPlan plan(*inst.net, /*seed=*/42);
+  plan.flap_port(5_ms, 0, 0, /*down=*/3_ms, /*period=*/20_ms, /*cycles=*/8,
+                 /*jitter=*/0.2);
+  plan.flap_port(9_ms, 5, 1, /*down=*/5_ms, /*period=*/25_ms, /*cycles=*/6,
+                 /*jitter=*/0.2);
+  plan.flap_port(14_ms, 11, 0, /*down=*/2_ms, /*period=*/30_ms, /*cycles=*/5,
+                 /*jitter=*/0.2);
+  plan.arm();
+
+  inst.run_for(200_ms);
+
+  const auto& fab = inst.net->optical();
+  std::printf("16-ToR rotor, 200 ms, %lld flap transitions injected\n",
+              static_cast<long long>(
+                  plan.injected(services::FaultKind::LinkFlap)));
+  bench::fct_row("detect latency", recovery.detect_latency_us());
+  bench::fct_row("mttr", recovery.mttr_us());
+  std::printf("  recoveries=%d retries=%d availability=%.4f "
+              "drops: failed=%lld total=%lld\n",
+              recovery.recoveries(), recovery.retries(),
+              recovery.availability(),
+              static_cast<long long>(fab.drops_failed()),
+              static_cast<long long>(fab.total_drops()));
+}
+
+void recover_now_wall_clock() {
+  std::printf("\nrecover_now() wall clock (prune + reroute + validate + "
+              "deploy), one failed port:\n");
+  for (const int tors : {8, 16, 32, 64}) {
+    auto inst = rotor_instance(tors);
+    services::FailureRecovery recovery(*inst.net, *inst.ctl, direct_reroute(),
+                                       /*scrub=*/SimTime::zero());
+    recovery.start();
+    inst.net->optical().set_port_failed(0, 0, true);
+    const int kReps = 50;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) recovery.recover_now();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+    std::printf("  tors=%-3d circuits=%-5zu  %8.1f us/call\n", tors,
+                inst.net->schedule().circuits().size(), us);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Recovery time: LOS detection -> reroute -> redeploy under link flaps",
+      "detection = transceiver LOS debounce (~1 us), traffic-independent; "
+      "MTTR tracks flap hold time for repairs and reroute latency for "
+      "masking; recovery compute grows with fabric size, stays well under "
+      "a MEMS retargeting window");
+
+  fail_repair_cycles();
+  recover_now_wall_clock();
+  return 0;
+}

@@ -25,11 +25,21 @@ bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
   return true;
 }
 
+bool Controller::control_plane_up() const {
+  if (!deploy_fail_) return true;
+  last_error_ = "control plane unavailable (injected fault)";
+  ++const_cast<Controller*>(this)->deploys_rejected_;
+  return false;
+}
+
 bool Controller::deploy_topo(const std::vector<optics::Circuit>& circuits,
                              SliceId period, SimTime reconfig_delay) {
+  if (!control_plane_up()) return false;
   optics::Schedule sched;
   if (!compile_schedule(circuits, period, sched)) return false;
-  net_.reconfigure(std::move(sched), reconfig_delay);
+  // Injected controller latency delays the start of the retargeting the
+  // same way a slow controller round-trip would.
+  net_.reconfigure(std::move(sched), reconfig_delay + deploy_delay_);
   return true;
 }
 
@@ -68,15 +78,22 @@ bool Controller::check_path(const Path& path,
   return true;
 }
 
-bool Controller::deploy_routing(const std::vector<Path>& paths,
-                                LookupMode lookup, MultipathMode multipath,
-                                int priority,
-                                const optics::Schedule* validate_against) {
+bool Controller::validate_routing(const std::vector<Path>& paths,
+                                  const optics::Schedule* validate_against) {
+  if (!control_plane_up()) return false;
   const optics::Schedule& sched =
       validate_against != nullptr ? *validate_against : net_.schedule();
   for (const auto& p : paths) {
     if (!check_path(p, sched)) return false;
   }
+  return true;
+}
+
+bool Controller::deploy_routing(const std::vector<Path>& paths,
+                                LookupMode lookup, MultipathMode multipath,
+                                int priority,
+                                const optics::Schedule* validate_against) {
+  if (!validate_routing(paths, validate_against)) return false;
 
   // Merge per-(node, match) action sets so parallel paths become one
   // multipath entry. Identical actions merge by summing their weights.
@@ -135,16 +152,28 @@ bool Controller::deploy_routing(const std::vector<Path>& paths,
     }
   }
 
+  std::vector<std::pair<NodeId, TftEntry>> installs;
+  installs.reserve(merged.size());
   for (auto& [key, actions] : merged) {
     const auto [node, arr, src, dst] = key;
     TftEntry entry;
     entry.match = TftMatch{arr, src, dst};
     entry.actions = std::move(actions);
     entry.priority = priority;
-    net_.tor(node).tft().add(std::move(entry));
+    installs.emplace_back(node, std::move(entry));
   }
-  for (NodeId n = 0; n < net_.num_tors(); ++n) {
-    net_.tor(n).set_multipath(multipath);
+  auto install = [this, installs = std::move(installs), multipath]() mutable {
+    for (auto& [node, entry] : installs) {
+      net_.tor(node).tft().add(std::move(entry));
+    }
+    for (NodeId n = 0; n < net_.num_tors(); ++n) {
+      net_.tor(n).set_multipath(multipath);
+    }
+  };
+  if (deploy_delay_ > SimTime::zero()) {
+    net_.sim().schedule_in(deploy_delay_, std::move(install));
+  } else {
+    install();
   }
   return true;
 }
@@ -161,6 +190,12 @@ bool Controller::add(const TftEntry& entry, NodeId node) {
 void Controller::clear_routing() {
   for (NodeId n = 0; n < net_.num_tors(); ++n) {
     net_.tor(n).tft().clear();
+  }
+}
+
+void Controller::clear_priority(int priority) {
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    net_.tor(n).tft().remove_priority(priority);
   }
 }
 

@@ -41,19 +41,43 @@ class Controller {
                       MultipathMode multipath, int priority = 0,
                       const optics::Schedule* validate_against = nullptr);
 
+  // Feasibility check only: would deploy_routing accept these paths right
+  // now? Lets callers (failure recovery) validate before tearing down a
+  // superseded overlay, so a rejected deploy never leaves the table bare.
+  bool validate_routing(const std::vector<Path>& paths,
+                        const optics::Schedule* validate_against = nullptr);
+
   // add(Entry, node) -> bool: direct entry installation (debugging, Tab. 1).
   bool add(const TftEntry& entry, NodeId node);
 
   // Drops all routing state on every node (used before re-deploys in tests).
   void clear_routing();
+  // Removes every time-flow entry installed at exactly `priority` on every
+  // node — clears a superseded routing overlay.
+  void clear_priority(int priority);
+
+  // Control-plane fault injection (the SDN-controller robustness dimension):
+  // while `deploy_fail` is set every deploy_* is rejected with last_error()
+  // explaining why; `deploy_delay` adds controller/southbound latency before
+  // a deploy takes effect (routing entries install late, topology
+  // retargeting starts late).
+  void set_deploy_delay(SimTime d) { deploy_delay_ = d; }
+  SimTime deploy_delay() const { return deploy_delay_; }
+  void set_deploy_fail(bool f) { deploy_fail_ = f; }
+  bool deploy_fail() const { return deploy_fail_; }
+  std::int64_t deploys_rejected() const { return deploys_rejected_; }
 
   const std::string& last_error() const { return last_error_; }
 
  private:
   bool check_path(const Path& path, const optics::Schedule& sched) const;
+  bool control_plane_up() const;
 
   Network& net_;
   mutable std::string last_error_;
+  SimTime deploy_delay_ = SimTime::zero();
+  bool deploy_fail_ = false;
+  std::int64_t deploys_rejected_ = 0;
 };
 
 }  // namespace oo::core

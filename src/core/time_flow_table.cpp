@@ -27,6 +27,16 @@ void TimeFlowTable::remove(const TftMatch& m) {
   entries_.erase(key_of(m.arr_slice, m.src, m.dst));
 }
 
+void TimeFlowTable::remove_priority(int priority) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.priority == priority) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void TimeFlowTable::clear() { entries_.clear(); }
 
 const TftEntry* TimeFlowTable::lookup(SliceId arr_slice, NodeId src,

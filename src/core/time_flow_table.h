@@ -51,6 +51,9 @@ class TimeFlowTable {
   void add(TftEntry entry);
   // Removes every entry whose match equals `m` (any priority).
   void remove(const TftMatch& m);
+  // Removes every entry installed at exactly `priority` — clearing a
+  // superseded routing overlay (e.g. a stale failure-recovery deploy).
+  void remove_priority(int priority);
   void clear();
 
   // Longest-prefix-of-specificity lookup: (arr,src) exact beats (arr,*)

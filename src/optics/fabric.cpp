@@ -1,6 +1,7 @@
 #include "optics/fabric.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace oo::optics {
 
@@ -56,11 +57,48 @@ OpticalFabric::OpticalFabric(sim::Simulator& s, Schedule schedule,
   failed_ports_.assign(static_cast<std::size_t>(schedule_.num_nodes()) *
                            schedule_.uplinks(),
                        0);
+  port_ber_.assign(failed_ports_.size(), 0.0);
 }
 
 void OpticalFabric::set_port_failed(NodeId node, PortId port, bool failed) {
-  failed_ports_.at(static_cast<std::size_t>(node) * schedule_.uplinks() +
-                   static_cast<std::size_t>(port)) = failed ? 1 : 0;
+  auto& slot =
+      failed_ports_.at(static_cast<std::size_t>(node) * schedule_.uplinks() +
+                       static_cast<std::size_t>(port));
+  const bool was = slot != 0;
+  if (was == failed) return;  // no light transition, no alarm
+  slot = failed ? 1 : 0;
+  const SimTime at = sim_.now();
+  sim_.schedule_in(profile_.los_detect_latency,
+                   [this, node, port, at, failed]() {
+                     const auto& listeners =
+                         failed ? down_listeners_ : up_listeners_;
+                     for (const auto& fn : listeners) fn(node, port, at);
+                   });
+}
+
+void OpticalFabric::set_port_ber(NodeId node, PortId port, double ber) {
+  port_ber_.at(static_cast<std::size_t>(node) * schedule_.uplinks() +
+               static_cast<std::size_t>(port)) = ber;
+}
+
+double OpticalFabric::port_ber(NodeId node, PortId port) const {
+  return port_ber_[static_cast<std::size_t>(node) * schedule_.uplinks() +
+                   static_cast<std::size_t>(port)];
+}
+
+bool OpticalFabric::stall_reconfig(SimTime extra) {
+  if (!reconfiguring() || extra <= SimTime::zero()) return false;
+  switch_done_ += extra;
+  ++reconfig_stalls_;
+  // The commit event scheduled for the original deadline sees the pushed-out
+  // switch_done_ and does nothing; this one lands the stalled retargeting.
+  sim_.schedule_at(switch_done_, [this]() {
+    if (switching_ && sim_.now() >= switch_done_) {
+      schedule_ = next_schedule_;
+      switching_ = false;
+    }
+  });
+  return true;
 }
 
 bool OpticalFabric::port_failed(NodeId node, PortId port) const {
@@ -124,6 +162,15 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
   if (port_failed(from, port) || port_failed(peer->node, peer->port)) {
     ++drops_failed_;
     return;
+  }
+  const double ber = port_ber(from, port) + port_ber(peer->node, peer->port);
+  if (ber > 0.0) {
+    const double bits = static_cast<double>(p.size_bytes) * kBitsPerByte;
+    const double p_corrupt = 1.0 - std::pow(1.0 - ber, bits);
+    if (rng_.uniform01() < p_corrupt) {
+      ++drops_corrupt_;
+      return;
+    }
   }
   const SimTime jitter_span = profile_.latency_max - profile_.latency_min;
   SimTime latency = profile_.latency_min;

@@ -34,6 +34,10 @@ struct OcsProfile {
   // (max - min) is the delivery jitter the guardband must absorb (§7).
   SimTime latency_min = SimTime::nanos(1287);
   SimTime latency_max = SimTime::nanos(1324);
+  // Time between light stopping on a port and the transceiver raising its
+  // loss-of-signal alarm (the on_port_down/on_port_up callbacks). Models
+  // the LOS debounce interval of real optics.
+  SimTime los_detect_latency = SimTime::micros(1);
 };
 
 // A few documented technology presets (Fig. 10's four sampled OCSes).
@@ -80,13 +84,37 @@ class OpticalFabric {
   bool port_failed(NodeId node, PortId port) const;
   std::int64_t drops_failed() const { return drops_failed_; }
 
+  // Loss-of-signal alarms: subscribers are notified `los_detect_latency`
+  // after a port's light state changes, with the SimTime the transition
+  // actually happened (so detection latency is observable). Fires whether
+  // or not traffic touches the port — unlike drop counters, an idle dark
+  // port still raises an alarm.
+  using PortEventFn = std::function<void(NodeId, PortId, SimTime)>;
+  void on_port_down(PortEventFn fn) {
+    down_listeners_.push_back(std::move(fn));
+  }
+  void on_port_up(PortEventFn fn) { up_listeners_.push_back(std::move(fn)); }
+
+  // Transceiver degradation: a nonzero bit-error rate on either endpoint of
+  // a circuit corrupts packets with probability 1-(1-ber)^bits; corrupted
+  // packets are dropped by the receiver's FEC and counted separately.
+  void set_port_ber(NodeId node, PortId port, double ber);
+  double port_ber(NodeId node, PortId port) const;
+  std::int64_t drops_corrupt() const { return drops_corrupt_; }
+
+  // Fault injection: extend an in-progress reconfiguration (a stuck MEMS
+  // retargeting / slow switch-control round-trip). Returns false (no-op)
+  // when no retargeting is in flight.
+  bool stall_reconfig(SimTime extra);
+  std::int64_t reconfig_stalls() const { return reconfig_stalls_; }
+
   std::int64_t delivered() const { return delivered_; }
   std::int64_t drops_no_circuit() const { return drops_no_circuit_; }
   std::int64_t drops_guard() const { return drops_guard_; }
   std::int64_t drops_boundary() const { return drops_boundary_; }
   std::int64_t total_drops() const {
     return drops_no_circuit_ + drops_guard_ + drops_boundary_ +
-           drops_failed_;
+           drops_failed_ + drops_corrupt_;
   }
 
  private:
@@ -102,11 +130,16 @@ class OpticalFabric {
   Rng rng_;
   std::vector<DeliverFn> sinks_;
   std::vector<char> failed_ports_;  // node x port bitmap
+  std::vector<double> port_ber_;    // node x port bit-error rates
+  std::vector<PortEventFn> down_listeners_;
+  std::vector<PortEventFn> up_listeners_;
   std::int64_t delivered_ = 0;
   std::int64_t drops_no_circuit_ = 0;
   std::int64_t drops_guard_ = 0;
   std::int64_t drops_boundary_ = 0;
   std::int64_t drops_failed_ = 0;
+  std::int64_t drops_corrupt_ = 0;
+  std::int64_t reconfig_stalls_ = 0;
 };
 
 }  // namespace oo::optics

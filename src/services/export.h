@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "optics/fabric.h"
+#include "services/failure_recovery.h"
 
 namespace oo::services {
 
@@ -18,6 +20,12 @@ std::string cdf_csv(const PercentileSampler& s, int points = 100,
 std::string summary_csv(
     const std::vector<std::pair<std::string, const PercentileSampler*>>&
         series);
+
+// Robustness summary as "metric,value" rows: per-fault-class fabric drops,
+// failure/repair transition counts, detection-latency and MTTR percentiles
+// (microseconds), retry/recovery counters, and the availability fraction.
+std::string robustness_csv(const FailureRecovery& recovery,
+                           const optics::OpticalFabric& fabric);
 
 // Write `content` to `path` (throws on failure).
 void write_file(const std::string& path, const std::string& content);

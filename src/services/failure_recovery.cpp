@@ -1,24 +1,90 @@
 #include "services/failure_recovery.h"
 
+#include <algorithm>
+
+#include "common/log.h"
+
 namespace oo::services {
 
 void FailureRecovery::start() {
   if (started_) return;
   started_ = true;
-  net_.sim().schedule_every(net_.sim().now() + poll_, poll_, [this]() {
-    const auto drops = net_.optical().drops_failed();
-    if (drops > seen_drops_) {
-      seen_drops_ = drops;
-      recover_now();
-    }
+  started_at_ = net_.sim().now();
+  if (baseline_.num_nodes() == 0) baseline_ = net_.schedule();
+  seen_drops_ = net_.optical().drops_failed();
+
+  // LOS subscription. The fabric keeps its listener for the network's
+  // lifetime; the shared flag lets stop() mute it without unhooking.
+  alive_ = std::make_shared<bool>(true);
+  auto alive = alive_;
+  net_.optical().on_port_down(
+      [this, alive](NodeId n, PortId p, SimTime at) {
+        if (*alive) on_down(n, p, at);
+      });
+  net_.optical().on_port_up([this, alive](NodeId n, PortId p, SimTime at) {
+    if (*alive) on_up(n, p, at);
   });
+
+  if (scrub_ > SimTime::zero()) {
+    // Legacy drop-delta scrub: catches failures injected before start()
+    // (whose LOS alarm fired unheard) once they cost traffic.
+    scrub_handle_ = net_.sim().schedule_every(
+        net_.sim().now() + scrub_, scrub_, [this]() {
+          const auto drops = net_.optical().drops_failed();
+          if (drops > seen_drops_) {
+            seen_drops_ = drops;
+            recover_now();
+          }
+        });
+  }
+}
+
+void FailureRecovery::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (alive_) *alive_ = false;
+  scrub_handle_.cancel();
+  retry_handle_.cancel();
+}
+
+void FailureRecovery::on_down(NodeId node, PortId port, SimTime at) {
+  ++port_downs_;
+  detect_latency_us_.add((net_.sim().now() - at).us());
+  open_incidents_.push_back(Incident{node, port, at});
+  if (failed_count_++ == 0) {
+    degraded_since_ = at;
+    if (degraded_hook_) degraded_hook_(true);
+  }
+  recover_now();
+}
+
+void FailureRecovery::on_up(NodeId node, PortId port, SimTime at) {
+  ++port_ups_;
+  // Incidents on this port still open (recovery never landed — e.g. the
+  // control plane was down the whole outage): the physical repair itself
+  // restores service, so it closes them.
+  for (auto it = open_incidents_.begin(); it != open_incidents_.end();) {
+    if (it->node == node && it->port == port) {
+      mttr_us_.add((at - it->began).us());
+      it = open_incidents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (failed_count_ > 0 && --failed_count_ == 0) {
+    degraded_ns_ += at - degraded_since_;
+    if (degraded_hook_) degraded_hook_(false);
+  }
+  // Auto re-admit the repaired port's circuits from the baseline.
+  recover_now();
 }
 
 optics::Schedule FailureRecovery::healthy_schedule() const {
-  const auto& cur = net_.schedule();
-  optics::Schedule healthy(cur.num_nodes(), cur.uplinks(), cur.period(),
-                           cur.slice_duration());
-  for (const auto& c : cur.circuits()) {
+  const optics::Schedule& base =
+      baseline_.num_nodes() > 0 ? baseline_ : net_.schedule();
+  optics::Schedule healthy(base.num_nodes(), base.uplinks(), base.period(),
+                           base.slice_duration());
+  for (const auto& c : base.circuits()) {
     if (net_.optical().port_failed(c.a, c.a_port) ||
         net_.optical().port_failed(c.b, c.b_port)) {
       continue;  // dark fiber: drop the circuit from the plan
@@ -29,20 +95,71 @@ optics::Schedule FailureRecovery::healthy_schedule() const {
 }
 
 bool FailureRecovery::recover_now() {
+  retry_handle_.cancel();
   auto healthy = healthy_schedule();
   auto paths = reroute_(healthy);
-  if (paths.empty()) return false;
-  // Make-before-break: overlay routes that avoid the failed circuits, then
-  // (logically) retarget the OCS plan. The fabric itself needs no change —
-  // the failed ports already pass no light.
-  if (!ctl_.deploy_routing(paths, core::LookupMode::PerHop,
-                           core::MultipathMode::None, ++priority_,
-                           &healthy)) {
+  if (paths.empty()) {
+    last_error_ = "reroute produced no paths";
+    schedule_retry();
     return false;
   }
-  ctl_.deploy_topo(healthy.circuits(), healthy.period(), SimTime::zero());
+  // Validate before touching the table so a rejected deploy (control-plane
+  // outage, infeasible path) leaves the previous overlay serving traffic.
+  if (!ctl_.validate_routing(paths, &healthy)) {
+    last_error_ = ctl_.last_error();
+    schedule_retry();
+    return false;
+  }
+  // Make-before-break, atomically in simulated time: clearing the
+  // superseded overlay and installing the next one happen inside this one
+  // simulator event, so no packet ever routes in the gap. The fixed
+  // overlay priority keeps recovery from stacking priorities unboundedly.
+  ctl_.clear_priority(overlay_priority_);
+  if (!ctl_.deploy_routing(paths, core::LookupMode::PerHop,
+                           core::MultipathMode::None, overlay_priority_,
+                           &healthy)) {
+    last_error_ = ctl_.last_error();
+    schedule_retry();
+    return false;
+  }
+  if (!ctl_.deploy_topo(healthy.circuits(), healthy.period(),
+                        SimTime::zero())) {
+    last_error_ = ctl_.last_error();
+    schedule_retry();
+    return false;
+  }
+  backoff_ = initial_backoff_;
   ++recoveries_;
+  close_incidents(net_.sim().now());
   return true;
+}
+
+void FailureRecovery::schedule_retry() {
+  if (!started_) return;  // manual recover_now() without start(): no timers
+  ++retries_;
+  retry_handle_ =
+      net_.sim().schedule_in(backoff_, [this]() { recover_now(); });
+  backoff_ = std::min(backoff_ + backoff_, backoff_cap_);
+}
+
+void FailureRecovery::close_incidents(SimTime end) {
+  for (const auto& inc : open_incidents_) {
+    mttr_us_.add((end - inc.began).us());
+  }
+  open_incidents_.clear();
+}
+
+SimTime FailureRecovery::degraded_time() const {
+  SimTime t = degraded_ns_;
+  if (failed_count_ > 0) t += net_.sim().now() - degraded_since_;
+  return t;
+}
+
+double FailureRecovery::availability() const {
+  const SimTime horizon = net_.sim().now() - started_at_;
+  if (horizon <= SimTime::zero()) return 1.0;
+  return 1.0 - static_cast<double>(degraded_time().ns()) /
+                   static_cast<double>(horizon.ns());
 }
 
 }  // namespace oo::services

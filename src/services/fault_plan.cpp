@@ -1,0 +1,222 @@
+#include "services/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oo::services {
+
+namespace {
+
+SimTime us_to_time(double us) {
+  return SimTime::nanos(static_cast<std::int64_t>(us * 1e3));
+}
+
+FaultKind kind_from_name(const std::string& name) {
+  if (name == "port_fail") return FaultKind::PortFail;
+  if (name == "port_repair") return FaultKind::PortRepair;
+  if (name == "link_flap") return FaultKind::LinkFlap;
+  if (name == "ber") return FaultKind::Ber;
+  if (name == "reconfig_stall") return FaultKind::ReconfigStall;
+  if (name == "control_delay") return FaultKind::ControlDelay;
+  if (name == "control_fail") return FaultKind::ControlFail;
+  throw std::runtime_error("unknown fault kind: " + name);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::PortFail:
+      return "port_fail";
+    case FaultKind::PortRepair:
+      return "port_repair";
+    case FaultKind::LinkFlap:
+      return "link_flap";
+    case FaultKind::Ber:
+      return "ber";
+    case FaultKind::ReconfigStall:
+      return "reconfig_stall";
+    case FaultKind::ControlDelay:
+      return "control_delay";
+    case FaultKind::ControlFail:
+      return "control_fail";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent ev) {
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_port(SimTime at, NodeId node, PortId port) {
+  return add({.at = at, .kind = FaultKind::PortFail, .node = node,
+              .port = port});
+}
+
+FaultPlan& FaultPlan::repair_port(SimTime at, NodeId node, PortId port) {
+  return add({.at = at, .kind = FaultKind::PortRepair, .node = node,
+              .port = port});
+}
+
+FaultPlan& FaultPlan::flap_port(SimTime at, NodeId node, PortId port,
+                                SimTime down, SimTime period, int cycles,
+                                double jitter) {
+  return add({.at = at,
+              .kind = FaultKind::LinkFlap,
+              .node = node,
+              .port = port,
+              .duration = down,
+              .period = period,
+              .cycles = cycles,
+              .jitter = jitter});
+}
+
+FaultPlan& FaultPlan::set_ber(SimTime at, NodeId node, PortId port,
+                              double ber) {
+  return add(
+      {.at = at, .kind = FaultKind::Ber, .node = node, .port = port,
+       .ber = ber});
+}
+
+FaultPlan& FaultPlan::stall_reconfig(SimTime at, SimTime extra) {
+  return add({.at = at, .kind = FaultKind::ReconfigStall, .extra = extra});
+}
+
+FaultPlan& FaultPlan::delay_control(SimTime at, SimTime delay,
+                                    SimTime duration) {
+  return add({.at = at,
+              .kind = FaultKind::ControlDelay,
+              .duration = duration,
+              .extra = delay});
+}
+
+FaultPlan& FaultPlan::fail_control(SimTime at, SimTime duration) {
+  return add({.at = at, .kind = FaultKind::ControlFail,
+              .duration = duration});
+}
+
+FaultPlan& FaultPlan::load_json(const std::string& text) {
+  return load_events(json::parse(text));
+}
+
+FaultPlan& FaultPlan::load_events(const json::Value& plan) {
+  for (const auto& e : plan.at("events").as_array()) {
+    FaultEvent ev;
+    ev.kind = kind_from_name(e.at("kind").as_string());
+    ev.at = us_to_time(e.get_double("at_us", 0.0));
+    ev.node = static_cast<NodeId>(e.get_int("node", kInvalidNode));
+    ev.port = static_cast<PortId>(e.get_int("port", kInvalidPort));
+    ev.duration = us_to_time(e.get_double(
+        "duration_us", e.get_double("down_us", 0.0)));
+    ev.period = us_to_time(e.get_double("period_us", 0.0));
+    ev.cycles = static_cast<int>(e.get_int("cycles", 1));
+    ev.jitter = e.get_double("jitter", 0.0);
+    ev.ber = e.get_double("ber", 0.0);
+    ev.extra = us_to_time(e.get_double(
+        "extra_us", e.get_double("delay_us", 0.0)));
+    add(ev);
+  }
+  return *this;
+}
+
+void FaultPlan::arm() {
+  if (armed_) return;
+  armed_ = true;
+  auto& sim = net_.sim();
+  for (const auto& ev : events_) {
+    const SimTime at = std::max(ev.at, sim.now());
+    handles_.push_back(sim.schedule_at(at, [this, ev]() { fire(ev); }));
+  }
+}
+
+void FaultPlan::cancel() {
+  for (auto& h : handles_) h.cancel();
+  handles_.clear();
+}
+
+void FaultPlan::fire(const FaultEvent& ev) {
+  auto& sim = net_.sim();
+  switch (ev.kind) {
+    case FaultKind::PortFail:
+      count(ev.kind);
+      net_.optical().set_port_failed(ev.node, ev.port, true);
+      break;
+    case FaultKind::PortRepair:
+      count(ev.kind);
+      net_.optical().set_port_failed(ev.node, ev.port, false);
+      break;
+    case FaultKind::LinkFlap:
+      flap_cycle(ev, ev.cycles);
+      break;
+    case FaultKind::Ber:
+      count(ev.kind);
+      net_.optical().set_port_ber(ev.node, ev.port, ev.ber);
+      break;
+    case FaultKind::ReconfigStall:
+      // Only counts when a retargeting was actually in flight to stall.
+      if (net_.optical().stall_reconfig(ev.extra)) count(ev.kind);
+      break;
+    case FaultKind::ControlDelay:
+      if (ctl_ == nullptr) break;
+      count(ev.kind);
+      ctl_->set_deploy_delay(ev.extra);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration, [this]() { ctl_->set_deploy_delay(SimTime::zero()); }));
+      }
+      break;
+    case FaultKind::ControlFail:
+      if (ctl_ == nullptr) break;
+      count(ev.kind);
+      ctl_->set_deploy_fail(true);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration, [this]() { ctl_->set_deploy_fail(false); }));
+      }
+      break;
+  }
+}
+
+void FaultPlan::flap_cycle(const FaultEvent& ev, int remaining) {
+  if (remaining <= 0) return;
+  count(FaultKind::LinkFlap);
+  auto& sim = net_.sim();
+  net_.optical().set_port_failed(ev.node, ev.port, true);
+  handles_.push_back(sim.schedule_in(ev.duration, [this, ev]() {
+    net_.optical().set_port_failed(ev.node, ev.port, false);
+  }));
+  if (remaining <= 1) return;
+  SimTime next = ev.period;
+  if (ev.jitter > 0.0) {
+    // Seeded jitter from the plan's own stream: identical seeds replay the
+    // exact same flap timeline.
+    const double f = 1.0 + ev.jitter * (2.0 * rng_.uniform01() - 1.0);
+    next = SimTime::nanos(
+        static_cast<std::int64_t>(static_cast<double>(next.ns()) * f));
+  }
+  if (next <= ev.duration) next = ev.duration + SimTime::nanos(1);
+  handles_.push_back(sim.schedule_in(next, [this, ev, remaining]() {
+    flap_cycle(ev, remaining - 1);
+  }));
+}
+
+std::int64_t FaultPlan::injected_total() const {
+  std::int64_t total = 0;
+  for (const auto n : injected_) total += n;
+  return total;
+}
+
+std::string FaultPlan::summary() const {
+  std::string out;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    if (injected_[static_cast<std::size_t>(k)] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += fault_kind_name(static_cast<FaultKind>(k));
+    out += '=';
+    out += std::to_string(injected_[static_cast<std::size_t>(k)]);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace oo::services

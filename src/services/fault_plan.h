@@ -1,0 +1,107 @@
+// Deterministic, seeded fault-injection engine. A FaultPlan is a timed
+// script of fault events — port fail/repair, periodic link flaps with a
+// configurable duty cycle, BER-driven packet corruption, OCS
+// reconfiguration stalls, and control-plane deploy delay/outage — executed
+// through the discrete-event simulator, so a plan replayed with the same
+// seed reproduces bit-identical drop counters and recovery timestamps.
+// Plans are built programmatically or loaded from JSON (common/json), the
+// same configuration channel as the static hardware description (§4.1).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/network.h"
+
+namespace oo::services {
+
+enum class FaultKind {
+  PortFail,       // transceiver/fiber goes dark
+  PortRepair,     // light restored
+  LinkFlap,       // periodic fail/repair cycles (duty cycle = down/period)
+  Ber,            // set a port's bit-error rate (0 clears it)
+  ReconfigStall,  // extend an in-progress OCS retargeting
+  ControlDelay,   // controller deploys take effect late for a window
+  ControlFail,    // controller rejects every deploy for a window
+};
+inline constexpr int kNumFaultKinds = 7;
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  // Absolute injection time (clamped to now at arm()).
+  SimTime at = SimTime::zero();
+  FaultKind kind = FaultKind::PortFail;
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+  // Flap down-time / control-fault window (0 = sticky).
+  SimTime duration = SimTime::zero();
+  SimTime period = SimTime::zero();  // flap cycle length
+  int cycles = 1;                    // flap repetitions
+  double jitter = 0;  // flap period randomization, fraction of period
+  double ber = 0;     // bit-error rate for Ber events
+  // Stall extension / injected deploy delay.
+  SimTime extra = SimTime::zero();
+};
+
+class FaultPlan {
+ public:
+  // `ctl` is required only for control-plane fault classes.
+  FaultPlan(core::Network& net, std::uint64_t seed,
+            core::Controller* ctl = nullptr)
+      : net_(net), ctl_(ctl), rng_(seed) {}
+
+  FaultPlan& add(FaultEvent ev);
+  // Convenience builders (all times absolute).
+  FaultPlan& fail_port(SimTime at, NodeId node, PortId port);
+  FaultPlan& repair_port(SimTime at, NodeId node, PortId port);
+  // `cycles` fail/repair rounds: down for `down` out of every `period`,
+  // with each cycle's start jittered by ±jitter*period from the plan's rng.
+  FaultPlan& flap_port(SimTime at, NodeId node, PortId port, SimTime down,
+                       SimTime period, int cycles, double jitter = 0.0);
+  FaultPlan& set_ber(SimTime at, NodeId node, PortId port, double ber);
+  FaultPlan& stall_reconfig(SimTime at, SimTime extra);
+  FaultPlan& delay_control(SimTime at, SimTime delay, SimTime duration);
+  FaultPlan& fail_control(SimTime at, SimTime duration);
+
+  // Append events from a JSON plan: {"events": [{"kind": "port_fail",
+  // "at_us": 100, "node": 0, "port": 1}, ...]}. Times are microseconds
+  // (double). Throws json::ParseError / std::runtime_error on bad input.
+  FaultPlan& load_json(const std::string& text);
+  FaultPlan& load_events(const json::Value& plan);
+
+  // Schedule every event on the simulator. Call once, before/while running.
+  void arm();
+  // Cancel all pending injections (in-effect faults stay as they are).
+  void cancel();
+
+  std::size_t size() const { return events_.size(); }
+  bool armed() const { return armed_; }
+
+  // Telemetry: primitive fault actions fired so far, per class.
+  std::int64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  std::int64_t injected_total() const;
+  // "class=count" pairs for logs/CSV.
+  std::string summary() const;
+
+ private:
+  void fire(const FaultEvent& ev);
+  void flap_cycle(const FaultEvent& ev, int remaining);
+  void count(FaultKind k) { ++injected_[static_cast<std::size_t>(k)]; }
+
+  core::Network& net_;
+  core::Controller* ctl_;
+  Rng rng_;
+  std::vector<FaultEvent> events_;
+  std::vector<sim::EventHandle> handles_;
+  std::array<std::int64_t, kNumFaultKinds> injected_{};
+  bool armed_ = false;
+};
+
+}  // namespace oo::services

@@ -6,6 +6,10 @@ void HybridSteering::prepare(core::Packet& p, NodeId src_tor) {
   const bool elephant =
       aging_.observe(p.flow, p.size_bytes, net_.sim().now());
   if (!elephant) return;
+  if (degraded_) {
+    ++diverted_;
+    return;  // reduced optical capacity: leave the elephant on electrical
+  }
   const NodeId dst =
       p.dst_node != kInvalidNode ? p.dst_node : net_.tor_of(p.dst_host);
   if (dst == src_tor) return;

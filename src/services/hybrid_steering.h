@@ -21,6 +21,14 @@ class HybridSteering {
   // packet to the optical uplink.
   void prepare(core::Packet& p, NodeId src_tor);
 
+  // Degraded mode (failure recovery's hook): while optical capacity is
+  // reduced, elephants are NOT pinned to circuits — they ride the default
+  // electrical route alongside the mice until recovery clears the flag.
+  void set_degraded(bool d) { degraded_ = d; }
+  bool degraded() const { return degraded_; }
+  // Elephant packets that stayed electrical because of degraded mode.
+  std::int64_t degraded_diverted() const { return diverted_; }
+
   FlowAging& aging() { return aging_; }
   std::int64_t steered_packets() const { return steered_; }
 
@@ -28,6 +36,8 @@ class HybridSteering {
   core::Network& net_;
   FlowAging aging_;
   std::int64_t steered_ = 0;
+  std::int64_t diverted_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace oo::services

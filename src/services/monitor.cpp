@@ -13,7 +13,13 @@ Monitor::Health snapshot(core::Network& net) {
     h.slice_misses += tor.slice_misses();
     h.deferrals += tor.deferrals();
   }
-  h.fabric_drops = net.optical().total_drops();
+  const auto& fab = net.optical();
+  h.fabric_drops = fab.total_drops();
+  h.failed_drops = fab.drops_failed();
+  h.corrupt_drops = fab.drops_corrupt();
+  h.no_circuit_drops = fab.drops_no_circuit();
+  h.guard_drops = fab.drops_guard();
+  h.boundary_drops = fab.drops_boundary();
   return h;
 }
 
@@ -63,6 +69,11 @@ Monitor::Health Monitor::health() const {
   d.slice_misses = now.slice_misses - baseline_.slice_misses;
   d.deferrals = now.deferrals - baseline_.deferrals;
   d.fabric_drops = now.fabric_drops - baseline_.fabric_drops;
+  d.failed_drops = now.failed_drops - baseline_.failed_drops;
+  d.corrupt_drops = now.corrupt_drops - baseline_.corrupt_drops;
+  d.no_circuit_drops = now.no_circuit_drops - baseline_.no_circuit_drops;
+  d.guard_drops = now.guard_drops - baseline_.guard_drops;
+  d.boundary_drops = now.boundary_drops - baseline_.boundary_drops;
   return d;
 }
 

@@ -38,13 +38,21 @@ class Monitor {
   }
 
   // Network-health counters (§4.1 "monitor network health"): deltas of the
-  // switch drop/miss/deferral counters since monitoring began.
+  // switch drop/miss/deferral counters since monitoring began. Fabric drops
+  // are also broken out per fault class so robustness studies can tell a
+  // dark transceiver (failed) from a degraded one (corrupt) from ordinary
+  // schedule misses (no_circuit/guard/boundary).
   struct Health {
     std::int64_t congestion_drops = 0;
     std::int64_t no_route_drops = 0;
     std::int64_t slice_misses = 0;
     std::int64_t deferrals = 0;
     std::int64_t fabric_drops = 0;
+    std::int64_t failed_drops = 0;    // loss-of-signal (dark port) drops
+    std::int64_t corrupt_drops = 0;   // BER-induced corruption drops
+    std::int64_t no_circuit_drops = 0;
+    std::int64_t guard_drops = 0;
+    std::int64_t boundary_drops = 0;
   };
   Health health() const;
 

@@ -141,6 +141,51 @@ TEST(FailureRecovery, ReroutesAroundDarkTransceiver) {
   }
 }
 
+TEST(FailureRecovery, FlapRecoversAndReadmitsPerTransition) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 2;
+  p.slice = 100_us;
+  auto inst = arch::make_rotornet(p, arch::RotorRouting::Direct);
+  services::FailureRecovery recovery(
+      *inst.net, *inst.ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/500_us);
+  recovery.start();
+  auto& fab = inst.net->optical();
+
+  auto port_scheduled = [&]() {
+    const auto& sched = inst.net->schedule();
+    for (SliceId s = 0; s < sched.period(); ++s) {
+      if (sched.peer(0, 0, s).has_value()) return true;
+    }
+    return false;
+  };
+
+  // fail -> clear -> fail on the same port, no traffic at all: every
+  // transition is driven purely by the LOS alarms, and recoveries()
+  // increments exactly once per transition.
+  fab.set_port_failed(0, 0, true);
+  inst.run_for(5_ms);
+  EXPECT_EQ(recovery.recoveries(), 1);
+  EXPECT_FALSE(port_scheduled());
+
+  fab.set_port_failed(0, 0, false);
+  inst.run_for(5_ms);
+  EXPECT_EQ(recovery.recoveries(), 2);
+  EXPECT_TRUE(port_scheduled()) << "repaired circuits not re-admitted";
+
+  fab.set_port_failed(0, 0, true);
+  inst.run_for(5_ms);
+  EXPECT_EQ(recovery.recoveries(), 3);
+  EXPECT_FALSE(port_scheduled());
+
+  EXPECT_EQ(recovery.port_downs(), 2);
+  EXPECT_EQ(recovery.port_ups(), 1);
+  EXPECT_EQ(recovery.mttr_us().count(), 2u);
+}
+
 TEST(FailureRecovery, NoFalseRecoveriesWhenHealthy) {
   arch::Params p;
   p.tors = 4;
