@@ -5,7 +5,13 @@
 // repaired circuits, retries deploys through the controller outage, and
 // flips the hybrid steering into degraded mode so elephants lean on the
 // electrical fabric. Prints the robustness telemetry the run produced.
+//
+// With --trace=PATH the whole drill is captured in the flight recorder and
+// written as Chrome trace_event JSON (chrome://tracing, Perfetto): circuit
+// up/down per fault, per-class drops, control-plane deploys and retries.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "arch/arch.h"
 #include "routing/ta_routing.h"
@@ -13,12 +19,24 @@
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
 #include "services/monitor.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace_export.h"
 #include "workload/kv.h"
 
 using namespace oo;
 using namespace oo::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr, "usage: chaos_drill [--trace=PATH]\n");
+      return 1;
+    }
+  }
+
   arch::Params p;
   p.tors = 8;
   p.hosts_per_tor = 1;
@@ -26,6 +44,9 @@ int main() {
   p.collect_interval = 20_ms;
   p.reconfig_delay = 5_ms;  // fast MEMS so the drill fits in 300 ms
   auto inst = arch::make_cthrough(p);
+
+  telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+  if (!trace_path.empty()) inst.net->sim().set_recorder(&recorder);
 
   services::Monitor monitor(*inst.net, 1_ms);
   monitor.start();
@@ -100,6 +121,12 @@ int main() {
               recovery.retries());
   std::printf("\n%s\n", services::robustness_csv(
                             recovery, inst.net->optical()).c_str());
+
+  if (!trace_path.empty()) {
+    services::write_file(trace_path, telemetry::chrome_trace_json(recorder));
+    std::printf("wrote Chrome trace (%zu events) to %s\n", recorder.size(),
+                trace_path.c_str());
+  }
 
   const bool passed = recovery.recoveries() >= 1 &&
                       recovery.port_downs() >= 3 &&

@@ -16,6 +16,8 @@
 //   --ms N          simulated milliseconds (default 100)
 //   --seed N        RNG seed (default 1)
 //   --csv PATH      write the FCT CDF as CSV
+//   --trace=PATH    record a flight-recorder trace and write it as Chrome
+//                   trace_event JSON (open in chrome://tracing or Perfetto)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,6 +25,8 @@
 
 #include "arch/arch.h"
 #include "services/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace_export.h"
 #include "workload/kv.h"
 #include "workload/traces.h"
 
@@ -36,7 +40,7 @@ int usage() {
                "usage: oosim <arch> [--tors N] [--hosts N] [--slice US] "
                "[--uplinks N]\n"
                "             [--workload kv|rpc|hadoop|kvstore] [--load F] "
-               "[--ms N] [--seed N] [--csv PATH]\n"
+               "[--ms N] [--seed N] [--csv PATH] [--trace=PATH]\n"
                "archs: clos cthrough jupiter mordia rotornet-vlb "
                "rotornet-direct\n"
                "       rotornet-ucmp rotornet-hoho opera shale "
@@ -67,6 +71,19 @@ arch::Instance make(const std::string& name, const arch::Params& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --trace=FILE can appear anywhere; strip it before the paired-flag scan.
+  std::string trace_path;
+  {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        trace_path = argv[i] + 8;
+      } else {
+        argv[w++] = argv[i];
+      }
+    }
+    argc = w;
+  }
   if (argc < 2) return usage();
   const std::string arch_name = argv[1];
 
@@ -94,6 +111,8 @@ int main(int argc, char** argv) {
 
   try {
     auto inst = make(arch_name, p);
+    telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+    if (!trace_path.empty()) inst.net->sim().set_recorder(&recorder);
     std::printf("architecture: %s  (%d ToRs x %d hosts, %s)\n",
                 inst.name.c_str(), p.tors, p.hosts_per_tor,
                 inst.net->schedule().summary().c_str());
@@ -138,6 +157,12 @@ int main(int argc, char** argv) {
     if (!csv_path.empty()) {
       services::write_file(csv_path, services::cdf_csv(*fct, 100, "fct_us"));
       std::printf("wrote CDF to %s\n", csv_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      services::write_file(trace_path,
+                           telemetry::chrome_trace_json(recorder));
+      std::printf("wrote Chrome trace (%zu events) to %s\n", recorder.size(),
+                  trace_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "oosim: %s\n", e.what());

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/trace_export.h"
+
 namespace oo::api {
 
 Config Config::from_json(const std::string& text) {
@@ -97,6 +99,7 @@ bool Net::deploy_topo(const std::vector<optics::Circuit>& circuits,
     net_ = std::make_unique<core::Network>(cfg_.to_network_config(),
                                            std::move(sched), profile_cached());
     ctl_ = std::make_unique<core::Controller>(*net_);
+    if (recorder_) net_->sim().set_recorder(recorder_.get());
     bw_baseline_.assign(static_cast<std::size_t>(cfg_.node_num), 0);
     net_->start();
     return true;
@@ -142,6 +145,29 @@ std::int64_t Net::buffer_usage(NodeId node, PortId port) const {
   assert(net_);
   if (port == kInvalidPort) return net_->tor(node).buffer_bytes();
   return net_->tor(node).port_buffer_bytes(port);
+}
+
+void Net::enable_tracing(std::size_t capacity) {
+  if (!recorder_) {
+    recorder_ = std::make_unique<telemetry::FlightRecorder>(capacity);
+  }
+  if (net_) net_->sim().set_recorder(recorder_.get());
+}
+
+void Net::write_chrome_trace(const std::string& path) const {
+  if (!recorder_) {
+    throw std::runtime_error("write_chrome_trace: tracing not enabled");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  out << telemetry::chrome_trace_json(*recorder_);
+}
+
+void Net::write_metrics_csv(const std::string& path) {
+  assert(net_);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot open " + path);
+  out << telemetry::metrics_csv(net_->sim().metrics());
 }
 
 std::int64_t Net::bw_usage(NodeId node) {

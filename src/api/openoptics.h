@@ -24,6 +24,7 @@
 #include "optics/fabric.h"
 #include "optics/schedule.h"
 #include "routing/time_expanded.h"
+#include "telemetry/flight_recorder.h"
 #include "topo/traffic_matrix.h"
 
 namespace oo::api {
@@ -98,6 +99,19 @@ class Net {
   // Bytes sent on a node's uplinks since the last bw_usage call.
   std::int64_t bw_usage(NodeId node);
 
+  // --- Telemetry ---
+  // Attach a flight recorder holding the last `capacity` trace events.
+  // Safe to call before the network materializes; recording starts as soon
+  // as it does.
+  void enable_tracing(std::size_t capacity = std::size_t{1} << 16);
+  telemetry::FlightRecorder* recorder() { return recorder_.get(); }
+  // Write the recorded events as Chrome trace_event JSON (load in
+  // chrome://tracing or Perfetto). Throws if tracing was never enabled or
+  // the file cannot be opened.
+  void write_chrome_trace(const std::string& path) const;
+  // Dump every registered metric (counters, gauges, histograms) as CSV.
+  void write_metrics_csv(const std::string& path);
+
   // --- Execution ---
   void run_for(SimTime t) { net_->sim().run_until(net_->sim().now() + t); }
   void start() { net_->start(); }
@@ -110,6 +124,7 @@ class Net {
   Config cfg_;
   std::unique_ptr<core::Network> net_;
   std::unique_ptr<core::Controller> ctl_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::vector<std::int64_t> bw_baseline_;
 };
 

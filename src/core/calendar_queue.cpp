@@ -6,7 +6,11 @@
 namespace oo::core {
 
 CalendarQueuePort::CalendarQueuePort(int num_queues,
-                                     std::int64_t per_queue_capacity) {
+                                     std::int64_t per_queue_capacity,
+                                     telemetry::Counter* rank_overflow_metric,
+                                     telemetry::Counter* full_reject_metric)
+    : rank_overflow_metric_(rank_overflow_metric),
+      full_reject_metric_(full_reject_metric) {
   assert(num_queues >= 1);
   queues_.reserve(static_cast<std::size_t>(num_queues));
   for (int i = 0; i < num_queues; ++i) {
@@ -32,11 +36,13 @@ net::FifoQueue& CalendarQueuePort::queue_at_rank(int rank) {
 EnqueueVerdict CalendarQueuePort::try_enqueue(net::Packet&& p, int rank) {
   if (rank < 0 || rank >= num_queues()) {
     ++rank_overflows_;
+    if (rank_overflow_metric_) rank_overflow_metric_->inc();
     return EnqueueVerdict::RankOverflow;
   }
   auto& q = queue_at_rank(rank);
   if (!q.enqueue(std::move(p))) {
     ++full_rejects_;
+    if (full_reject_metric_) full_reject_metric_->inc();
     return EnqueueVerdict::Full;
   }
   peak_total_ = std::max(peak_total_, total_bytes());
@@ -47,6 +53,7 @@ EnqueueVerdict CalendarQueuePort::enqueue_unchecked(net::Packet&& p,
                                                     int rank) {
   if (rank < 0 || rank >= num_queues()) {
     ++rank_overflows_;
+    if (rank_overflow_metric_) rank_overflow_metric_->inc();
     return EnqueueVerdict::RankOverflow;
   }
   auto& q = queue_at_rank(rank);
@@ -57,6 +64,7 @@ EnqueueVerdict CalendarQueuePort::enqueue_unchecked(net::Packet&& p,
     // second attempt is not possible without mutating capacity, so treat
     // as Full for accounting. In practice offload returns are paced to fit.
     ++full_rejects_;
+    if (full_reject_metric_) full_reject_metric_->inc();
     return EnqueueVerdict::Full;
   }
   peak_total_ = std::max(peak_total_, total_bytes());

@@ -11,6 +11,7 @@
 #include "common/ids.h"
 #include "net/fifo_queue.h"
 #include "net/packet.h"
+#include "telemetry/metrics.h"
 
 namespace oo::core {
 
@@ -22,7 +23,12 @@ enum class EnqueueVerdict {
 
 class CalendarQueuePort {
  public:
-  CalendarQueuePort(int num_queues, std::int64_t per_queue_capacity);
+  // The optional registry counters mirror rank-overflow / full-reject totals
+  // into shared aggregate metrics (e.g. "calendar.rank_overflows"); nullptr
+  // keeps the port standalone.
+  CalendarQueuePort(int num_queues, std::int64_t per_queue_capacity,
+                    telemetry::Counter* rank_overflow_metric = nullptr,
+                    telemetry::Counter* full_reject_metric = nullptr);
 
   int num_queues() const { return static_cast<int>(queues_.size()); }
   int active_index() const { return active_; }
@@ -53,6 +59,8 @@ class CalendarQueuePort {
   std::int64_t peak_total_ = 0;
   std::int64_t rank_overflows_ = 0;
   std::int64_t full_rejects_ = 0;
+  telemetry::Counter* rank_overflow_metric_;
+  telemetry::Counter* full_reject_metric_;
 };
 
 }  // namespace oo::core

@@ -29,17 +29,32 @@ bool Controller::control_plane_up() const {
   if (!deploy_fail_) return true;
   last_error_ = "control plane unavailable (injected fault)";
   ++const_cast<Controller*>(this)->deploys_rejected_;
+  net_.sim().metrics().counter("controller.deploys_rejected").inc();
   return false;
 }
 
 bool Controller::deploy_topo(const std::vector<optics::Circuit>& circuits,
                              SliceId period, SimTime reconfig_delay) {
-  if (!control_plane_up()) return false;
+  auto& sim = net_.sim();
+  const auto note = [&sim](bool accepted) {
+    if (auto* tr = sim.recorder()) {
+      tr->control_deploy(sim.now(), /*routing=*/false, accepted);
+    }
+  };
+  if (!control_plane_up()) {
+    note(false);
+    return false;
+  }
   optics::Schedule sched;
-  if (!compile_schedule(circuits, period, sched)) return false;
+  if (!compile_schedule(circuits, period, sched)) {
+    note(false);
+    return false;
+  }
   // Injected controller latency delays the start of the retargeting the
   // same way a slow controller round-trip would.
   net_.reconfigure(std::move(sched), reconfig_delay + deploy_delay_);
+  sim.metrics().counter("controller.deploys", {{"kind", "topo"}}).inc();
+  note(true);
   return true;
 }
 
@@ -93,7 +108,13 @@ bool Controller::deploy_routing(const std::vector<Path>& paths,
                                 LookupMode lookup, MultipathMode multipath,
                                 int priority,
                                 const optics::Schedule* validate_against) {
-  if (!validate_routing(paths, validate_against)) return false;
+  auto& sim = net_.sim();
+  if (!validate_routing(paths, validate_against)) {
+    if (auto* tr = sim.recorder()) {
+      tr->control_deploy(sim.now(), /*routing=*/true, false);
+    }
+    return false;
+  }
 
   // Merge per-(node, match) action sets so parallel paths become one
   // multipath entry. Identical actions merge by summing their weights.
@@ -171,9 +192,14 @@ bool Controller::deploy_routing(const std::vector<Path>& paths,
     }
   };
   if (deploy_delay_ > SimTime::zero()) {
-    net_.sim().schedule_in(deploy_delay_, std::move(install));
+    net_.sim().schedule_in(deploy_delay_, std::move(install),
+                           "control.deploy");
   } else {
     install();
+  }
+  sim.metrics().counter("controller.deploys", {{"kind", "routing"}}).inc();
+  if (auto* tr = sim.recorder()) {
+    tr->control_deploy(sim.now(), /*routing=*/true, true);
   }
   return true;
 }

@@ -64,6 +64,10 @@ bool Host::send(Packet&& p) {
     if (!st.segq.enqueue(std::move(p))) {
       st.segq.note_drop();
       st.sender_blocked = true;
+      if (auto* tr = net_.sim().recorder()) {
+        tr->drop(net_.sim().now(), telemetry::DropReason::HostSegq, tor_, -1,
+                 p.id, p.size_bytes);
+      }
       return false;  // segment queue full: application backpressure
     }
     start_pump();  // drains as soon as (and only while) the path is open
@@ -85,9 +89,12 @@ void Host::stack_delay_send(Packet&& p) {
   SimTime release = net_.sim().now() + stack_delay();
   if (release < stack_last_release_) release = stack_last_release_;
   stack_last_release_ = release;
-  net_.sim().schedule_at(release, [this, pkt = std::move(p)]() mutable {
-    up_link_->transmit(std::move(pkt));
-  });
+  net_.sim().schedule_at(
+      release,
+      [this, pkt = std::move(p)]() mutable {
+        up_link_->transmit(std::move(pkt));
+      },
+      "host.stack");
 }
 
 void Host::pause_dst(NodeId dst) { dst_state(dst).paused = true; }
@@ -103,7 +110,8 @@ void Host::pushback_dst(NodeId dst, SimTime until) {
   auto& st = dst_state(dst);
   if (until <= net_.sim().now()) return;
   st.pushback_until = std::max(st.pushback_until, until);
-  net_.sim().schedule_at(st.pushback_until, [this, dst]() { try_drain(dst); });
+  net_.sim().schedule_at(
+      st.pushback_until, [this, dst]() { try_drain(dst); }, "pushback");
 }
 
 bool Host::can_buffer(NodeId dst, std::int64_t bytes) const {
@@ -122,7 +130,8 @@ void Host::try_drain(NodeId dst) {
 void Host::start_pump() {
   if (pump_scheduled_) return;
   pump_scheduled_ = true;
-  net_.sim().schedule_at(net_.sim().now(), [this]() { pump(); });
+  net_.sim().schedule_at(net_.sim().now(), [this]() { pump(); },
+                         "host.pump");
 }
 
 // Drains parked segment queues at (at most) host line rate, round-robin
@@ -146,7 +155,7 @@ void Host::pump() {
     }
     stack_delay_send(std::move(*p));
     pump_scheduled_ = true;
-    net_.sim().schedule_in(pace, [this]() { pump(); });
+    net_.sim().schedule_in(pace, [this]() { pump(); }, "host.pump");
     return;
   }
 }
@@ -185,10 +194,13 @@ void Host::deliver(Packet&& p) {
                          net_.config().host_link_delay + stack_delay();
     const SimTime return_at =
         std::max(net_.sim().now(), slice_begin - lead);
-    net_.sim().schedule_at(return_at, [this, pkt = std::move(p)]() mutable {
-      offload_stored_bytes_ -= pkt.size_bytes;
-      up_link_->transmit(std::move(pkt));
-    });
+    net_.sim().schedule_at(
+        return_at,
+        [this, pkt = std::move(p)]() mutable {
+          offload_stored_bytes_ -= pkt.size_bytes;
+          up_link_->transmit(std::move(pkt));
+        },
+        "host.offload");
     return;
   }
   if (p.type == PacketType::Pushback) {
@@ -213,6 +225,13 @@ void Host::deliver(Packet&& p) {
 
 TorSwitch::TorSwitch(Network& net, NodeId id)
     : net_(net), id_(id), rng_(net.fork_rng()) {
+  auto& metrics = net_.sim().metrics();
+  const telemetry::Labels node_label = {{"node", std::to_string(id)}};
+  drops_no_route_ = &metrics.counter(
+      "tor.drops", {{"class", "no_route"}, {"node", std::to_string(id)}});
+  drops_congestion_ = &metrics.counter(
+      "tor.drops", {{"class", "congestion"}, {"node", std::to_string(id)}});
+  slice_misses_ = &metrics.counter("tor.slice_misses", node_label);
   const auto& cfg = net_.config();
   const auto& sched = net_.schedule();
   int k = cfg.calendar_queues;
@@ -221,7 +240,10 @@ TorSwitch::TorSwitch(Network& net, NodeId id)
   for (auto& u : uplinks_) {
     u.fifo = net::FifoQueue{cfg.fifo_capacity};
     if (cfg.calendar_mode) {
-      u.cal = std::make_unique<CalendarQueuePort>(k, cfg.queue_capacity);
+      u.cal = std::make_unique<CalendarQueuePort>(
+          k, cfg.queue_capacity,
+          &metrics.counter("calendar.rank_overflows"),
+          &metrics.counter("calendar.full_rejects"));
       if (cfg.congestion_detection) {
         u.eqo = std::make_unique<QueueOccupancyEstimator>(
             k, cfg.optical_bw, cfg.eqo_interval);
@@ -281,7 +303,11 @@ void TorSwitch::route(Packet&& p) {
   }
   const TftEntry* entry = tft_.lookup(arr, p.src_node, p.dst_node);
   if (entry == nullptr) {
-    ++drops_no_route_;
+    drops_no_route_->inc();
+    if (auto* tr = net_.sim().recorder()) {
+      tr->drop(net_.sim().now(), telemetry::DropReason::NoRoute, id_, -1,
+               p.id, p.size_bytes);
+    }
     return;
   }
   std::uint32_t hash = 0;
@@ -346,10 +372,19 @@ void TorSwitch::enqueue_optical(Packet&& p, PortId port, SliceId dep,
 
   if (!cfg.calendar_mode || dep == kAnySlice) {
     // Classical flow-table path: wildcard departure, FIFO egress (§3 (c)).
+    const PacketId pid = p.id;
+    const std::int64_t pbytes = p.size_bytes;
     if (!u.fifo.enqueue(std::move(p))) {
-      ++drops_congestion_;
+      drops_congestion_->inc();
       u.fifo.note_drop();
+      if (auto* tr = net_.sim().recorder()) {
+        tr->drop(net_.sim().now(), telemetry::DropReason::Congestion, id_,
+                 port, pid, pbytes);
+      }
       return;
+    }
+    if (auto* tr = net_.sim().recorder()) {
+      tr->packet_enqueue(net_.sim().now(), id_, port, pid, pbytes);
     }
     peak_buffer_ = std::max(peak_buffer_, buffer_bytes());
     try_send(port);
@@ -390,13 +425,21 @@ void TorSwitch::enqueue_optical(Packet&& p, PortId port, SliceId dep,
 
   p.intended_slice = dep;
   p.intended_port = port;
+  const PacketId pid = p.id;
   const std::int64_t bytes = p.size_bytes;
   const auto verdict = u.cal->try_enqueue(std::move(p), rank);
   if (verdict != EnqueueVerdict::Ok) {
     // Byte-capacity reject. The packet was consumed by try_enqueue only on
     // Ok, but our FifoQueue moves only on success, so this path means drop.
-    ++drops_congestion_;
+    drops_congestion_->inc();
+    if (auto* tr = net_.sim().recorder()) {
+      tr->drop(net_.sim().now(), telemetry::DropReason::Congestion, id_, port,
+               pid, bytes);
+    }
     return;
+  }
+  if (auto* tr = net_.sim().recorder()) {
+    tr->packet_enqueue(net_.sim().now(), id_, port, pid, bytes);
   }
   if (u.eqo) u.eqo->on_enqueue((u.cal->active_index() + rank) % k, bytes);
   peak_buffer_ = std::max(peak_buffer_, buffer_bytes());
@@ -416,9 +459,13 @@ bool TorSwitch::force_enqueue(Packet&& p, PortId port, SliceId dep,
   p.intended_slice = dep;
   p.intended_port = port;
   const int qidx = (u.cal->active_index() + rank) % k;
+  const PacketId pid = p.id;
   const std::int64_t bytes = p.size_bytes;
   if (u.cal->try_enqueue(std::move(p), rank) != EnqueueVerdict::Ok) {
     return false;
+  }
+  if (auto* tr = net_.sim().recorder()) {
+    tr->packet_enqueue(net_.sim().now(), id_, port, pid, bytes);
   }
   if (u.eqo) u.eqo->on_enqueue(qidx, bytes);
   peak_buffer_ = std::max(peak_buffer_, buffer_bytes());
@@ -457,7 +504,11 @@ void TorSwitch::on_congested(Packet&& p, PortId port, SliceId dep,
     case CongestionResponse::Drop:
       break;
   }
-  ++drops_congestion_;
+  drops_congestion_->inc();
+  if (auto* tr = net_.sim().recorder()) {
+    tr->drop(net_.sim().now(), telemetry::DropReason::Congestion, id_, port,
+             p.id, p.size_bytes);
+  }
 }
 
 bool TorSwitch::try_defer(Packet& p, SliceId arr) {
@@ -493,8 +544,12 @@ bool TorSwitch::try_defer(Packet& p, SliceId arr) {
       p.source_route.assign(action.hops.begin() + 1, action.hops.end());
       p.route_idx = 0;
     }
+    const PacketId pid = p.id;
     const std::int64_t bytes = p.size_bytes;
     if (u.cal->try_enqueue(std::move(p), rank) == EnqueueVerdict::Ok) {
+      if (auto* tr = net_.sim().recorder()) {
+        tr->packet_enqueue(net_.sim().now(), id_, hop.egress, pid, bytes);
+      }
       if (u.eqo) u.eqo->on_enqueue(qidx, bytes);
       peak_buffer_ = std::max(peak_buffer_, buffer_bytes());
       if (rank == 0) try_send(hop.egress);
@@ -513,16 +568,18 @@ void TorSwitch::send_pushback(const Packet& p, SliceId dep) {
   const NodeId congested_dst = p.dst_node;
   const NodeId src_tor = p.src_node;
   // Control-plane broadcast to every host under the sender ToR (§5.2).
-  net_.sim().schedule_in(net_.config().pushback_delay, [this, congested_dst,
-                                                        src_tor, abs_dep]() {
-    for (int i = 0; i < net_.config().hosts_per_tor; ++i) {
-      Packet msg;
-      msg.type = PacketType::Pushback;
-      msg.src_node = congested_dst;
-      msg.offload_abs_slice = abs_dep;
-      net_.host(net_.host_id(src_tor, i)).deliver(std::move(msg));
-    }
-  });
+  net_.sim().schedule_in(
+      net_.config().pushback_delay,
+      [this, congested_dst, src_tor, abs_dep]() {
+        for (int i = 0; i < net_.config().hosts_per_tor; ++i) {
+          Packet msg;
+          msg.type = PacketType::Pushback;
+          msg.src_node = congested_dst;
+          msg.offload_abs_slice = abs_dep;
+          net_.host(net_.host_id(src_tor, i)).deliver(std::move(msg));
+        }
+      },
+      "pushback");
 }
 
 void TorSwitch::offload_to_host(Packet&& p, std::int64_t target_abs) {
@@ -557,12 +614,20 @@ void TorSwitch::handle_offload_return(Packet&& p) {
   const int k = u.cal->num_queues();
   const int qidx = (u.cal->active_index() + rank) % k;
   p.intended_slice = sched.slice_of(p.offload_abs_slice);
+  const PacketId pid = p.id;
   const std::int64_t bytes = p.size_bytes;
   if (u.cal->enqueue_unchecked(std::move(p), rank) == EnqueueVerdict::Ok) {
+    if (auto* tr = net_.sim().recorder()) {
+      tr->packet_enqueue(net_.sim().now(), id_, port, pid, bytes);
+    }
     if (u.eqo) u.eqo->on_enqueue(qidx, bytes);
     if (rank == 0) try_send(port);
   } else {
-    ++drops_congestion_;
+    drops_congestion_->inc();
+    if (auto* tr = net_.sim().recorder()) {
+      tr->drop(net_.sim().now(), telemetry::DropReason::Congestion, id_, port,
+               pid, bytes);
+    }
   }
 }
 
@@ -570,10 +635,13 @@ void TorSwitch::schedule_drain(PortId port, SimTime at) {
   auto& u = uplinks_[static_cast<std::size_t>(port)];
   if (u.drain_scheduled) return;
   u.drain_scheduled = true;
-  net_.sim().schedule_at(at, [this, port]() {
-    uplinks_[static_cast<std::size_t>(port)].drain_scheduled = false;
-    try_send(port);
-  });
+  net_.sim().schedule_at(
+      at,
+      [this, port]() {
+        uplinks_[static_cast<std::size_t>(port)].drain_scheduled = false;
+        try_send(port);
+      },
+      "tor.drain");
 }
 
 void TorSwitch::try_send(PortId port) {
@@ -595,6 +663,9 @@ void TorSwitch::try_send(PortId port) {
     const SimTime tx_end = now + ser;
     u.busy_until = tx_end;
     u.tx_bytes += p->size_bytes;
+    if (auto* tr = net_.sim().recorder()) {
+      tr->packet_dequeue(now, id_, port, p->id, p->size_bytes);
+    }
     net_.optical().transmit(id_, port, std::move(*p), now, tx_end);
     schedule_drain(port, tx_end);
     return;
@@ -619,15 +690,21 @@ void TorSwitch::try_send(PortId port) {
       // The packet missed its slice (congestion) and wrapped with the
       // calendar; the circuit configuration has moved on — re-route it.
       // Rerouting is deferred one event to avoid re-entering this drain.
-      ++slice_misses_;
+      slice_misses_->inc();
       auto missed = q.dequeue();
+      if (auto* tr = net_.sim().recorder()) {
+        tr->slice_miss(now, id_, port, missed->id);
+      }
       missed->intended_slice = kAnySlice;
       missed->intended_port = kInvalidPort;
       missed->source_route.clear();
       missed->route_idx = 0;
-      net_.sim().schedule_at(now, [this, pkt = std::move(*missed)]() mutable {
-        route(std::move(pkt));
-      });
+      net_.sim().schedule_at(
+          now,
+          [this, pkt = std::move(*missed)]() mutable {
+            route(std::move(pkt));
+          },
+          "tor.reroute");
       continue;
     }
     const SimTime ser =
@@ -637,6 +714,9 @@ void TorSwitch::try_send(PortId port) {
     const SimTime tx_end = now + ser;
     u.busy_until = tx_end;
     u.tx_bytes += p->size_bytes;
+    if (auto* tr = net_.sim().recorder()) {
+      tr->packet_dequeue(now, id_, port, p->id, p->size_bytes);
+    }
     net_.optical().transmit(id_, port, std::move(*p), now, tx_end);
     schedule_drain(port, tx_end);
     return;
@@ -653,6 +733,9 @@ void TorSwitch::try_send(PortId port) {
     const SimTime tx_end = now + ser;
     u.busy_until = tx_end;
     u.tx_bytes += p->size_bytes;
+    if (auto* tr = net_.sim().recorder()) {
+      tr->packet_dequeue(now, id_, port, p->id, p->size_bytes);
+    }
     net_.optical().transmit(id_, port, std::move(*p), now, tx_end);
     schedule_drain(port, tx_end);
   }
@@ -660,6 +743,14 @@ void TorSwitch::try_send(PortId port) {
 
 void TorSwitch::on_rotation(std::int64_t abs_slice) {
   const SimTime now = net_.sim().now();
+  if (auto* tr = net_.sim().recorder()) {
+    tr->slice_rotation(now, id_, abs_slice);
+    // The guard window is a fixed offset from the rotation, so its close is
+    // recorded directly with a future timestamp rather than via a scheduled
+    // event — tracing must not perturb event sequencing.
+    tr->guard_open(now, id_, abs_slice, net_.head_guard_.ns());
+    tr->guard_close(now + net_.head_guard_, id_, abs_slice);
+  }
   for (std::size_t i = 0; i < uplinks_.size(); ++i) {
     auto& u = uplinks_[i];
     if (!u.cal) continue;
@@ -763,10 +854,13 @@ void Network::start() {
     SimTime first = dur + sync_->offset(n);
     if (first <= sim_.now()) first = dur;
     auto counter = std::make_shared<std::int64_t>(0);
-    sim_.schedule_every(first, dur, [tor, counter]() {
-      ++*counter;
-      tor->on_rotation(*counter);
-    });
+    sim_.schedule_every(
+        first, dur,
+        [tor, counter]() {
+          ++*counter;
+          tor->on_rotation(*counter);
+        },
+        "rotation");
   }
 }
 
@@ -775,9 +869,12 @@ void Network::reconfigure(optics::Schedule next, SimTime delay) {
          next.slice_duration() == schedule_.slice_duration() &&
          "reconfigure preserves slice timing; rebuild for new timing");
   optical_->reconfigure(next, delay);
-  sim_.schedule_in(delay, [this, next = std::move(next)]() mutable {
-    schedule_ = std::move(next);
-  });
+  sim_.schedule_in(
+      delay,
+      [this, next = std::move(next)]() mutable {
+        schedule_ = std::move(next);
+      },
+      "fabric.reconfig");
 }
 
 Network::Totals Network::totals() const {

@@ -227,9 +227,9 @@ class TorSwitch {
     return uplinks_[static_cast<std::size_t>(port)].tx_bytes;
   }
   int num_uplinks() const { return static_cast<int>(uplinks_.size()); }
-  std::int64_t drops_no_route() const { return drops_no_route_; }
-  std::int64_t drops_congestion() const { return drops_congestion_; }
-  std::int64_t slice_misses() const { return slice_misses_; }
+  std::int64_t drops_no_route() const { return drops_no_route_->value(); }
+  std::int64_t drops_congestion() const { return drops_congestion_->value(); }
+  std::int64_t slice_misses() const { return slice_misses_->value(); }
   std::int64_t deferrals() const { return deferrals_; }
   std::int64_t trims() const { return trims_; }
   std::int64_t offloads() const { return offloads_; }
@@ -280,9 +280,11 @@ class TorSwitch {
   Rng rng_;
 
   std::int64_t peak_buffer_ = 0;
-  std::int64_t drops_no_route_ = 0;
-  std::int64_t drops_congestion_ = 0;
-  std::int64_t slice_misses_ = 0;
+  // Registry-backed ("tor.drops"{class=...,node=N}, "tor.slice_misses"
+  // {node=N}); the accessors above are shims over these cells.
+  telemetry::Counter* drops_no_route_;
+  telemetry::Counter* drops_congestion_;
+  telemetry::Counter* slice_misses_;
   std::int64_t deferrals_ = 0;
   std::int64_t trims_ = 0;
   std::int64_t offloads_ = 0;

@@ -1,19 +1,53 @@
 #include "eventsim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <memory>
 
 namespace oo::sim {
 
-EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+namespace {
+constexpr std::size_t kCompactMinQueue = 64;
+}  // namespace
+
+void Simulator::push_event(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  if (profiler_) profiler_->sample_queue_depth(heap_.size());
+}
+
+Simulator::Event Simulator::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+void Simulator::maybe_compact() {
+  // Compact when cancelled events are (at least) the majority of a
+  // non-trivial queue: filter them out and re-heapify. O(n), amortised by
+  // the >=50% trigger.
+  if (heap_.size() < kCompactMinQueue ||
+      *cancelled_pending_ * 2 <= static_cast<std::int64_t>(heap_.size())) {
+    return;
+  }
+  std::erase_if(heap_, [](const Event& ev) { return *ev.cancelled; });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  *cancelled_pending_ = 0;
+  ++compactions_;
+}
+
+EventHandle Simulator::schedule_at(SimTime when, EventFn fn, const char* tag) {
   assert(when >= now_ && "cannot schedule into the past");
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
-  return EventHandle{std::move(flag)};
+  push_event(Event{when, next_seq_++, std::move(fn), flag, tag});
+  maybe_compact();
+  return EventHandle{std::move(flag), cancelled_pending_};
 }
 
 EventHandle Simulator::schedule_every(SimTime start, SimTime period,
-                                      EventFn fn) {
+                                      EventFn fn, const char* tag) {
   assert(period > SimTime::zero());
   auto flag = std::make_shared<bool>(false);
   // The periodic wrapper reschedules itself; the shared cancellation flag
@@ -22,47 +56,58 @@ EventHandle Simulator::schedule_every(SimTime start, SimTime period,
   // The event closure holds only a weak_ptr to the rescheduler to avoid a
   // shared_ptr cycle (tick -> closure -> tick) that would leak.
   std::weak_ptr<std::function<void(SimTime)>> weak_tick = tick;
-  *tick = [this, period, fn = std::move(fn), flag, weak_tick](SimTime when) {
-    queue_.push(Event{when, next_seq_++,
-                      [period, fn, flag, weak_tick, when]() {
-                        fn();
-                        if (*flag) return;
-                        if (auto t = weak_tick.lock()) (*t)(when + period);
-                      },
-                      flag});
+  *tick = [this, period, tag, fn = std::move(fn), flag,
+           weak_tick](SimTime when) {
+    push_event(Event{when, next_seq_++,
+                     [period, fn, flag, weak_tick, when]() {
+                       fn();
+                       if (*flag) return;
+                       if (auto t = weak_tick.lock()) (*t)(when + period);
+                     },
+                     flag, tag});
   };
   periodic_ticks_.push_back(tick);
   (*tick)(start);
-  return EventHandle{std::move(flag)};
+  maybe_compact();
+  return EventHandle{std::move(flag), cancelled_pending_};
 }
 
 void Simulator::dispatch(Event& ev) {
   now_ = ev.when;
-  if (!*ev.cancelled) {
-    ev.fn();
-    ++executed_;
+  if (*ev.cancelled) {
+    if (*cancelled_pending_ > 0) --*cancelled_pending_;
+    return;
   }
+  if (profiler_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    profiler_->add(
+        ev.tag,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  } else {
+    ev.fn();
+  }
+  ++executed_;
 }
 
 void Simulator::run_until(SimTime until) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    if (queue_.top().when > until) {
+  while (!heap_.empty() && !stopped_) {
+    if (heap_.front().when > until) {
       now_ = until;
       return;
     }
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = pop_event();
     dispatch(ev);
   }
-  if (queue_.empty() && now_ < until) now_ = until;
+  if (heap_.empty() && now_ < until) now_ = until;
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty() && !stopped_) {
+    Event ev = pop_event();
     dispatch(ev);
   }
 }

@@ -1,35 +1,50 @@
 // Discrete-event simulation engine. A single Simulator owns virtual time;
 // components schedule closures at absolute or relative times. Ties are
 // broken by insertion order, making runs fully deterministic.
+//
+// The simulator is also the telemetry attachment point: it owns the
+// MetricsRegistry components register into, and carries optional non-owning
+// pointers to a FlightRecorder (event tracing) and EventProfiler (wall-clock
+// per dispatched event, bucketed by the tag given at scheduling time). All
+// three are off by default and cost a null-check when unused.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 
 namespace oo::sim {
 
 using EventFn = std::function<void()>;
 
 // Handle for cancelling a scheduled event. Cancellation is lazy: the event
-// stays queued but is skipped when popped.
+// stays queued but is skipped when popped. The simulator tracks how many
+// cancelled events are still queued and compacts the heap when they are the
+// majority, so mass-cancelled timers don't grow the queue without bound.
 class EventHandle {
  public:
   EventHandle() = default;
   bool valid() const { return cancelled_ != nullptr; }
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (cancelled_ && !*cancelled_) {
+      *cancelled_ = true;
+      if (pending_) ++*pending_;
+    }
   }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
+  EventHandle(std::shared_ptr<bool> flag,
+              std::shared_ptr<std::int64_t> pending)
+      : cancelled_(std::move(flag)), pending_(std::move(pending)) {}
   std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<std::int64_t> pending_;
 };
 
 class Simulator {
@@ -40,16 +55,19 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedule `fn` at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(SimTime when, EventFn fn);
+  // Schedule `fn` at absolute time `when` (must be >= now()). `tag` labels
+  // the event for the profiler (static string; not copied).
+  EventHandle schedule_at(SimTime when, EventFn fn, const char* tag = nullptr);
   // Schedule `fn` `delay` from now.
-  EventHandle schedule_in(SimTime delay, EventFn fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  EventHandle schedule_in(SimTime delay, EventFn fn,
+                          const char* tag = nullptr) {
+    return schedule_at(now_ + delay, std::move(fn), tag);
   }
   // Periodic timer starting at `start`, repeating every `period` until
   // cancelled or the run ends. Models the on-chip packet generator that
   // drives queue rotation and EQO updates (§5.1, Appx A).
-  EventHandle schedule_every(SimTime start, SimTime period, EventFn fn);
+  EventHandle schedule_every(SimTime start, SimTime period, EventFn fn,
+                             const char* tag = nullptr);
 
   // Run until the queue drains or `until` is reached, whichever first.
   void run_until(SimTime until);
@@ -59,7 +77,21 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::int64_t events_executed() const { return executed_; }
-  std::size_t events_pending() const { return queue_.size(); }
+  std::size_t events_pending() const { return heap_.size(); }
+  // Times the queue was compacted to shed lazily-cancelled events.
+  std::int64_t compactions() const { return compactions_; }
+
+  // ---- telemetry ----
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Attach/detach a flight recorder (non-owning; nullptr disables tracing).
+  void set_recorder(telemetry::FlightRecorder* rec) { recorder_ = rec; }
+  telemetry::FlightRecorder* recorder() const { return recorder_; }
+
+  // Attach/detach an event profiler (non-owning; nullptr disables timing).
+  void set_profiler(telemetry::EventProfiler* prof) { profiler_ = prof; }
+  telemetry::EventProfiler* profiler() const { return profiler_; }
 
  private:
   struct Event {
@@ -67,21 +99,37 @@ class Simulator {
     std::int64_t seq;
     EventFn fn;
     std::shared_ptr<bool> cancelled;
+    const char* tag;
     bool operator>(const Event& o) const {
       if (when != o.when) return when > o.when;
       return seq > o.seq;
     }
   };
 
+  void push_event(Event ev);
+  Event pop_event();
+  void maybe_compact();
   void dispatch(Event& ev);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Min-heap over `heap_` (std::push_heap/pop_heap with operator>), kept as
+  // a plain vector so compaction can filter cancelled events in place —
+  // std::priority_queue hides its container.
+  std::vector<Event> heap_;
   // Keeps periodic-timer reschedulers alive for the simulator's lifetime;
   // the event closures only hold weak references (see schedule_every).
   std::vector<std::shared_ptr<std::function<void(SimTime)>>> periodic_ticks_;
+  // Shared with every EventHandle: count of cancelled events still queued.
+  // May over-count when an already-fired event is cancelled; compaction
+  // resets it, so drift self-heals.
+  std::shared_ptr<std::int64_t> cancelled_pending_ =
+      std::make_shared<std::int64_t>(0);
+  telemetry::MetricsRegistry metrics_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  telemetry::EventProfiler* profiler_ = nullptr;
   SimTime now_ = SimTime::zero();
   std::int64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
+  std::int64_t compactions_ = 0;
   bool stopped_ = false;
 };
 

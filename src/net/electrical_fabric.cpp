@@ -43,6 +43,10 @@ bool ElectricalFabric::transmit(NodeId from, Packet&& p) {
   assert(dst < egress_.size());
   if (egress_backlog_bytes_[dst] + p.size_bytes > max_backlog_) {
     ++drops_;
+    if (auto* tr = sim_.recorder()) {
+      tr->drop(sim_.now(), telemetry::DropReason::Electrical, from, -1, p.id,
+               p.size_bytes);
+    }
     return false;
   }
   egress_backlog_bytes_[dst] += p.size_bytes;

@@ -16,9 +16,10 @@ SimTime Link::transmit(Packet&& p) {
   if (jitter_ > SimTime::zero()) {
     arrive += SimTime::nanos(rng_.uniform_i64(0, jitter_.ns()));
   }
-  sim_.schedule_at(arrive, [this, pkt = std::move(p)]() mutable {
-    deliver_(std::move(pkt));
-  });
+  sim_.schedule_at(
+      arrive,
+      [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); },
+      "link");
   return busy_until_;
 }
 

@@ -52,7 +52,18 @@ OpticalFabric::OpticalFabric(sim::Simulator& s, Schedule schedule,
     : sim_(s),
       schedule_(std::move(schedule)),
       profile_(std::move(profile)),
-      rng_(rng) {
+      rng_(rng),
+      delivered_(&s.metrics().counter("fabric.delivered")),
+      drops_no_circuit_(
+          &s.metrics().counter("fabric.drops", {{"class", "no_circuit"}})),
+      drops_guard_(&s.metrics().counter("fabric.drops", {{"class", "guard"}})),
+      drops_boundary_(
+          &s.metrics().counter("fabric.drops", {{"class", "boundary"}})),
+      drops_failed_(
+          &s.metrics().counter("fabric.drops", {{"class", "failed"}})),
+      drops_corrupt_(
+          &s.metrics().counter("fabric.drops", {{"class", "corrupt"}})),
+      reconfig_stalls_(&s.metrics().counter("fabric.reconfig_stalls")) {
   sinks_.resize(static_cast<std::size_t>(schedule_.num_nodes()));
   failed_ports_.assign(static_cast<std::size_t>(schedule_.num_nodes()) *
                            schedule_.uplinks(),
@@ -68,12 +79,14 @@ void OpticalFabric::set_port_failed(NodeId node, PortId port, bool failed) {
   if (was == failed) return;  // no light transition, no alarm
   slot = failed ? 1 : 0;
   const SimTime at = sim_.now();
-  sim_.schedule_in(profile_.los_detect_latency,
-                   [this, node, port, at, failed]() {
-                     const auto& listeners =
-                         failed ? down_listeners_ : up_listeners_;
-                     for (const auto& fn : listeners) fn(node, port, at);
-                   });
+  if (auto* tr = sim_.recorder()) tr->circuit(at, !failed, node, port);
+  sim_.schedule_in(
+      profile_.los_detect_latency,
+      [this, node, port, at, failed]() {
+        const auto& listeners = failed ? down_listeners_ : up_listeners_;
+        for (const auto& fn : listeners) fn(node, port, at);
+      },
+      "fabric.los");
 }
 
 void OpticalFabric::set_port_ber(NodeId node, PortId port, double ber) {
@@ -89,15 +102,18 @@ double OpticalFabric::port_ber(NodeId node, PortId port) const {
 bool OpticalFabric::stall_reconfig(SimTime extra) {
   if (!reconfiguring() || extra <= SimTime::zero()) return false;
   switch_done_ += extra;
-  ++reconfig_stalls_;
+  reconfig_stalls_->inc();
   // The commit event scheduled for the original deadline sees the pushed-out
   // switch_done_ and does nothing; this one lands the stalled retargeting.
-  sim_.schedule_at(switch_done_, [this]() {
-    if (switching_ && sim_.now() >= switch_done_) {
-      schedule_ = next_schedule_;
-      switching_ = false;
-    }
-  });
+  sim_.schedule_at(
+      switch_done_,
+      [this]() {
+        if (switching_ && sim_.now() >= switch_done_) {
+          schedule_ = next_schedule_;
+          switching_ = false;
+        }
+      },
+      "fabric.reconfig");
   return true;
 }
 
@@ -131,6 +147,11 @@ std::optional<Endpoint> OpticalFabric::live_peer(NodeId from, PortId port,
 
 void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
                              SimTime tx_start, SimTime tx_end) {
+  auto* tr = sim_.recorder();
+  const auto dropped = [&](telemetry::Counter* c, telemetry::DropReason why) {
+    c->inc();
+    if (tr) tr->drop(sim_.now(), why, from, port, p.id, p.size_bytes);
+  };
   // Commit a pending reconfiguration once its window has elapsed.
   if (switching_ && sim_.now() >= switch_done_) {
     schedule_ = next_schedule_;
@@ -144,23 +165,23 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
     const std::int64_t abs_b =
         schedule_.abs_slice_at(tx_end - SimTime::nanos(1));
     if (abs_a != abs_b) {
-      ++drops_boundary_;
+      dropped(drops_boundary_, telemetry::DropReason::Boundary);
       return;
     }
     const SimTime slice_begin = schedule_.slice_start(abs_a);
     if (tx_start < slice_begin + profile_.reconfig_delay) {
-      ++drops_guard_;
+      dropped(drops_guard_, telemetry::DropReason::Guard);
       return;
     }
   }
   const SliceId slice = schedule_.slice_of(abs_a);
   auto peer = live_peer(from, port, slice, tx_start);
   if (!peer) {
-    ++drops_no_circuit_;
+    dropped(drops_no_circuit_, telemetry::DropReason::NoCircuit);
     return;
   }
   if (port_failed(from, port) || port_failed(peer->node, peer->port)) {
-    ++drops_failed_;
+    dropped(drops_failed_, telemetry::DropReason::Failed);
     return;
   }
   const double ber = port_ber(from, port) + port_ber(peer->node, peer->port);
@@ -168,7 +189,7 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
     const double bits = static_cast<double>(p.size_bytes) * kBitsPerByte;
     const double p_corrupt = 1.0 - std::pow(1.0 - ber, bits);
     if (rng_.uniform01() < p_corrupt) {
-      ++drops_corrupt_;
+      dropped(drops_corrupt_, telemetry::DropReason::Corrupt);
       return;
     }
   }
@@ -181,12 +202,14 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
   const PortId in_port = peer->port;
   auto& sink = sinks_[static_cast<std::size_t>(to)];
   assert(sink && "destination node not attached to fabric");
-  ++delivered_;
+  delivered_->inc();
   ++p.hops;
-  sim_.schedule_at(tx_end + latency,
-                   [&sink, in_port, pkt = std::move(p)]() mutable {
-                     sink(std::move(pkt), in_port);
-                   });
+  sim_.schedule_at(
+      tx_end + latency,
+      [&sink, in_port, pkt = std::move(p)]() mutable {
+        sink(std::move(pkt), in_port);
+      },
+      "fabric.deliver");
 }
 
 void OpticalFabric::reconfigure(Schedule next, SimTime delay) {
@@ -198,12 +221,15 @@ void OpticalFabric::reconfigure(Schedule next, SimTime delay) {
   next_schedule_ = std::move(next);
   switching_ = true;
   switch_done_ = sim_.now() + delay;
-  sim_.schedule_at(switch_done_, [this]() {
-    if (switching_ && sim_.now() >= switch_done_) {
-      schedule_ = next_schedule_;
-      switching_ = false;
-    }
-  });
+  sim_.schedule_at(
+      switch_done_,
+      [this]() {
+        if (switching_ && sim_.now() >= switch_done_) {
+          schedule_ = next_schedule_;
+          switching_ = false;
+        }
+      },
+      "fabric.reconfig");
 }
 
 }  // namespace oo::optics

@@ -82,7 +82,7 @@ class OpticalFabric {
   // failure restores service on the next transmission.
   void set_port_failed(NodeId node, PortId port, bool failed);
   bool port_failed(NodeId node, PortId port) const;
-  std::int64_t drops_failed() const { return drops_failed_; }
+  std::int64_t drops_failed() const { return drops_failed_->value(); }
 
   // Loss-of-signal alarms: subscribers are notified `los_detect_latency`
   // after a port's light state changes, with the SimTime the transition
@@ -100,21 +100,21 @@ class OpticalFabric {
   // packets are dropped by the receiver's FEC and counted separately.
   void set_port_ber(NodeId node, PortId port, double ber);
   double port_ber(NodeId node, PortId port) const;
-  std::int64_t drops_corrupt() const { return drops_corrupt_; }
+  std::int64_t drops_corrupt() const { return drops_corrupt_->value(); }
 
   // Fault injection: extend an in-progress reconfiguration (a stuck MEMS
   // retargeting / slow switch-control round-trip). Returns false (no-op)
   // when no retargeting is in flight.
   bool stall_reconfig(SimTime extra);
-  std::int64_t reconfig_stalls() const { return reconfig_stalls_; }
+  std::int64_t reconfig_stalls() const { return reconfig_stalls_->value(); }
 
-  std::int64_t delivered() const { return delivered_; }
-  std::int64_t drops_no_circuit() const { return drops_no_circuit_; }
-  std::int64_t drops_guard() const { return drops_guard_; }
-  std::int64_t drops_boundary() const { return drops_boundary_; }
+  std::int64_t delivered() const { return delivered_->value(); }
+  std::int64_t drops_no_circuit() const { return drops_no_circuit_->value(); }
+  std::int64_t drops_guard() const { return drops_guard_->value(); }
+  std::int64_t drops_boundary() const { return drops_boundary_->value(); }
   std::int64_t total_drops() const {
-    return drops_no_circuit_ + drops_guard_ + drops_boundary_ +
-           drops_failed_ + drops_corrupt_;
+    return drops_no_circuit() + drops_guard() + drops_boundary() +
+           drops_failed() + drops_corrupt();
   }
 
  private:
@@ -133,13 +133,17 @@ class OpticalFabric {
   std::vector<double> port_ber_;    // node x port bit-error rates
   std::vector<PortEventFn> down_listeners_;
   std::vector<PortEventFn> up_listeners_;
-  std::int64_t delivered_ = 0;
-  std::int64_t drops_no_circuit_ = 0;
-  std::int64_t drops_guard_ = 0;
-  std::int64_t drops_boundary_ = 0;
-  std::int64_t drops_failed_ = 0;
-  std::int64_t drops_corrupt_ = 0;
-  std::int64_t reconfig_stalls_ = 0;
+  // Registry-backed counters ("fabric.delivered", "fabric.drops"{class=...},
+  // "fabric.reconfig_stalls"): same hot-path cost as plain fields, but
+  // visible to metrics exports without per-component plumbing. The public
+  // accessors above are thin shims over these cells.
+  telemetry::Counter* delivered_;
+  telemetry::Counter* drops_no_circuit_;
+  telemetry::Counter* drops_guard_;
+  telemetry::Counter* drops_boundary_;
+  telemetry::Counter* drops_failed_;
+  telemetry::Counter* drops_corrupt_;
+  telemetry::Counter* reconfig_stalls_;
 };
 
 }  // namespace oo::optics

@@ -29,13 +29,15 @@ void FailureRecovery::start() {
     // Legacy drop-delta scrub: catches failures injected before start()
     // (whose LOS alarm fired unheard) once they cost traffic.
     scrub_handle_ = net_.sim().schedule_every(
-        net_.sim().now() + scrub_, scrub_, [this]() {
+        net_.sim().now() + scrub_, scrub_,
+        [this]() {
           const auto drops = net_.optical().drops_failed();
           if (drops > seen_drops_) {
             seen_drops_ = drops;
             recover_now();
           }
-        });
+        },
+        "recovery.scrub");
   }
 }
 
@@ -49,6 +51,7 @@ void FailureRecovery::stop() {
 
 void FailureRecovery::on_down(NodeId node, PortId port, SimTime at) {
   ++port_downs_;
+  net_.sim().metrics().counter("recovery.port_downs").inc();
   detect_latency_us_.add((net_.sim().now() - at).us());
   open_incidents_.push_back(Incident{node, port, at});
   if (failed_count_++ == 0) {
@@ -60,6 +63,7 @@ void FailureRecovery::on_down(NodeId node, PortId port, SimTime at) {
 
 void FailureRecovery::on_up(NodeId node, PortId port, SimTime at) {
   ++port_ups_;
+  net_.sim().metrics().counter("recovery.port_ups").inc();
   // Incidents on this port still open (recovery never landed — e.g. the
   // control plane was down the whole outage): the physical repair itself
   // restores service, so it closes them.
@@ -130,6 +134,7 @@ bool FailureRecovery::recover_now() {
   }
   backoff_ = initial_backoff_;
   ++recoveries_;
+  net_.sim().metrics().counter("recovery.recoveries").inc();
   close_incidents(net_.sim().now());
   return true;
 }
@@ -137,8 +142,12 @@ bool FailureRecovery::recover_now() {
 void FailureRecovery::schedule_retry() {
   if (!started_) return;  // manual recover_now() without start(): no timers
   ++retries_;
-  retry_handle_ =
-      net_.sim().schedule_in(backoff_, [this]() { recover_now(); });
+  net_.sim().metrics().counter("recovery.retries").inc();
+  if (auto* tr = net_.sim().recorder()) {
+    tr->control_retry(net_.sim().now(), retries_);
+  }
+  retry_handle_ = net_.sim().schedule_in(
+      backoff_, [this]() { recover_now(); }, "recovery.retry");
   backoff_ = std::min(backoff_ + backoff_, backoff_cap_);
 }
 

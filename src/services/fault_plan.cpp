@@ -120,13 +120,34 @@ FaultPlan& FaultPlan::load_events(const json::Value& plan) {
   return *this;
 }
 
+void FaultPlan::count(FaultKind k, NodeId node, PortId port) {
+  ++injected_[static_cast<std::size_t>(k)];
+  net_.sim()
+      .metrics()
+      .counter("faults.injected", {{"kind", fault_kind_name(k)}})
+      .inc();
+  if (auto* tr = net_.sim().recorder()) {
+    // A fired PortRepair undoes a fault; everything else injects one.
+    tr->fault(net_.sim().now(), k != FaultKind::PortRepair, node, port,
+              static_cast<std::int64_t>(k));
+  }
+}
+
+void FaultPlan::trace_repair(FaultKind k, NodeId node, PortId port) {
+  if (auto* tr = net_.sim().recorder()) {
+    tr->fault(net_.sim().now(), false, node, port,
+              static_cast<std::int64_t>(k));
+  }
+}
+
 void FaultPlan::arm() {
   if (armed_) return;
   armed_ = true;
   auto& sim = net_.sim();
   for (const auto& ev : events_) {
     const SimTime at = std::max(ev.at, sim.now());
-    handles_.push_back(sim.schedule_at(at, [this, ev]() { fire(ev); }));
+    handles_.push_back(
+        sim.schedule_at(at, [this, ev]() { fire(ev); }, "fault"));
   }
 }
 
@@ -139,18 +160,18 @@ void FaultPlan::fire(const FaultEvent& ev) {
   auto& sim = net_.sim();
   switch (ev.kind) {
     case FaultKind::PortFail:
-      count(ev.kind);
+      count(ev.kind, ev.node, ev.port);
       net_.optical().set_port_failed(ev.node, ev.port, true);
       break;
     case FaultKind::PortRepair:
-      count(ev.kind);
+      count(ev.kind, ev.node, ev.port);
       net_.optical().set_port_failed(ev.node, ev.port, false);
       break;
     case FaultKind::LinkFlap:
       flap_cycle(ev, ev.cycles);
       break;
     case FaultKind::Ber:
-      count(ev.kind);
+      count(ev.kind, ev.node, ev.port);
       net_.optical().set_port_ber(ev.node, ev.port, ev.ber);
       break;
     case FaultKind::ReconfigStall:
@@ -163,7 +184,12 @@ void FaultPlan::fire(const FaultEvent& ev) {
       ctl_->set_deploy_delay(ev.extra);
       if (ev.duration > SimTime::zero()) {
         handles_.push_back(sim.schedule_in(
-            ev.duration, [this]() { ctl_->set_deploy_delay(SimTime::zero()); }));
+            ev.duration,
+            [this]() {
+              ctl_->set_deploy_delay(SimTime::zero());
+              trace_repair(FaultKind::ControlDelay);
+            },
+            "fault"));
       }
       break;
     case FaultKind::ControlFail:
@@ -172,7 +198,12 @@ void FaultPlan::fire(const FaultEvent& ev) {
       ctl_->set_deploy_fail(true);
       if (ev.duration > SimTime::zero()) {
         handles_.push_back(sim.schedule_in(
-            ev.duration, [this]() { ctl_->set_deploy_fail(false); }));
+            ev.duration,
+            [this]() {
+              ctl_->set_deploy_fail(false);
+              trace_repair(FaultKind::ControlFail);
+            },
+            "fault"));
       }
       break;
   }
@@ -180,12 +211,16 @@ void FaultPlan::fire(const FaultEvent& ev) {
 
 void FaultPlan::flap_cycle(const FaultEvent& ev, int remaining) {
   if (remaining <= 0) return;
-  count(FaultKind::LinkFlap);
+  count(FaultKind::LinkFlap, ev.node, ev.port);
   auto& sim = net_.sim();
   net_.optical().set_port_failed(ev.node, ev.port, true);
-  handles_.push_back(sim.schedule_in(ev.duration, [this, ev]() {
-    net_.optical().set_port_failed(ev.node, ev.port, false);
-  }));
+  handles_.push_back(sim.schedule_in(
+      ev.duration,
+      [this, ev]() {
+        net_.optical().set_port_failed(ev.node, ev.port, false);
+        trace_repair(FaultKind::LinkFlap, ev.node, ev.port);
+      },
+      "fault"));
   if (remaining <= 1) return;
   SimTime next = ev.period;
   if (ev.jitter > 0.0) {
@@ -196,9 +231,9 @@ void FaultPlan::flap_cycle(const FaultEvent& ev, int remaining) {
         static_cast<std::int64_t>(static_cast<double>(next.ns()) * f));
   }
   if (next <= ev.duration) next = ev.duration + SimTime::nanos(1);
-  handles_.push_back(sim.schedule_in(next, [this, ev, remaining]() {
-    flap_cycle(ev, remaining - 1);
-  }));
+  handles_.push_back(sim.schedule_in(
+      next, [this, ev, remaining]() { flap_cycle(ev, remaining - 1); },
+      "fault"));
 }
 
 std::int64_t FaultPlan::injected_total() const {

@@ -93,7 +93,13 @@ class FaultPlan {
  private:
   void fire(const FaultEvent& ev);
   void flap_cycle(const FaultEvent& ev, int remaining);
-  void count(FaultKind k) { ++injected_[static_cast<std::size_t>(k)]; }
+  // Bumps the per-class counter (and its registry mirror) and records a
+  // FaultInject trace event.
+  void count(FaultKind k, NodeId node = kInvalidNode,
+             PortId port = kInvalidPort);
+  // Records the un-doing of a fault (repair / restore) in the trace.
+  void trace_repair(FaultKind k, NodeId node = kInvalidNode,
+                    PortId port = kInvalidPort);
 
   core::Network& net_;
   core::Controller* ctl_;

@@ -13,13 +13,18 @@ Monitor::Health snapshot(core::Network& net) {
     h.slice_misses += tor.slice_misses();
     h.deferrals += tor.deferrals();
   }
-  const auto& fab = net.optical();
-  h.fabric_drops = fab.total_drops();
-  h.failed_drops = fab.drops_failed();
-  h.corrupt_drops = fab.drops_corrupt();
-  h.no_circuit_drops = fab.drops_no_circuit();
-  h.guard_drops = fab.drops_guard();
-  h.boundary_drops = fab.drops_boundary();
+  // Per-fault-class fabric drops come straight from the shared registry
+  // cells the fabric increments — one source of truth, no parallel counter
+  // plumbing between Monitor and OpticalFabric.
+  const auto& m = net.sim().metrics();
+  h.failed_drops = m.counter_value("fabric.drops", {{"class", "failed"}});
+  h.corrupt_drops = m.counter_value("fabric.drops", {{"class", "corrupt"}});
+  h.no_circuit_drops =
+      m.counter_value("fabric.drops", {{"class", "no_circuit"}});
+  h.guard_drops = m.counter_value("fabric.drops", {{"class", "guard"}});
+  h.boundary_drops = m.counter_value("fabric.drops", {{"class", "boundary"}});
+  h.fabric_drops = h.failed_drops + h.corrupt_drops + h.no_circuit_drops +
+                   h.guard_drops + h.boundary_drops;
   return h;
 }
 
@@ -37,7 +42,8 @@ void Monitor::start() {
   started_ = true;
   baseline_ = snapshot(net_);
   net_.sim().schedule_every(
-      net_.sim().now() + interval_, interval_, [this]() {
+      net_.sim().now() + interval_, interval_,
+      [this]() {
         for (NodeId n = 0; n < net_.num_tors(); ++n) {
           auto& tor = net_.tor(n);
           const auto b = tor.buffer_bytes();
@@ -58,7 +64,8 @@ void Monitor::start() {
               capacity_bytes > 0 ? static_cast<double>(delta) / capacity_bytes
                                  : 0.0);
         }
-      });
+      },
+      "monitor");
 }
 
 Monitor::Health Monitor::health() const {

@@ -1,0 +1,70 @@
+#include "telemetry/flight_recorder.h"
+
+namespace oo::telemetry {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::PacketEnqueue:
+      return "enqueue";
+    case EventKind::PacketDequeue:
+      return "dequeue";
+    case EventKind::PacketDrop:
+      return "drop";
+    case EventKind::SliceMiss:
+      return "slice_miss";
+    case EventKind::CircuitUp:
+      return "circuit_up";
+    case EventKind::CircuitDown:
+      return "circuit_down";
+    case EventKind::SliceRotation:
+      return "slice_rotation";
+    case EventKind::GuardOpen:
+      return "guard_open";
+    case EventKind::GuardClose:
+      return "guard_close";
+    case EventKind::ControlDeploy:
+      return "control_deploy";
+    case EventKind::ControlRetry:
+      return "control_retry";
+    case EventKind::FaultInject:
+      return "fault_inject";
+    case EventKind::FaultRepair:
+      return "fault_repair";
+  }
+  return "?";
+}
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::None:
+      return "none";
+    case DropReason::Congestion:
+      return "congestion";
+    case DropReason::NoRoute:
+      return "no_route";
+    case DropReason::NoCircuit:
+      return "no_circuit";
+    case DropReason::Guard:
+      return "guard";
+    case DropReason::Boundary:
+      return "boundary";
+    case DropReason::Failed:
+      return "failed";
+    case DropReason::Corrupt:
+      return "corrupt";
+    case DropReason::Electrical:
+      return "electrical";
+    case DropReason::HostSegq:
+      return "host_segq";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  for_each([&out](const TraceEvent& ev) { out.push_back(ev); });
+  return out;
+}
+
+}  // namespace oo::telemetry

@@ -1,0 +1,117 @@
+// Flight recorder: a fixed-capacity, overwrite-oldest ring buffer of typed
+// trace events. Components emit through inline hooks that are a single
+// branch when no recorder is attached (Simulator::recorder() == nullptr),
+// so an untraced run pays essentially nothing. The buffer is sized once at
+// construction and never allocates afterwards, making it safe to keep
+// armed in long runs: it always holds the last `capacity` events — the
+// post-mortem window before a drop or failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/trace_event.h"
+
+namespace oo::telemetry {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1 << 16)
+      : buf_(capacity ? capacity : 1) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+  // Events currently retained (<= capacity).
+  std::size_t size() const { return count_; }
+  // Events ever recorded, including those overwritten.
+  std::int64_t total_recorded() const { return total_; }
+  // Stable storage pointer (the ring never reallocates; tests assert this).
+  const TraceEvent* storage() const { return buf_.data(); }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+    total_ = 0;
+  }
+
+  void record(const TraceEvent& ev) {
+    const std::size_t cap = buf_.size();
+    if (count_ == cap) {
+      buf_[head_] = ev;  // overwrite the oldest in place
+      head_ = (head_ + 1) % cap;
+    } else {
+      buf_[(head_ + count_) % cap] = ev;
+      ++count_;
+    }
+    ++total_;
+  }
+
+  // ---- typed emission helpers ----
+  void packet_enqueue(SimTime ts, NodeId node, PortId port, std::int64_t pkt,
+                      std::int64_t bytes) {
+    record({ts, EventKind::PacketEnqueue, DropReason::None, node, port, pkt,
+            bytes});
+  }
+  void packet_dequeue(SimTime ts, NodeId node, PortId port, std::int64_t pkt,
+                      std::int64_t bytes) {
+    record({ts, EventKind::PacketDequeue, DropReason::None, node, port, pkt,
+            bytes});
+  }
+  void drop(SimTime ts, DropReason why, NodeId node, PortId port,
+            std::int64_t pkt, std::int64_t bytes) {
+    record({ts, EventKind::PacketDrop, why, node, port, pkt, bytes});
+  }
+  void slice_miss(SimTime ts, NodeId node, PortId port, std::int64_t pkt) {
+    record({ts, EventKind::SliceMiss, DropReason::None, node, port, pkt, 0});
+  }
+  void circuit(SimTime ts, bool up, NodeId node, PortId port) {
+    record({ts, up ? EventKind::CircuitUp : EventKind::CircuitDown,
+            DropReason::None, node, port, 0, 0});
+  }
+  void slice_rotation(SimTime ts, NodeId node, std::int64_t abs_slice) {
+    record({ts, EventKind::SliceRotation, DropReason::None, node, -1,
+            abs_slice, 0});
+  }
+  void guard_open(SimTime ts, NodeId node, std::int64_t abs_slice,
+                  std::int64_t guard_ns) {
+    record({ts, EventKind::GuardOpen, DropReason::None, node, -1, abs_slice,
+            guard_ns});
+  }
+  void guard_close(SimTime ts, NodeId node, std::int64_t abs_slice) {
+    record({ts, EventKind::GuardClose, DropReason::None, node, -1, abs_slice,
+            0});
+  }
+  void control_deploy(SimTime ts, bool routing, bool accepted) {
+    record({ts, EventKind::ControlDeploy, DropReason::None, -1, -1,
+            routing ? 1 : 0, accepted ? 1 : 0});
+  }
+  void control_retry(SimTime ts, std::int64_t attempt) {
+    record({ts, EventKind::ControlRetry, DropReason::None, -1, -1, attempt,
+            0});
+  }
+  void fault(SimTime ts, bool inject, NodeId node, PortId port,
+             std::int64_t kind) {
+    record({ts, inject ? EventKind::FaultInject : EventKind::FaultRepair,
+            DropReason::None, node, port, kind, 0});
+  }
+
+  // Oldest-to-newest iteration without copying.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t cap = buf_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(buf_[(head_ + i) % cap]);
+    }
+  }
+
+  // Copy of the retained window, oldest first (export-time only; the hot
+  // path never calls this).
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;   // index of the oldest retained event
+  std::size_t count_ = 0;  // retained events
+  std::int64_t total_ = 0;
+};
+
+}  // namespace oo::telemetry

@@ -1,0 +1,94 @@
+#include "telemetry/metrics.h"
+
+#include <cstdio>
+
+namespace oo::telemetry {
+
+std::string MetricsRegistry::key(const std::string& name,
+                                 const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string k = name;
+  k += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) k += ',';
+    k += labels[i].first;
+    k += '=';
+    k += labels[i].second;
+  }
+  k += '}';
+  return k;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  auto& slot = counters_[key(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  auto& slot = gauges_[key(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+PercentileSampler& MetricsRegistry::histogram(const std::string& name,
+                                              const Labels& labels) {
+  auto& slot = histograms_[key(name, labels)];
+  if (!slot) slot = std::make_unique<PercentileSampler>();
+  return *slot;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name,
+                                            const Labels& labels) const {
+  const auto it = counters_.find(key(name, labels));
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const auto it = gauges_.find(key(name, labels));
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+const PercentileSampler* MetricsRegistry::find_histogram(
+    const std::string& name, const Labels& labels) const {
+  const auto it = histograms_.find(key(name, labels));
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+std::string MetricsRegistry::csv() const {
+  std::string out = "metric,value\n";
+  char buf[96];
+  for (const auto& [k, c] : counters_) {
+    std::snprintf(buf, sizeof buf, ",%lld\n",
+                  static_cast<long long>(c->value()));
+    out += k;
+    out += buf;
+  }
+  for (const auto& [k, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, ",%.6g\n", g->value());
+    out += k;
+    out += buf;
+  }
+  for (const auto& [k, h] : histograms_) {
+    std::snprintf(buf, sizeof buf, ".count,%zu\n", h->count());
+    out += k;
+    out += buf;
+    std::snprintf(buf, sizeof buf, ".p50,%.6g\n",
+                  h->empty() ? 0.0 : h->percentile(50));
+    out += k;
+    out += buf;
+    std::snprintf(buf, sizeof buf, ".p99,%.6g\n",
+                  h->empty() ? 0.0 : h->percentile(99));
+    out += k;
+    out += buf;
+    std::snprintf(buf, sizeof buf, ".max,%.6g\n",
+                  h->empty() ? 0.0 : h->max());
+    out += k;
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace oo::telemetry

@@ -1,0 +1,76 @@
+// Metrics registry: named counters, gauges, and histograms with label
+// support. Components register a metric once (typically in their
+// constructor, via Simulator::metrics()) and keep the returned cell
+// pointer, so the hot-path cost of an increment is identical to a plain
+// member field — the registry only pays at registration and export time.
+// Keys are `name` or `name{k=v,k2=v2}` with labels sorted by insertion
+// order; label keys/values must not contain ',', '=', '{', '}' or '"'.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace oo::telemetry {
+
+class Counter {
+ public:
+  void inc(std::int64_t d = 1) { v_ += d; }
+  void set(std::int64_t v) { v_ = v; }
+  std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  // Find-or-create; the returned reference is stable for the registry's
+  // lifetime (cells are individually heap-allocated).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  PercentileSampler& histogram(const std::string& name,
+                               const Labels& labels = {});
+
+  // Read-only lookups; absent metrics read as zero / null.
+  std::int64_t counter_value(const std::string& name,
+                             const Labels& labels = {}) const;
+  double gauge_value(const std::string& name, const Labels& labels = {}) const;
+  const PercentileSampler* find_histogram(const std::string& name,
+                                          const Labels& labels = {}) const;
+
+  std::size_t num_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Canonical key: `name` or `name{k=v,...}`.
+  static std::string key(const std::string& name, const Labels& labels);
+
+  // "metric,value" CSV rows sorted by key. Histograms expand to
+  // `<key>.count/.p50/.p99/.max` rows.
+  std::string csv() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<PercentileSampler>> histograms_;
+};
+
+}  // namespace oo::telemetry

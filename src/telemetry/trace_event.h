@@ -1,0 +1,61 @@
+// Typed flight-recorder events. A TraceEvent is a fixed-size POD so the
+// recorder's ring buffer never allocates after construction; the `a`/`b`
+// payload words are interpreted per kind (packet id, byte count, absolute
+// slice, fault class, ...). Sim-time stamped at emission, so a trace is a
+// total order of what the simulator actually did.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace oo::telemetry {
+
+enum class EventKind : std::uint8_t {
+  PacketEnqueue,   // node/port, a = packet id, b = bytes
+  PacketDequeue,   // node/port, a = packet id, b = bytes
+  PacketDrop,      // node/port, a = packet id, b = bytes, reason set
+  SliceMiss,       // packet wrapped past its slice and is re-routed
+  CircuitUp,       // light restored on (node, port)
+  CircuitDown,     // light lost on (node, port)
+  SliceRotation,   // node, a = absolute slice index
+  GuardOpen,       // node, a = absolute slice, b = guard duration ns
+  GuardClose,      // node, a = absolute slice
+  ControlDeploy,   // a = 0 topo / 1 routing, b = 1 accepted / 0 rejected
+  ControlRetry,    // recovery backoff retry, a = retry ordinal
+  FaultInject,     // node/port, a = services::FaultKind ordinal
+  FaultRepair,     // node/port, a = services::FaultKind ordinal
+};
+inline constexpr int kNumEventKinds = 13;
+
+// Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
+enum class DropReason : std::uint8_t {
+  None,
+  Congestion,  // calendar/FIFO byte capacity or EQO admission
+  NoRoute,     // no time-flow table entry
+  NoCircuit,   // fabric: no installed circuit in the slice
+  Guard,       // fabric: launched into the reconfiguration window
+  Boundary,    // fabric: transmission straddled a slice boundary
+  Failed,      // fabric: dark transceiver (loss of signal)
+  Corrupt,     // fabric: BER-induced FEC drop
+  Electrical,  // electrical fabric egress backlog overflow
+  HostSegq,    // host segment queue full (application backpressure)
+};
+
+const char* event_kind_name(EventKind k);
+const char* drop_reason_name(DropReason r);
+
+struct TraceEvent {
+  SimTime ts;
+  EventKind kind = EventKind::PacketDrop;
+  DropReason reason = DropReason::None;
+  std::int32_t node = -1;  // -1 = not node-scoped (controller, fabric-wide)
+  std::int32_t port = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+}  // namespace oo::telemetry

@@ -1,0 +1,150 @@
+#include "telemetry/trace_export.h"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace oo::telemetry {
+
+namespace {
+
+void append_meta(std::string& out, int pid, const std::string& name,
+                 bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                "\"args\":{\"name\":\"%s\"}}",
+                pid, name.c_str());
+  out += buf;
+}
+
+struct Track {
+  int pid;
+  int tid;
+};
+
+// Where an event is drawn. Packet-level and slice-level events live on the
+// emitting node's process; fabric/control/fault events on synthetic pids.
+Track track_for(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::PacketEnqueue:
+    case EventKind::PacketDequeue:
+    case EventKind::PacketDrop:
+    case EventKind::SliceMiss:
+      return {ev.node, ev.port >= 0 ? ev.port + 1 : 0};
+    case EventKind::SliceRotation:
+    case EventKind::GuardOpen:
+    case EventKind::GuardClose:
+      return {ev.node, 0};
+    case EventKind::CircuitUp:
+    case EventKind::CircuitDown:
+      return {kFabricPid, ev.port >= 0 ? ev.port + 1 : 0};
+    case EventKind::ControlDeploy:
+    case EventKind::ControlRetry:
+      return {kControlPid, 0};
+    case EventKind::FaultInject:
+    case EventKind::FaultRepair:
+      return {kFaultPid, 0};
+  }
+  return {kFabricPid, 0};
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const FlightRecorder& rec) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Process-name metadata for every pid that appears in the window.
+  std::set<int> pids;
+  rec.for_each([&pids](const TraceEvent& ev) {
+    const Track t = track_for(ev);
+    if (t.pid >= 0) pids.insert(t.pid);
+  });
+  for (int pid : pids) {
+    char name[48];
+    if (pid == kFabricPid) {
+      std::snprintf(name, sizeof name, "optical_fabric");
+    } else if (pid == kControlPid) {
+      std::snprintf(name, sizeof name, "control_plane");
+    } else if (pid == kFaultPid) {
+      std::snprintf(name, sizeof name, "faults");
+    } else {
+      std::snprintf(name, sizeof name, "node_%d", pid);
+    }
+    append_meta(out, pid, name, first);
+  }
+
+  char buf[320];
+  rec.for_each([&](const TraceEvent& ev) {
+    const Track t = track_for(ev);
+    if (t.pid < 0) return;  // node-scoped event with no node: skip
+    if (!first) out += ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(ev.ts.ns()) / 1e3;
+    if (ev.kind == EventKind::GuardOpen) {
+      // Guard window as a complete event spanning its duration.
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"guard\",\"cat\":\"slice\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"slice\":%lld}}",
+                    ts_us, static_cast<double>(ev.b) / 1e3, t.pid, t.tid,
+                    static_cast<long long>(ev.a));
+    } else if (ev.kind == EventKind::PacketDrop) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"drop\",\"cat\":\"packet\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"reason\":\"%s\",\"packet\":%lld,"
+                    "\"bytes\":%lld}}",
+                    ts_us, t.pid, t.tid, drop_reason_name(ev.reason),
+                    static_cast<long long>(ev.a),
+                    static_cast<long long>(ev.b));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"a\":%lld,\"b\":%lld}}",
+                    event_kind_name(ev.kind), ts_us, t.pid, t.tid,
+                    static_cast<long long>(ev.a),
+                    static_cast<long long>(ev.b));
+    }
+    out += buf;
+  });
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string metrics_csv(const MetricsRegistry& reg) { return reg.csv(); }
+
+std::string post_mortem(const FlightRecorder& rec, std::size_t last_n) {
+  const std::size_t n = rec.size() < last_n ? rec.size() : last_n;
+  const std::size_t skip = rec.size() - n;
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "flight recorder: last %zu of %lld events\n", n,
+                static_cast<long long>(rec.total_recorded()));
+  out += buf;
+  std::size_t i = 0;
+  rec.for_each([&](const TraceEvent& ev) {
+    if (i++ < skip) return;
+    std::snprintf(buf, sizeof buf, "%12lld ns  %-14s node=%d port=%d a=%lld "
+                                   "b=%lld",
+                  static_cast<long long>(ev.ts.ns()),
+                  event_kind_name(ev.kind), ev.node, ev.port,
+                  static_cast<long long>(ev.a),
+                  static_cast<long long>(ev.b));
+    out += buf;
+    if (ev.reason != DropReason::None) {
+      out += "  reason=";
+      out += drop_reason_name(ev.reason);
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+}  // namespace oo::telemetry

@@ -123,9 +123,11 @@ void FlowTransfer::on_sender_packet(Packet&& p) {
 void FlowTransfer::arm_rto() {
   rto_timer_.cancel();
   auto alive = alive_;
-  rto_timer_ = net_.sim().schedule_in(cfg_.rto, [this, alive]() {
-    if (*alive) on_rto();
-  });
+  rto_timer_ = net_.sim().schedule_in(
+      cfg_.rto, [this, alive]() {
+        if (*alive) on_rto();
+      },
+      "tcp.rto");
 }
 
 void FlowTransfer::on_rto() {

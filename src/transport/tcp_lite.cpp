@@ -197,6 +197,7 @@ void TcpLite::on_sender_packet(Packet&& p) {
       // Fast retransmit: under persistent reordering (VLB spraying) these
       // are spurious and halve cwnd for nothing — the Fig. 9 effect.
       ++fast_retx_;
+      net_.sim().metrics().counter("tcp.fast_retx").inc();
       in_recovery_ = true;
       recover_ = snd_next_;
       ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
@@ -210,14 +211,17 @@ void TcpLite::on_sender_packet(Packet&& p) {
 void TcpLite::arm_rto() {
   rto_timer_.cancel();
   auto alive = alive_;
-  rto_timer_ = net_.sim().schedule_in(cfg_.rto, [this, alive]() {
-    if (*alive) on_rto();
-  });
+  rto_timer_ = net_.sim().schedule_in(
+      cfg_.rto, [this, alive]() {
+        if (*alive) on_rto();
+      },
+      "tcp.rto");
 }
 
 void TcpLite::on_rto() {
   if (stopped_) return;
   ++rto_events_;
+  net_.sim().metrics().counter("tcp.rto_events").inc();
   ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
   cwnd_ = cfg_.init_cwnd;
   dupacks_ = 0;

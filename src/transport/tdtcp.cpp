@@ -189,6 +189,7 @@ void TdtcpLite::on_sender_packet(Packet&& p) {
     if (dupacks_ == cfg_.dupack_threshold && !in_recovery_) {
       // Only the phase that carried the (apparently lost) data pays.
       ++fast_retx_;
+      net_.sim().metrics().counter("tcp.fast_retx").inc();
       in_recovery_ = true;
       recover_ = snd_next_;
       ssth = std::max(cw / 2.0, 2.0);
@@ -202,14 +203,17 @@ void TdtcpLite::on_sender_packet(Packet&& p) {
 void TdtcpLite::arm_rto() {
   rto_timer_.cancel();
   auto alive = alive_;
-  rto_timer_ = net_.sim().schedule_in(cfg_.rto, [this, alive]() {
-    if (*alive) on_rto();
-  });
+  rto_timer_ = net_.sim().schedule_in(
+      cfg_.rto, [this, alive]() {
+        if (*alive) on_rto();
+      },
+      "tcp.rto");
 }
 
 void TdtcpLite::on_rto() {
   if (stopped_) return;
   ++rto_events_;
+  net_.sim().metrics().counter("tcp.rto_events").inc();
   const int phase = current_phase();
   ssthresh_[static_cast<std::size_t>(phase)] =
       std::max(cwnd_[static_cast<std::size_t>(phase)] / 2.0, 2.0);

@@ -110,14 +110,17 @@ void TrimRetxTransfer::on_sender_packet(Packet&& p) {
 void TrimRetxTransfer::arm_rto() {
   rto_timer_.cancel();
   auto alive = alive_;
-  rto_timer_ = net_.sim().schedule_in(cfg_.rto, [this, alive]() {
-    if (*alive) on_rto();
-  });
+  rto_timer_ = net_.sim().schedule_in(
+      cfg_.rto, [this, alive]() {
+        if (*alive) on_rto();
+      },
+      "tcp.rto");
 }
 
 void TrimRetxTransfer::on_rto() {
   if (finished_) return;
   ++rto_events_;
+  net_.sim().metrics().counter("tcp.rto_events").inc();
   for (const auto seq : outstanding_) {
     send_segment(seq);
   }

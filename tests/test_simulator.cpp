@@ -130,5 +130,72 @@ TEST(Simulator, SameTimeSelfSchedule) {
   EXPECT_TRUE(ran);
 }
 
+TEST(Simulator, CompactsWhenCancelledEventsDominate) {
+  Simulator s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(s.schedule_at(SimTime::micros(1000 + i), []() {}));
+  }
+  EXPECT_EQ(s.events_pending(), 1000u);
+  for (auto& h : handles) h.cancel();
+  // The next scheduling call sees a cancelled majority and compacts.
+  s.schedule_at(1_us, []() {});
+  EXPECT_GE(s.compactions(), 1);
+  EXPECT_EQ(s.events_pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.events_executed(), 1);
+}
+
+TEST(Simulator, MassCancelledTimersDoNotGrowTheQueue) {
+  // RTO-style churn: arm a far-future timer, cancel it, re-arm. Lazy
+  // cancellation alone would retain every dead event until its deadline;
+  // the compaction trigger must keep the queue bounded instead.
+  Simulator s;
+  std::size_t peak = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto h = s.schedule_at(SimTime::millis(1000 + i), []() {});
+    h.cancel();
+    peak = std::max(peak, s.events_pending());
+  }
+  EXPECT_GE(s.compactions(), 1);
+  EXPECT_LT(peak, 200u);
+  EXPECT_LT(s.events_pending(), 200u);
+}
+
+TEST(Simulator, DoubleCancelIsCountedOnce) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto h = s.schedule_at(SimTime::micros(100 + i), [&]() { ++fired; });
+    h.cancel();
+    h.cancel();  // second cancel must not inflate the pending-cancel count
+    EventHandle copy = h;
+    copy.cancel();
+  }
+  s.schedule_at(1_us, [&]() { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.events_executed(), 1);
+}
+
+TEST(Simulator, CancelledPeriodicTimersCompactAway) {
+  Simulator s;
+  std::vector<EventHandle> timers;
+  for (int i = 0; i < 500; ++i) {
+    timers.push_back(s.schedule_every(1_us, 1_us, []() {}));
+  }
+  for (auto& t : timers) t.cancel();
+  int ticks = 0;
+  auto keep = s.schedule_every(1_us, 1_us, [&]() {
+    if (++ticks >= 10) s.stop();
+  });
+  s.run();
+  EXPECT_EQ(ticks, 10);
+  // All 500 dead timers were shed rather than dispatched as skips forever.
+  EXPECT_GE(s.compactions(), 1);
+  EXPECT_LT(s.events_pending(), 64u);
+  keep.cancel();
+}
+
 }  // namespace
 }  // namespace oo::sim
