@@ -6,9 +6,17 @@
 // flips the hybrid steering into degraded mode so elephants lean on the
 // electrical fabric. Prints the robustness telemetry the run produced.
 //
+// With --clock-chaos the drill switches fault domains: a rotor calendar
+// fabric takes a clock-drift ramp with suppressed resync beacons (the §7
+// silent wrong-slice hazard), a clock step, and a fabric-wide sync outage,
+// while the SyncWatchdog detects the desync from observable symptoms and
+// walks the drifted ToR down the widen -> quarantine -> re-admit ladder.
+//
 // With --trace=PATH the whole drill is captured in the flight recorder and
 // written as Chrome trace_event JSON (chrome://tracing, Perfetto): circuit
-// up/down per fault, per-class drops, control-plane deploys and retries.
+// up/down per fault, per-class drops, control-plane deploys and retries —
+// and, under --clock-chaos, wrong-slice launches, lost beacons, desync
+// detections, guard widenings, quarantines, and re-admissions.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,7 +26,9 @@
 #include "services/export.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
+#include "services/hybrid_steering.h"
 #include "services/monitor.h"
+#include "services/sync_watchdog.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/trace_export.h"
 #include "workload/kv.h"
@@ -26,17 +36,17 @@
 using namespace oo;
 using namespace oo::literals;
 
-int main(int argc, char** argv) {
-  std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-    } else {
-      std::fprintf(stderr, "usage: chaos_drill [--trace=PATH]\n");
-      return 1;
-    }
-  }
+namespace {
 
+void write_trace(const std::string& trace_path,
+                 const telemetry::FlightRecorder& recorder) {
+  if (trace_path.empty()) return;
+  services::write_file(trace_path, telemetry::chrome_trace_json(recorder));
+  std::printf("wrote Chrome trace (%zu events) to %s\n", recorder.size(),
+              trace_path.c_str());
+}
+
+int run_fault_drill(const std::string& trace_path) {
   arch::Params p;
   p.tors = 8;
   p.hosts_per_tor = 1;
@@ -122,11 +132,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", services::robustness_csv(
                             recovery, inst.net->optical()).c_str());
 
-  if (!trace_path.empty()) {
-    services::write_file(trace_path, telemetry::chrome_trace_json(recorder));
-    std::printf("wrote Chrome trace (%zu events) to %s\n", recorder.size(),
-                trace_path.c_str());
-  }
+  write_trace(trace_path, recorder);
 
   const bool passed = recovery.recoveries() >= 1 &&
                       recovery.port_downs() >= 3 &&
@@ -138,4 +144,144 @@ int main(int argc, char** argv) {
                                "injected, detected, and recovered"
                              : "chaos drill FAILED");
   return passed ? 0 : 2;
+}
+
+int run_clock_drill(const std::string& trace_path) {
+  // Short slices so a realistic drift rate walks a clock across a full
+  // slice (the silent misdelivery regime) within milliseconds of sim time.
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.slice = 5_us;
+  p.seed = 7;
+  auto inst =
+      arch::make_rotornet(p, arch::RotorRouting::Direct, /*hybrid=*/true);
+  auto* net = inst.net.get();
+
+  telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+  if (!trace_path.empty()) net->sim().set_recorder(&recorder);
+
+  // The watchdog's quarantine hook drives per-node degraded steering: the
+  // moment a ToR is fenced off the calendar, elephant flows from/to it stop
+  // targeting optical circuits at the source host.
+  auto steering = std::make_shared<services::HybridSteering>(
+      *net, /*elephant_bytes=*/256 << 10, /*idle_reset=*/50_ms);
+  services::SyncWatchdog watchdog(*net);
+  std::int64_t wrong_at_quarantine = -1;
+  watchdog.set_quarantine_hook(
+      [steering, net, &wrong_at_quarantine](NodeId n, bool quarantined) {
+        steering->set_node_degraded(n, quarantined);
+        if (quarantined && wrong_at_quarantine < 0) {
+          wrong_at_quarantine = net->optical().wrong_slice();
+        }
+      });
+  watchdog.start();
+
+  // Steady all-to-all calendar traffic: every launch is a chance for a
+  // drifted sender to hit the wrong circuit.
+  net->sim().schedule_every(5_us, 10_us, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 500 + src;
+      pkt.dst_host = (src + 3) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  // The clock-fault script: node 2 drifts fast with its beacons suppressed
+  // (drift compounds unchecked — the silent hazard), node 5 takes an
+  // instant 30 us step that the next beacon disciplines, and a short
+  // fabric-wide outage exercises the watchdog's probe/backoff path.
+  services::FaultPlan plan(*net, /*seed=*/2024, inst.ctl.get());
+  plan.load_json(R"({"events": [
+    {"kind": "clock_drift", "at_us": 2000, "node": 2, "ppm": 8000,
+     "duration_us": 6000},
+    {"kind": "beacon_loss", "at_us": 2000, "node": 2, "duration_us": 6000},
+    {"kind": "clock_step", "at_us": 14000, "node": 5, "extra_us": 30},
+    {"kind": "sync_outage", "at_us": 17000, "duration_us": 800}
+  ]})");
+  plan.arm();
+
+  inst.run_for(26_ms);
+  // Quiet tail: every clock is disciplined again — the fabric must carry
+  // zero further wrong-slice launches.
+  const std::int64_t wrong_quiet = net->optical().wrong_slice();
+  inst.run_for(5_ms);
+  const std::int64_t wrong_final = net->optical().wrong_slice();
+
+  const auto& fab = net->optical();
+  std::int64_t arrivals = 0;
+  for (NodeId n = 0; n < net->num_tors(); ++n) {
+    arrivals += net->tor(n).wrong_slice_arrivals();
+  }
+  std::printf("=== clock chaos drill: %s, 31 ms, %zu scripted events ===\n",
+              inst.name.c_str(), plan.size());
+  std::printf("injected: %s\n", plan.summary().c_str());
+  std::printf("wrong-slice launches:   %lld (at quarantine: %lld, "
+              "after quiet tail: +%lld)\n",
+              static_cast<long long>(wrong_final),
+              static_cast<long long>(wrong_at_quarantine),
+              static_cast<long long>(wrong_final - wrong_quiet));
+  std::printf("wrong-slice arrivals:   %lld (receive-side symptom)\n",
+              static_cast<long long>(arrivals));
+  std::printf("watchdog: desyncs=%lld widenings=%lld quarantines=%lld "
+              "readmissions=%lld probes ok/lost=%lld/%lld\n",
+              static_cast<long long>(watchdog.desyncs_detected()),
+              static_cast<long long>(watchdog.guard_widenings()),
+              static_cast<long long>(watchdog.quarantines()),
+              static_cast<long long>(watchdog.readmissions()),
+              static_cast<long long>(watchdog.probes_ok()),
+              static_cast<long long>(watchdog.probes_lost()));
+  if (watchdog.time_to_detect_us().count() > 0) {
+    std::printf("detect latency:         p50=%.1f us (n=%zu)\n",
+                watchdog.time_to_detect_us().percentile(50),
+                watchdog.time_to_detect_us().count());
+  }
+  if (watchdog.quarantine_us().count() > 0) {
+    std::printf("quarantine held:        p50=%.1f us (n=%zu)\n",
+                watchdog.quarantine_us().percentile(50),
+                watchdog.quarantine_us().count());
+  }
+  std::printf("fabric: delivered=%lld drops=%lld\n",
+              static_cast<long long>(fab.delivered()),
+              static_cast<long long>(fab.total_drops()));
+
+  write_trace(trace_path, recorder);
+
+  const bool passed = watchdog.desyncs_detected() >= 1 &&
+                      watchdog.quarantines() >= 1 &&
+                      watchdog.readmissions() >= 1 &&
+                      watchdog.probes_lost() >= 1 &&
+                      wrong_at_quarantine >= 0 &&
+                      wrong_final > 0 &&          // the hazard manifested
+                      wrong_final == wrong_quiet &&  // ...and was contained
+                      !steering->node_degraded(2);   // node 2 re-admitted
+  std::printf("%s\n",
+              passed ? "clock chaos drill passed: desync detected from "
+                       "symptoms, quarantined, and re-admitted"
+                     : "clock chaos drill FAILED");
+  return passed ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool clock_chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--clock-chaos") == 0) {
+      clock_chaos = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_drill [--clock-chaos] [--trace=PATH]\n");
+      return 1;
+    }
+  }
+  return clock_chaos ? run_clock_drill(trace_path)
+                     : run_fault_drill(trace_path);
 }

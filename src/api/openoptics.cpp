@@ -23,6 +23,8 @@ Config Config::from_json(const std::string& text) {
   c.calendar = v.get_bool("calendar", c.calendar);
   c.electrical_gbps = v.get_double("electrical_gbps", c.electrical_gbps);
   c.seed = static_cast<std::uint64_t>(v.get_int("seed", 42));
+  c.resync_interval_us =
+      v.get_double("resync_interval_us", c.resync_interval_us);
   c.congestion_detection =
       v.get_bool("congestion_detection", c.congestion_detection);
   c.congestion_response =
@@ -50,6 +52,8 @@ core::NetworkConfig Config::to_network_config() const {
   n.electrical_bw = electrical_gbps * 1e9;
   n.calendar_mode = calendar;
   n.seed = seed;
+  n.resync_interval =
+      SimTime::nanos(static_cast<std::int64_t>(resync_interval_us * 1e3));
   n.congestion_detection = congestion_detection;
   if (congestion_response == "defer") {
     n.congestion_response = core::CongestionResponse::Defer;

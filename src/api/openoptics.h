@@ -44,6 +44,9 @@ struct Config {
   bool calendar = true;
   double electrical_gbps = 0.0;
   std::uint64_t seed = 42;
+  // Period of the control plane's OpSync resync beacons (0 disables them;
+  // drifting clocks then run open-loop until a watchdog probe intervenes).
+  double resync_interval_us = 100.0;
 
   // Infra-service knobs (§5.2).
   bool congestion_detection = true;

@@ -77,6 +77,21 @@ void CalendarQueuePort::rotate() {
   queues_[static_cast<std::size_t>(active_)].resume();
 }
 
+std::vector<net::Packet> CalendarQueuePort::drain_all() {
+  std::vector<net::Packet> out;
+  const int k = num_queues();
+  for (int rank = 0; rank < k; ++rank) {
+    auto& q = queue_at_rank(rank);
+    // dequeue() refuses to emit from a paused queue; lift the pause for the
+    // drain and restore it afterwards.
+    const bool was_paused = q.paused();
+    q.resume();
+    while (auto p = q.dequeue()) out.push_back(std::move(*p));
+    if (was_paused) q.pause();
+  }
+  return out;
+}
+
 std::int64_t CalendarQueuePort::total_bytes() const {
   std::int64_t b = 0;
   for (const auto& q : queues_) b += q.bytes();

@@ -48,6 +48,11 @@ class CalendarQueuePort {
   // queue (triggered per slice by the switch's rotation timer).
   void rotate();
 
+  // Remove every held packet in calendar order (active queue first). The
+  // pause state of each queue is preserved; used when a quarantined ToR must
+  // evacuate its optical calendar onto the electrical fabric.
+  std::vector<net::Packet> drain_all();
+
   std::int64_t total_bytes() const;
   std::int64_t peak_total_bytes() const { return peak_total_; }
   std::int64_t rank_overflows() const { return rank_overflows_; }

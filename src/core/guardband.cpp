@@ -1,10 +1,38 @@
 #include "core/guardband.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace oo::core {
 
 GuardbandBreakdown derive_guardband(const GuardbandInputs& in) {
+  if (!(in.line_rate > 0.0)) {
+    throw std::invalid_argument("derive_guardband: line_rate must be > 0, got " +
+                                std::to_string(in.line_rate));
+  }
+  if (in.eqo_error_bytes < 0) {
+    throw std::invalid_argument(
+        "derive_guardband: eqo_error_bytes must be >= 0, got " +
+        std::to_string(in.eqo_error_bytes));
+  }
+  if (in.rotation_variance < SimTime::zero()) {
+    throw std::invalid_argument(
+        "derive_guardband: rotation_variance must be >= 0");
+  }
+  if (in.sync_error < SimTime::zero()) {
+    throw std::invalid_argument("derive_guardband: sync_error must be >= 0");
+  }
+  if (!std::isfinite(in.headroom) || in.headroom < 1.0) {
+    throw std::invalid_argument(
+        "derive_guardband: headroom must be finite and >= 1, got " +
+        std::to_string(in.headroom));
+  }
+  if (in.duty_factor < 1) {
+    throw std::invalid_argument(
+        "derive_guardband: duty_factor must be >= 1, got " +
+        std::to_string(in.duty_factor));
+  }
   GuardbandBreakdown out;
   out.rotation_variance = in.rotation_variance;
   out.eqo_delay = SimTime::nanos(static_cast<std::int64_t>(

@@ -36,6 +36,10 @@ struct GuardbandBreakdown {
   SimTime min_slice;   // guardband x duty_factor
 };
 
+// Derives the guardband budget from the inputs. Throws std::invalid_argument
+// on physically meaningless inputs: non-positive line_rate, negative
+// eqo_error_bytes, negative rotation_variance or sync_error, non-finite or
+// sub-1 headroom, or duty_factor < 1.
 GuardbandBreakdown derive_guardband(const GuardbandInputs& in);
 
 }  // namespace oo::core

@@ -232,6 +232,7 @@ TorSwitch::TorSwitch(Network& net, NodeId id)
   drops_congestion_ = &metrics.counter(
       "tor.drops", {{"class", "congestion"}, {"node", std::to_string(id)}});
   slice_misses_ = &metrics.counter("tor.slice_misses", node_label);
+  wrong_slice_arrivals_ = &metrics.counter("tor.wrong_slice", node_label);
   const auto& cfg = net_.config();
   const auto& sched = net_.schedule();
   int k = cfg.calendar_queues;
@@ -259,12 +260,12 @@ SliceId TorSwitch::current_slice() const {
 std::int64_t TorSwitch::current_abs_slice() const { return local_abs_slice_; }
 
 SimTime TorSwitch::window_start() const {
-  return local_slice_start_ + net_.head_guard_;
+  return local_slice_start_ + net_.head_guard_ + net_.node_guard_extra(id_);
 }
 
 SimTime TorSwitch::window_end() const {
   return local_slice_start_ + net_.schedule().slice_duration() -
-         net_.tail_margin_;
+         net_.tail_margin_ - net_.node_guard_extra(id_);
 }
 
 void TorSwitch::from_host(Packet&& p) {
@@ -276,7 +277,27 @@ void TorSwitch::from_host(Packet&& p) {
 }
 
 void TorSwitch::from_optical(Packet&& p, PortId in_port) {
-  (void)in_port;
+  // Receive-side desync symptom: a calendar-scheduled packet should arrive
+  // in the slice it departed in, or the next one (fabric latency is well
+  // under a slice) — on *this node's* clock. Anything else means either the
+  // sender launched into the wrong circuit or our own rotation is skewed;
+  // the observer cannot tell which, so the symptom is self-attributed and
+  // the watchdog treats it as corroborating (widen-only) evidence.
+  const auto& cfg = net_.config();
+  if (cfg.calendar_mode && net_.schedule().period() > 1 &&
+      p.intended_slice != kAnySlice) {
+    const SliceId cur = current_slice();
+    const SliceId next = net_.schedule().slice_of(
+        static_cast<std::int64_t>(p.intended_slice) + 1);
+    if (cur != p.intended_slice && cur != next) {
+      wrong_slice_arrivals_->inc();
+      if (auto* tr = net_.sim().recorder()) {
+        tr->wrong_slice(net_.sim().now(), id_, in_port, p.id,
+                        p.intended_slice);
+      }
+      if (net_.arrival_hook_) net_.arrival_hook_(id_, net_.sim().now());
+    }
+  }
   route(std::move(p));
 }
 
@@ -337,6 +358,22 @@ void TorSwitch::apply_action(Packet&& p, const net::SourceHop& hop,
   if (hop.egress == kElectricalEgress) {
     auto* el = net_.electrical();
     assert(el != nullptr && "route uses electrical fabric but none exists");
+    el->transmit(id_, std::move(p));
+    return;
+  }
+  // Quarantine safe mode: while this node (or the packet's final ToR) is
+  // fenced off the optical fabric, divert to the electrical fabric instead
+  // of parking bytes behind a gated transmitter. Only possible on hybrid
+  // architectures; without an electrical fabric the watchdog never
+  // escalates past guard widening.
+  if (auto* el = net_.electrical();
+      el != nullptr && (net_.node_quarantined(id_) ||
+                        (p.dst_node != kInvalidNode &&
+                         net_.node_quarantined(p.dst_node)))) {
+    p.intended_slice = kAnySlice;
+    p.intended_port = kInvalidPort;
+    p.source_route.clear();
+    p.route_idx = 0;
     el->transmit(id_, std::move(p));
     return;
   }
@@ -645,6 +682,10 @@ void TorSwitch::schedule_drain(PortId port, SimTime at) {
 }
 
 void TorSwitch::try_send(PortId port) {
+  // Quarantined: the optical transmitter is administratively dark. Traffic
+  // was (and keeps being) diverted electrically; anything still parked here
+  // is evacuated by flush_and_reroute().
+  if (net_.node_quarantined(id_)) return;
   auto& u = uplinks_[static_cast<std::size_t>(port)];
   const auto& cfg = net_.config();
   const SimTime now = net_.sim().now();
@@ -768,6 +809,26 @@ void TorSwitch::on_rotation(std::int64_t abs_slice) {
   }
 }
 
+void TorSwitch::flush_and_reroute() {
+  std::vector<Packet> evacuated;
+  for (auto& u : uplinks_) {
+    if (u.cal) {
+      for (auto& p : u.cal->drain_all()) evacuated.push_back(std::move(p));
+    }
+    const bool was_paused = u.fifo.paused();
+    u.fifo.resume();
+    while (auto p = u.fifo.dequeue()) evacuated.push_back(std::move(*p));
+    if (was_paused) u.fifo.pause();
+  }
+  for (auto& p : evacuated) {
+    p.intended_slice = kAnySlice;
+    p.intended_port = kInvalidPort;
+    p.source_route.clear();
+    p.route_idx = 0;
+    route(std::move(p));
+  }
+}
+
 std::int64_t TorSwitch::buffer_bytes() const {
   std::int64_t b = 0;
   for (const auto& u : uplinks_) {
@@ -800,6 +861,12 @@ Network::Network(NetworkConfig cfg, optics::Schedule schedule,
   // window, exactly as on real hardware.
   head_guard_ = cfg_.guardband + cfg_.sync_error;
   tail_margin_ = cfg_.sync_error;
+  guard_extra_.assign(static_cast<std::size_t>(cfg_.num_tors),
+                      SimTime::zero());
+  quarantined_.assign(static_cast<std::size_t>(cfg_.num_tors), 0);
+  beacons_ok_ = &sim_.metrics().counter("sync.beacons", {{"result", "ok"}});
+  beacons_lost_ =
+      &sim_.metrics().counter("sync.beacons", {{"result", "lost"}});
 
   optical_ = std::make_unique<optics::OpticalFabric>(
       sim_, schedule_, profile, master_rng_.fork());
@@ -846,21 +913,75 @@ void Network::start() {
   if (started_) return;
   started_ = true;
   if (!cfg_.calendar_mode || schedule_.period() <= 1) return;
-  const SimTime dur = schedule_.slice_duration();
-  for (NodeId n = 0; n < cfg_.num_tors; ++n) {
-    auto* tor = tors_[static_cast<std::size_t>(n)].get();
-    // First rotation at the end of slice 0, offset by this node's clock
-    // error (negative offsets clamp to the first representable instant).
-    SimTime first = dur + sync_->offset(n);
-    if (first <= sim_.now()) first = dur;
-    auto counter = std::make_shared<std::int64_t>(0);
+  for (NodeId n = 0; n < cfg_.num_tors; ++n) arm_rotation(n, 1);
+  if (cfg_.resync_interval > SimTime::zero()) {
     sim_.schedule_every(
-        first, dur,
-        [tor, counter]() {
-          ++*counter;
-          tor->on_rotation(*counter);
-        },
-        "rotation");
+        cfg_.resync_interval, cfg_.resync_interval,
+        [this]() { beacon_round(); }, "sync.beacon");
+  }
+}
+
+void Network::arm_rotation(NodeId n, std::int64_t k) {
+  // Rotation k of node n fires at the node's local view of the global
+  // boundary k*dur: with a static clock this is exactly the historical
+  // `boundary + offset` chain; with drift the firing instants stretch or
+  // compress, physically skewing the node's slice windows off the fabric's.
+  const SimTime target = schedule_.slice_duration() * k;
+  SimTime when = sync_->rotation_time(n, target, target);
+  // A pathological offset (or a backwards clock step mid-run) must never
+  // schedule into the past; clamping keeps per-node rotations ordered.
+  if (when < sim_.now()) when = sim_.now();
+  auto* tor = tors_[static_cast<std::size_t>(n)].get();
+  sim_.schedule_at(
+      when,
+      [this, tor, n, k]() {
+        tor->on_rotation(k);
+        arm_rotation(n, k + 1);
+      },
+      "rotation");
+}
+
+void Network::beacon_round() {
+  for (NodeId n = 0; n < cfg_.num_tors; ++n) beacon_exchange(n, false);
+}
+
+bool Network::beacon_exchange(NodeId n, bool probe) {
+  const SimTime now = sim_.now();
+  if (sync_->beacons_blocked(n, now)) {
+    beacons_lost_->inc();
+    if (auto* tr = sim_.recorder()) tr->beacon_lost(now, n, probe);
+    return false;
+  }
+  sync_->resync(n, now);
+  beacons_ok_->inc();
+  return true;
+}
+
+bool Network::probe_beacon(NodeId n) { return beacon_exchange(n, true); }
+
+void Network::set_node_guard_extra(NodeId n, SimTime extra) {
+  if (extra < SimTime::zero()) extra = SimTime::zero();
+  // Keep at least a quarter of the nominal drain window usable: a widened
+  // node ships less per slice but still makes forward progress.
+  const SimTime nominal =
+      schedule_.slice_duration() - head_guard_ - tail_margin_;
+  const SimTime cap = SimTime::nanos(nominal.ns() * 3 / 8);
+  if (extra > cap) extra = cap;
+  guard_extra_[static_cast<std::size_t>(n)] = extra;
+}
+
+void Network::set_node_quarantined(NodeId n, bool q) {
+  auto& slot = quarantined_[static_cast<std::size_t>(n)];
+  if ((slot != 0) == q) return;
+  slot = q ? 1 : 0;
+  if (q) {
+    // Deferred one event: quarantine is decided inside watchdog/fabric
+    // callbacks that may sit under a drain loop of the very queues the
+    // flush walks.
+    auto* tor = tors_[static_cast<std::size_t>(n)].get();
+    sim_.schedule_at(
+        sim_.now(), [tor]() { tor->flush_and_reroute(); },
+        "tor.quarantine_flush");
   }
 }
 

@@ -73,6 +73,13 @@ struct NetworkConfig {
 
   SimTime sync_error = SimTime::nanos(28);
 
+  // OpSync resync beacon period (TO mode): every interval the controller
+  // re-disciplines each ToR clock back to within sync_error — unless the
+  // beacon is suppressed by a SyncBeaconLoss/SyncOutage fault. Zero disables
+  // the protocol (clocks then hold their construction offsets, or drift
+  // forever once a drift fault is injected).
+  SimTime resync_interval = SimTime::micros(100);
+
   // Congestion detection (EQO-based) and response.
   bool congestion_detection = true;
   SimTime eqo_interval = SimTime::nanos(50);
@@ -230,6 +237,12 @@ class TorSwitch {
   std::int64_t drops_no_route() const { return drops_no_route_->value(); }
   std::int64_t drops_congestion() const { return drops_congestion_->value(); }
   std::int64_t slice_misses() const { return slice_misses_->value(); }
+  // Packets that arrived on an optical circuit outside the slice (or its
+  // immediate successor, covering fabric latency) they were launched for —
+  // the receive-side symptom of a desynchronized clock somewhere.
+  std::int64_t wrong_slice_arrivals() const {
+    return wrong_slice_arrivals_->value();
+  }
   std::int64_t deferrals() const { return deferrals_; }
   std::int64_t trims() const { return trims_; }
   std::int64_t offloads() const { return offloads_; }
@@ -260,6 +273,10 @@ class TorSwitch {
   void handle_offload_return(Packet&& p);
   void try_send(PortId port);
   void schedule_drain(PortId port, SimTime at);
+  // Evacuate calendar + FIFO uplink queues and re-route every packet from
+  // scratch (quarantine entry: the re-route lands them on the electrical
+  // fabric while this node's optical egress is gated).
+  void flush_and_reroute();
   void deliver_local(Packet&& p);
   // Admissible bytes for the queue at `rank` on `port` right now (§5.2).
   std::int64_t admissible_bytes(PortId port, int rank) const;
@@ -285,6 +302,7 @@ class TorSwitch {
   telemetry::Counter* drops_no_route_;
   telemetry::Counter* drops_congestion_;
   telemetry::Counter* slice_misses_;
+  telemetry::Counter* wrong_slice_arrivals_;
   std::int64_t deferrals_ = 0;
   std::int64_t trims_ = 0;
   std::int64_t offloads_ = 0;
@@ -308,6 +326,9 @@ class Network {
   optics::OpticalFabric& optical() { return *optical_; }
   net::ElectricalFabric* electrical() { return electrical_.get(); }
   const SyncModel& sync() const { return *sync_; }
+  // Mutable clock access for fault injection (drift ramps, steps, beacon
+  // suppression) and for the watchdog's resync probes.
+  ClockModel& clock() { return *sync_; }
 
   int num_tors() const { return cfg_.num_tors; }
   int num_hosts() const {
@@ -320,8 +341,40 @@ class Network {
   }
   NodeId tor_of(HostId h) const { return h / cfg_.hosts_per_tor; }
 
-  // Starts slice-rotation timers (TO mode). Idempotent.
+  // Starts slice-rotation timers and the resync-beacon protocol (TO mode).
+  // Idempotent.
   void start();
+
+  // ---- per-node safe-mode controls (driven by services::SyncWatchdog) ----
+  // Extra guard margin applied to *both* ends of this node's drain window on
+  // top of the global head_guard_/tail_margin_ — widening trades duty cycle
+  // for tolerance of clock error beyond the advertised bound. Clamped so at
+  // least a quarter of the nominal window survives.
+  void set_node_guard_extra(NodeId n, SimTime extra);
+  SimTime node_guard_extra(NodeId n) const {
+    return guard_extra_[static_cast<std::size_t>(n)];
+  }
+  // Quarantine: gate the node's optical egress entirely and divert traffic
+  // from/to it onto the electrical fabric (when one exists). Entering
+  // quarantine evacuates the node's calendar queues via a deferred flush so
+  // parked packets re-route instead of rotting until re-admission.
+  void set_node_quarantined(NodeId n, bool q);
+  bool node_quarantined(NodeId n) const {
+    return quarantined_[static_cast<std::size_t>(n)] != 0;
+  }
+
+  // Receive-side desync symptom tap: fired (synchronously, from the
+  // arrival path) when a ToR observes a wrong-slice arrival, with the
+  // *observing* node — the observer cannot tell which sender drifted.
+  using SymptomHook = std::function<void(NodeId, SimTime)>;
+  void set_wrong_slice_arrival_hook(SymptomHook hook) {
+    arrival_hook_ = std::move(hook);
+  }
+
+  // One beacon exchange with node `n` right now (the watchdog's backoff
+  // re-probe path; the periodic protocol uses the same primitive). Returns
+  // false when the beacon is suppressed by an active fault.
+  bool probe_beacon(NodeId n);
 
   // Swap the optical schedule (TA reconfiguration); `delay` is the OCS
   // retargeting time. Rotation timers adapt to the new period.
@@ -355,6 +408,13 @@ class Network {
   friend class TorSwitch;
   friend class Host;
 
+  // Self-rescheduling rotation chain: rotation k of node n fires at the
+  // node's *clock-local* view of the global boundary k*slice_duration, so a
+  // drifting clock physically moves the node's slice windows.
+  void arm_rotation(NodeId n, std::int64_t k);
+  void beacon_round();
+  bool beacon_exchange(NodeId n, bool probe);
+
   NetworkConfig cfg_;
   optics::Schedule schedule_;
   sim::Simulator sim_;
@@ -370,6 +430,12 @@ class Network {
   // Derived slice-window margins (see network.cpp).
   SimTime head_guard_ = SimTime::zero();
   SimTime tail_margin_ = SimTime::zero();
+  // Per-node safe-mode state (sync watchdog).
+  std::vector<SimTime> guard_extra_;
+  std::vector<char> quarantined_;
+  SymptomHook arrival_hook_;
+  telemetry::Counter* beacons_ok_ = nullptr;
+  telemetry::Counter* beacons_lost_ = nullptr;
 };
 
 }  // namespace oo::core

@@ -1,14 +1,134 @@
 #include "core/sync.h"
 
+#include <cassert>
+#include <cmath>
+
 namespace oo::core {
 
-SyncModel::SyncModel(int num_nodes, SimTime error_bound, Rng rng)
+ClockModel::ClockModel(int num_nodes, SimTime error_bound, Rng rng)
     : bound_(error_bound) {
-  offsets_.reserve(static_cast<std::size_t>(num_nodes));
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
-    offsets_.push_back(
-        SimTime::nanos(rng.uniform_i64(-bound_.ns(), bound_.ns())));
+    // The same draw order as the historical static model, so seeded runs
+    // with zero drift keep their exact offsets.
+    const SimTime residual =
+        SimTime::nanos(rng.uniform_i64(-bound_.ns(), bound_.ns()));
+    NodeClock c;
+    c.residual = residual;
+    c.offset_ref = residual;
+    nodes_.push_back(c);
   }
+  // Drawn after the offsets: does not disturb the residuals' stream.
+  jitter_salt_ = rng.next_u64();
+}
+
+std::size_t ClockModel::idx(NodeId node) const {
+  assert(node >= 0 && node < num_nodes() && "ClockModel: NodeId out of range");
+  if (node < 0) return 0;
+  const auto i = static_cast<std::size_t>(node);
+  return i < nodes_.size() ? i : nodes_.size() - 1;
+}
+
+SimTime ClockModel::drift_term(const NodeClock& c, SimTime now) const {
+  if (c.drift_ppm == 0.0 || now <= c.ref) return SimTime::zero();
+  const double ns = c.drift_ppm * 1e-6 * static_cast<double>((now - c.ref).ns());
+  return SimTime::nanos(std::llround(ns));
+}
+
+SimTime ClockModel::jitter_term(const NodeClock& c, NodeId node,
+                                SimTime now) const {
+  if (c.jitter_amp <= SimTime::zero()) return SimTime::zero();
+  // Stateless hash over (salt, node, ~1 us time bucket): deterministic,
+  // piecewise-constant, and free of Rng stream consumption — reads stay
+  // pure no matter how often telemetry or the watchdog samples the clock.
+  const std::uint64_t bucket =
+      static_cast<std::uint64_t>(now.ns()) >> 10;
+  const std::uint64_t key = jitter_salt_ ^
+                            (static_cast<std::uint64_t>(node) *
+                             0x9e3779b97f4a7c15ULL) ^
+                            (bucket * 0xbf58476d1ce4e5b9ULL);
+  const std::int64_t span = 2 * c.jitter_amp.ns() + 1;
+  const auto h = static_cast<std::int64_t>(
+      hash_mix(key) % static_cast<std::uint64_t>(span));
+  return SimTime::nanos(h - c.jitter_amp.ns());
+}
+
+SimTime ClockModel::offset(NodeId node, SimTime now) const {
+  if (nodes_.empty()) return SimTime::zero();
+  const NodeClock& c = nodes_[idx(node)];
+  return c.offset_ref + drift_term(c, now) + jitter_term(c, node, now);
+}
+
+SimTime ClockModel::offset(NodeId node) const {
+  if (nodes_.empty()) return SimTime::zero();
+  return nodes_[idx(node)].offset_ref;
+}
+
+SimTime ClockModel::rotation_time(NodeId node, SimTime target,
+                                  SimTime hint) const {
+  // Solve t = target + offset(t). Two fixed-point rounds converge below a
+  // nanosecond at any ppm-scale drift; at zero drift the first round is
+  // already exact (the seed's `boundary + offset` instants).
+  SimTime t = target + offset(node, hint);
+  t = target + offset(node, t);
+  return target + offset(node, t);
+}
+
+void ClockModel::fold(NodeClock& c, SimTime now) const {
+  c.offset_ref = c.offset_ref + drift_term(c, now);
+  c.ref = now;
+}
+
+void ClockModel::set_drift_ppm(NodeId node, double ppm, SimTime now) {
+  if (nodes_.empty()) return;
+  NodeClock& c = nodes_[idx(node)];
+  fold(c, now);
+  c.drift_ppm = ppm;
+}
+
+double ClockModel::drift_ppm(NodeId node) const {
+  if (nodes_.empty()) return 0.0;
+  return nodes_[idx(node)].drift_ppm;
+}
+
+void ClockModel::step(NodeId node, SimTime delta, SimTime now) {
+  if (nodes_.empty()) return;
+  NodeClock& c = nodes_[idx(node)];
+  fold(c, now);
+  c.offset_ref += delta;
+}
+
+void ClockModel::set_jitter(NodeId node, SimTime amplitude) {
+  if (nodes_.empty()) return;
+  nodes_[idx(node)].jitter_amp = amplitude;
+}
+
+void ClockModel::resync(NodeId node, SimTime now) {
+  if (nodes_.empty()) return;
+  NodeClock& c = nodes_[idx(node)];
+  // The beacon re-disciplines the clock to its syntonization residual; a
+  // node that never drifted snaps to the value it already holds, so resync
+  // is a strict no-op on healthy runs.
+  c.offset_ref = c.residual;
+  c.ref = now;
+  c.last_resync = now;
+}
+
+SimTime ClockModel::last_resync(NodeId node) const {
+  if (nodes_.empty()) return SimTime::zero();
+  return nodes_[idx(node)].last_resync;
+}
+
+void ClockModel::block_beacons(NodeId node, SimTime until) {
+  if (nodes_.empty()) return;
+  NodeClock& c = nodes_[idx(node)];
+  if (until > c.blocked_until) c.blocked_until = until;
+}
+
+bool ClockModel::beacons_blocked(NodeId node, SimTime now) const {
+  if (nodes_.empty()) return false;
+  if (now < outage_until_) return true;
+  return now < nodes_[idx(node)].blocked_until;
 }
 
 }  // namespace oo::core

@@ -1,10 +1,22 @@
 // Synchronization model. The real system uses a hardware-independent
-// nanosecond-precision protocol (OpSync, separate paper); the framework only
+// nanosecond-precision protocol (OpSync, separate paper); the framework
 // depends on its error *bound*: every electrical endpoint's clock is within
-// +/-bound of the optical controller's. We model each node's offset as a
-// fixed draw within the bound (slow drift is irrelevant at slice scale).
+// +/-bound of the optical controller's. Historically each node's offset was
+// one fixed draw within the bound; the ClockModel below makes clock health a
+// first-class fault domain instead: each node carries a syntonization
+// residual (the construction draw), a drift rate in ppm, and bounded jitter,
+// all advanced *lazily on read* — reading a clock never schedules events or
+// consumes an Rng stream, so event ordering is unperturbed and a run with
+// zero drift is bit-identical to the static model.
+//
+// A periodic resync protocol (OpSync beacons, driven by core::Network) snaps
+// a node's offset back to its residual; beacons can be suppressed per node
+// (SyncBeaconLoss) or fabric-wide (SyncOutage), letting drift accumulate
+// unbounded — the silent wrong-slice hazard the guardband analysis (§7)
+// exists to defend against.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -13,21 +25,88 @@
 
 namespace oo::core {
 
-class SyncModel {
+class ClockModel {
  public:
-  SyncModel(int num_nodes, SimTime error_bound, Rng rng);
+  ClockModel(int num_nodes, SimTime error_bound, Rng rng);
 
   SimTime error_bound() const { return bound_; }
-  // Signed clock offset of `node` relative to fabric time.
-  SimTime offset(NodeId node) const {
-    return offsets_[static_cast<std::size_t>(node)];
-  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Signed clock offset of `node` relative to fabric time at `now`:
+  // residual-or-last-resync value advanced by the drift rate, plus bounded
+  // piecewise-constant jitter. Pure read; out-of-range nodes are clamped
+  // (and assert in debug builds).
+  SimTime offset(NodeId node, SimTime now) const;
+  // Static view (no drift/jitter advance) for callers without a time
+  // context; equals offset(node, now) while the node carries no dynamics.
+  SimTime offset(NodeId node) const;
   // When node `node` believes global instant `t` occurs on its own clock.
-  SimTime local_view(NodeId node, SimTime t) const { return t + offset(node); }
+  SimTime local_view(NodeId node, SimTime t) const {
+    return t + offset(node, t);
+  }
+
+  // Global instant at which the node's rotation timer for the local slice
+  // boundary `target` fires (the seed convention: boundary + offset, with
+  // the offset evaluated at the firing instant via fixed-point iteration —
+  // exact at zero drift, sub-ns converged at realistic ppm rates).
+  SimTime rotation_time(NodeId node, SimTime target, SimTime hint) const;
+
+  // ---- clock dynamics (fault injection) ----
+  // Drift rate in parts-per-million of elapsed fabric time. The current
+  // offset is folded at `now` so the ramp starts from the clock's present
+  // error, not its residual.
+  void set_drift_ppm(NodeId node, double ppm, SimTime now);
+  double drift_ppm(NodeId node) const;
+  // Instant offset jump (a GPS glitch / PLL slip).
+  void step(NodeId node, SimTime delta, SimTime now);
+  // Bounded jitter amplitude: offset reads gain a deterministic hash-based
+  // term in [-amplitude, +amplitude], piecewise-constant over ~1 us buckets.
+  void set_jitter(NodeId node, SimTime amplitude);
+
+  // ---- OpSync resync beacons ----
+  // Snap the node's offset back to its syntonization residual (the
+  // construction draw within +/-bound). Drift keeps acting afterwards.
+  void resync(NodeId node, SimTime now);
+  SimTime last_resync(NodeId node) const;
+  // Suppress beacons for one node / the whole fabric until `until`.
+  void block_beacons(NodeId node, SimTime until);
+  void set_outage(SimTime until) { outage_until_ = until; }
+  bool beacons_blocked(NodeId node, SimTime now) const;
+  bool outage(SimTime now) const { return now < outage_until_; }
+
+  // Whether the node's momentary offset is inside the advertised bound —
+  // what a beacon exchange would measure.
+  bool within_bound(NodeId node, SimTime now) const {
+    const SimTime off = offset(node, now);
+    return off >= SimTime::zero() - bound_ && off <= bound_;
+  }
 
  private:
+  struct NodeClock {
+    SimTime residual;      // construction draw within +/-bound
+    SimTime offset_ref;    // offset at `ref` (drift folded up to here)
+    SimTime ref;           // fabric time of the last fold
+    double drift_ppm = 0.0;
+    SimTime jitter_amp = SimTime::zero();
+    SimTime blocked_until = SimTime::zero();
+    SimTime last_resync = SimTime::zero();
+  };
+
+  std::size_t idx(NodeId node) const;
+  // Fold the drift accumulated since `ref` into offset_ref at `now`.
+  void fold(NodeClock& c, SimTime now) const;
+  SimTime drift_term(const NodeClock& c, SimTime now) const;
+  SimTime jitter_term(const NodeClock& c, NodeId node, SimTime now) const;
+
   SimTime bound_;
-  std::vector<SimTime> offsets_;
+  std::vector<NodeClock> nodes_;
+  SimTime outage_until_ = SimTime::zero();
+  std::uint64_t jitter_salt_ = 0;
 };
+
+// The static model's name, kept for existing call sites and tests: a
+// ClockModel with no dynamics behaves exactly like the old fixed-draw
+// SyncModel.
+using SyncModel = ClockModel;
 
 }  // namespace oo::core

@@ -63,7 +63,8 @@ OpticalFabric::OpticalFabric(sim::Simulator& s, Schedule schedule,
           &s.metrics().counter("fabric.drops", {{"class", "failed"}})),
       drops_corrupt_(
           &s.metrics().counter("fabric.drops", {{"class", "corrupt"}})),
-      reconfig_stalls_(&s.metrics().counter("fabric.reconfig_stalls")) {
+      reconfig_stalls_(&s.metrics().counter("fabric.reconfig_stalls")),
+      wrong_slice_(&s.metrics().counter("fabric.wrong_slice")) {
   sinks_.resize(static_cast<std::size_t>(schedule_.num_nodes()));
   failed_ports_.assign(static_cast<std::size_t>(schedule_.num_nodes()) *
                            schedule_.uplinks(),
@@ -145,6 +146,10 @@ std::optional<Endpoint> OpticalFabric::live_peer(NodeId from, PortId port,
   return cur;
 }
 
+void OpticalFabric::notify_violation(NodeId from, SimTime at) {
+  for (const auto& fn : violation_listeners_) fn(from, at);
+}
+
 void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
                              SimTime tx_start, SimTime tx_end) {
   auto* tr = sim_.recorder();
@@ -166,15 +171,29 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
         schedule_.abs_slice_at(tx_end - SimTime::nanos(1));
     if (abs_a != abs_b) {
       dropped(drops_boundary_, telemetry::DropReason::Boundary);
+      notify_violation(from, tx_start);
       return;
     }
     const SimTime slice_begin = schedule_.slice_start(abs_a);
     if (tx_start < slice_begin + profile_.reconfig_delay) {
       dropped(drops_guard_, telemetry::DropReason::Guard);
+      notify_violation(from, tx_start);
       return;
     }
   }
   const SliceId slice = schedule_.slice_of(abs_a);
+  // Wrong-slice launch: the sender's calendar stamped this packet for a
+  // specific cycle slice, but its (drifted) clock opened the window inside a
+  // different one. A healthy node can never trip this — its launch window is
+  // provably interior to the intended slice — so the check is a pure desync
+  // symptom. The fabric itself has no way to refuse the bytes: the circuit
+  // of the wrong slice is live and carries them to the wrong peer.
+  if (schedule_.period() > 1 && p.intended_slice != kAnySlice &&
+      slice != p.intended_slice) {
+    wrong_slice_->inc();
+    if (tr) tr->wrong_slice(sim_.now(), from, port, p.id, abs_a);
+    notify_violation(from, tx_start);
+  }
   auto peer = live_peer(from, port, slice, tx_start);
   if (!peer) {
     dropped(drops_no_circuit_, telemetry::DropReason::NoCircuit);

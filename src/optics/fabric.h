@@ -108,6 +108,24 @@ class OpticalFabric {
   bool stall_reconfig(SimTime extra);
   std::int64_t reconfig_stalls() const { return reconfig_stalls_->value(); }
 
+  // Sender-side timing violations: a transmission that straddled a slice
+  // boundary, landed in the reconfiguration guard, or launched into a slice
+  // other than the one its calendar queue scheduled it for. These are the
+  // *observable symptoms* of a desynchronized sender clock — the watchdog
+  // subscribes here rather than reading clock state it could not see in a
+  // real deployment. Fired synchronously from transmit() with the offending
+  // sender and the launch instant.
+  using TimingViolationFn = std::function<void(NodeId, SimTime)>;
+  void on_timing_violation(TimingViolationFn fn) {
+    violation_listeners_.push_back(std::move(fn));
+  }
+
+  // Packets launched into a live circuit of the *wrong* slice: the circuit
+  // exists, so the fabric happily delivers the bytes to whatever peer the
+  // schedule connects — silent misdelivery, the §7 hazard. Counted (and
+  // reported to violation listeners), never dropped.
+  std::int64_t wrong_slice() const { return wrong_slice_->value(); }
+
   std::int64_t delivered() const { return delivered_->value(); }
   std::int64_t drops_no_circuit() const { return drops_no_circuit_->value(); }
   std::int64_t drops_guard() const { return drops_guard_->value(); }
@@ -131,8 +149,11 @@ class OpticalFabric {
   std::vector<DeliverFn> sinks_;
   std::vector<char> failed_ports_;  // node x port bitmap
   std::vector<double> port_ber_;    // node x port bit-error rates
+  void notify_violation(NodeId from, SimTime at);
+
   std::vector<PortEventFn> down_listeners_;
   std::vector<PortEventFn> up_listeners_;
+  std::vector<TimingViolationFn> violation_listeners_;
   // Registry-backed counters ("fabric.delivered", "fabric.drops"{class=...},
   // "fabric.reconfig_stalls"): same hot-path cost as plain fields, but
   // visible to metrics exports without per-component plumbing. The public
@@ -144,6 +165,7 @@ class OpticalFabric {
   telemetry::Counter* drops_failed_;
   telemetry::Counter* drops_corrupt_;
   telemetry::Counter* reconfig_stalls_;
+  telemetry::Counter* wrong_slice_;
 };
 
 }  // namespace oo::optics

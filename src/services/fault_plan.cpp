@@ -11,17 +11,6 @@ SimTime us_to_time(double us) {
   return SimTime::nanos(static_cast<std::int64_t>(us * 1e3));
 }
 
-FaultKind kind_from_name(const std::string& name) {
-  if (name == "port_fail") return FaultKind::PortFail;
-  if (name == "port_repair") return FaultKind::PortRepair;
-  if (name == "link_flap") return FaultKind::LinkFlap;
-  if (name == "ber") return FaultKind::Ber;
-  if (name == "reconfig_stall") return FaultKind::ReconfigStall;
-  if (name == "control_delay") return FaultKind::ControlDelay;
-  if (name == "control_fail") return FaultKind::ControlFail;
-  throw std::runtime_error("unknown fault kind: " + name);
-}
-
 }  // namespace
 
 const char* fault_kind_name(FaultKind k) {
@@ -40,9 +29,31 @@ const char* fault_kind_name(FaultKind k) {
       return "control_delay";
     case FaultKind::ControlFail:
       return "control_fail";
+    case FaultKind::ClockDriftRamp:
+      return "clock_drift";
+    case FaultKind::ClockStep:
+      return "clock_step";
+    case FaultKind::SyncBeaconLoss:
+      return "beacon_loss";
+    case FaultKind::SyncOutage:
+      return "sync_outage";
   }
   return "?";
 }
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  throw std::runtime_error("unknown fault kind: " + name);
+}
+
+// Every enumerator must have a name and a round-trip; a new kind that grows
+// the enum without bumping the count trips this at compile time.
+static_assert(kNumFaultKinds ==
+                  static_cast<int>(FaultKind::SyncOutage) + 1,
+              "kNumFaultKinds out of sync with the FaultKind enum");
 
 FaultPlan& FaultPlan::add(FaultEvent ev) {
   events_.push_back(ev);
@@ -96,6 +107,31 @@ FaultPlan& FaultPlan::fail_control(SimTime at, SimTime duration) {
               .duration = duration});
 }
 
+FaultPlan& FaultPlan::drift_clock(SimTime at, NodeId node, double ppm,
+                                  SimTime duration) {
+  return add({.at = at,
+              .kind = FaultKind::ClockDriftRamp,
+              .node = node,
+              .duration = duration,
+              .ppm = ppm});
+}
+
+FaultPlan& FaultPlan::step_clock(SimTime at, NodeId node, SimTime delta) {
+  return add({.at = at, .kind = FaultKind::ClockStep, .node = node,
+              .extra = delta});
+}
+
+FaultPlan& FaultPlan::lose_beacons(SimTime at, NodeId node,
+                                   SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SyncBeaconLoss, .node = node,
+              .duration = duration});
+}
+
+FaultPlan& FaultPlan::sync_outage(SimTime at, SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SyncOutage,
+              .duration = duration});
+}
+
 FaultPlan& FaultPlan::load_json(const std::string& text) {
   return load_events(json::parse(text));
 }
@@ -103,7 +139,7 @@ FaultPlan& FaultPlan::load_json(const std::string& text) {
 FaultPlan& FaultPlan::load_events(const json::Value& plan) {
   for (const auto& e : plan.at("events").as_array()) {
     FaultEvent ev;
-    ev.kind = kind_from_name(e.at("kind").as_string());
+    ev.kind = fault_kind_from_name(e.at("kind").as_string());
     ev.at = us_to_time(e.get_double("at_us", 0.0));
     ev.node = static_cast<NodeId>(e.get_int("node", kInvalidNode));
     ev.port = static_cast<PortId>(e.get_int("port", kInvalidPort));
@@ -113,6 +149,7 @@ FaultPlan& FaultPlan::load_events(const json::Value& plan) {
     ev.cycles = static_cast<int>(e.get_int("cycles", 1));
     ev.jitter = e.get_double("jitter", 0.0);
     ev.ber = e.get_double("ber", 0.0);
+    ev.ppm = e.get_double("ppm", 0.0);
     ev.extra = us_to_time(e.get_double(
         "extra_us", e.get_double("delay_us", 0.0)));
     add(ev);
@@ -205,6 +242,37 @@ void FaultPlan::fire(const FaultEvent& ev) {
             },
             "fault"));
       }
+      break;
+    case FaultKind::ClockDriftRamp:
+      count(ev.kind, ev.node);
+      net_.clock().set_drift_ppm(ev.node, ev.ppm, sim.now());
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              // Drift stops but the accumulated offset error stays — only a
+              // resync beacon re-disciplines the clock.
+              net_.clock().set_drift_ppm(node, 0.0, net_.sim().now());
+              trace_repair(FaultKind::ClockDriftRamp, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::ClockStep:
+      count(ev.kind, ev.node);
+      net_.clock().step(ev.node, ev.extra, sim.now());
+      break;
+    case FaultKind::SyncBeaconLoss:
+      count(ev.kind, ev.node);
+      net_.clock().block_beacons(ev.node, ev.duration > SimTime::zero()
+                                              ? sim.now() + ev.duration
+                                              : SimTime::max());
+      break;
+    case FaultKind::SyncOutage:
+      count(ev.kind);
+      net_.clock().set_outage(ev.duration > SimTime::zero()
+                                  ? sim.now() + ev.duration
+                                  : SimTime::max());
       break;
   }
 }

@@ -20,17 +20,23 @@
 namespace oo::services {
 
 enum class FaultKind {
-  PortFail,       // transceiver/fiber goes dark
-  PortRepair,     // light restored
-  LinkFlap,       // periodic fail/repair cycles (duty cycle = down/period)
-  Ber,            // set a port's bit-error rate (0 clears it)
-  ReconfigStall,  // extend an in-progress OCS retargeting
-  ControlDelay,   // controller deploys take effect late for a window
-  ControlFail,    // controller rejects every deploy for a window
+  PortFail,        // transceiver/fiber goes dark
+  PortRepair,      // light restored
+  LinkFlap,        // periodic fail/repair cycles (duty cycle = down/period)
+  Ber,             // set a port's bit-error rate (0 clears it)
+  ReconfigStall,   // extend an in-progress OCS retargeting
+  ControlDelay,    // controller deploys take effect late for a window
+  ControlFail,     // controller rejects every deploy for a window
+  ClockDriftRamp,  // node's clock drifts at `ppm` for `duration` (0 = sticky)
+  ClockStep,       // instant clock offset jump by `extra` (PLL slip)
+  SyncBeaconLoss,  // node's resync beacons lost for `duration` (0 = sticky)
+  SyncOutage,      // fabric-wide beacon outage for `duration`
 };
-inline constexpr int kNumFaultKinds = 7;
+inline constexpr int kNumFaultKinds = 11;
 
 const char* fault_kind_name(FaultKind k);
+// Inverse of fault_kind_name; throws std::runtime_error on unknown names.
+FaultKind fault_kind_from_name(const std::string& name);
 
 struct FaultEvent {
   // Absolute injection time (clamped to now at arm()).
@@ -44,7 +50,8 @@ struct FaultEvent {
   int cycles = 1;                    // flap repetitions
   double jitter = 0;  // flap period randomization, fraction of period
   double ber = 0;     // bit-error rate for Ber events
-  // Stall extension / injected deploy delay.
+  double ppm = 0;     // clock drift rate for ClockDriftRamp events
+  // Stall extension / injected deploy delay / clock step size.
   SimTime extra = SimTime::zero();
 };
 
@@ -67,6 +74,16 @@ class FaultPlan {
   FaultPlan& stall_reconfig(SimTime at, SimTime extra);
   FaultPlan& delay_control(SimTime at, SimTime delay, SimTime duration);
   FaultPlan& fail_control(SimTime at, SimTime duration);
+  // Clock faults (§7's silent hazard). drift_clock ramps node `node` at
+  // `ppm` for `duration` (0 = until further notice); step_clock jumps its
+  // offset by `delta` instantly; lose_beacons suppresses the node's resync
+  // beacons; sync_outage suppresses everyone's.
+  FaultPlan& drift_clock(SimTime at, NodeId node, double ppm,
+                         SimTime duration = SimTime::zero());
+  FaultPlan& step_clock(SimTime at, NodeId node, SimTime delta);
+  FaultPlan& lose_beacons(SimTime at, NodeId node,
+                          SimTime duration = SimTime::zero());
+  FaultPlan& sync_outage(SimTime at, SimTime duration);
 
   // Append events from a JSON plan: {"events": [{"kind": "port_fail",
   // "at_us": 100, "node": 0, "port": 1}, ...]}. Times are microseconds

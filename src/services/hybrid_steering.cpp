@@ -2,16 +2,25 @@
 
 namespace oo::services {
 
+void HybridSteering::set_node_degraded(NodeId n, bool d) {
+  const auto i = static_cast<std::size_t>(n);
+  if (i >= node_degraded_.size()) {
+    node_degraded_.resize(static_cast<std::size_t>(net_.num_tors()), 0);
+  }
+  node_degraded_[i] = d ? 1 : 0;
+}
+
 void HybridSteering::prepare(core::Packet& p, NodeId src_tor) {
   const bool elephant =
       aging_.observe(p.flow, p.size_bytes, net_.sim().now());
   if (!elephant) return;
-  if (degraded_) {
+  const NodeId dst =
+      p.dst_node != kInvalidNode ? p.dst_node : net_.tor_of(p.dst_host);
+  if (degraded_ || node_degraded(src_tor) ||
+      (dst != kInvalidNode && node_degraded(dst))) {
     ++diverted_;
     return;  // reduced optical capacity: leave the elephant on electrical
   }
-  const NodeId dst =
-      p.dst_node != kInvalidNode ? p.dst_node : net_.tor_of(p.dst_host);
   if (dst == src_tor) return;
   const auto& sched = net_.schedule();
   // Static (TA) schedule: slice 0 is the topology instance.

@@ -29,6 +29,15 @@ class HybridSteering {
   // Elephant packets that stayed electrical because of degraded mode.
   std::int64_t degraded_diverted() const { return diverted_; }
 
+  // Per-node degraded mode (the sync watchdog's quarantine hook): elephants
+  // from or to a degraded ToR stay on the electrical route, without pulling
+  // the whole fabric out of steering. Lazily sized on first use.
+  void set_node_degraded(NodeId n, bool d);
+  bool node_degraded(NodeId n) const {
+    const auto i = static_cast<std::size_t>(n);
+    return i < node_degraded_.size() && node_degraded_[i] != 0;
+  }
+
   FlowAging& aging() { return aging_; }
   std::int64_t steered_packets() const { return steered_; }
 
@@ -38,6 +47,7 @@ class HybridSteering {
   std::int64_t steered_ = 0;
   std::int64_t diverted_ = 0;
   bool degraded_ = false;
+  std::vector<char> node_degraded_;
 };
 
 }  // namespace oo::services

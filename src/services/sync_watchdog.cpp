@@ -1,0 +1,224 @@
+#include "services/sync_watchdog.h"
+
+#include <algorithm>
+
+namespace oo::services {
+
+SyncWatchdog::SyncWatchdog(core::Network& net, Config cfg)
+    : net_(net),
+      cfg_(cfg),
+      desyncs_(&net.sim().metrics().counter("sync.desync_detected")),
+      widenings_(&net.sim().metrics().counter("sync.guard_widenings")),
+      quarantines_(&net.sim().metrics().counter("sync.quarantines")),
+      readmissions_(&net.sim().metrics().counter("sync.readmissions")),
+      probes_ok_(
+          &net.sim().metrics().counter("sync.probes", {{"result", "ok"}})),
+      probes_lost_(
+          &net.sim().metrics().counter("sync.probes", {{"result", "lost"}})),
+      wrong_slice_seen_(
+          &net.sim().metrics().counter("sync.symptoms_observed")) {}
+
+void SyncWatchdog::start() {
+  if (started_) return;
+  started_ = true;
+  nodes_.assign(static_cast<std::size_t>(net_.num_tors()), NodeState{});
+  for (auto& st : nodes_) st.backoff = cfg_.probe_backoff_initial;
+  widen_step_ = cfg_.widen_step > SimTime::zero()
+                    ? cfg_.widen_step
+                    : net_.config().sync_error * 2;
+  beacon_timeout_ = cfg_.beacon_timeout > SimTime::zero()
+                        ? cfg_.beacon_timeout
+                        : net_.config().resync_interval * 3;
+  alive_ = std::make_shared<bool>(true);
+  std::weak_ptr<bool> weak = alive_;
+  // Fabric violations name the offending *sender* exactly: full ladder.
+  net_.optical().on_timing_violation([this, weak](NodeId n, SimTime at) {
+    if (auto a = weak.lock(); a && *a) record_symptom(n, at, true);
+  });
+  // Arrival symptoms are self-attributed by the observer: widen-only.
+  net_.set_wrong_slice_arrival_hook([this, weak](NodeId n, SimTime at) {
+    if (auto a = weak.lock(); a && *a) record_symptom(n, at, false);
+  });
+  check_handle_ = net_.sim().schedule_every(
+      cfg_.check_interval, cfg_.check_interval, [this]() { check_round(); },
+      "sync.watchdog");
+}
+
+void SyncWatchdog::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (alive_) *alive_ = false;
+  alive_.reset();
+  check_handle_.cancel();
+}
+
+std::vector<NodeId> SyncWatchdog::quarantined_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state == TorState::Quarantined) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+void SyncWatchdog::record_symptom(NodeId n, SimTime at,
+                                  bool sender_attributed) {
+  if (!started_) return;
+  auto& st = nodes_[static_cast<std::size_t>(n)];
+  // A quarantined node is already off the optical fabric; stray symptoms
+  // (in-flight launches racing the flush) must not poison its clean count.
+  if (st.state == TorState::Quarantined) return;
+  wrong_slice_seen_->inc();
+  st.symptom_since_check = true;
+  if (!st.detected && st.window.empty()) st.first_symptom = at;
+  st.window.push_back(at);
+  const SimTime horizon = at - cfg_.violation_window;
+  st.window.erase(std::remove_if(st.window.begin(), st.window.end(),
+                                 [horizon](SimTime t) { return t < horizon; }),
+                  st.window.end());
+  if (sender_attributed) st.sender_evidence = true;
+  if (static_cast<int>(st.window.size()) >= cfg_.violation_threshold &&
+      !st.escalate_pending) {
+    st.escalate_pending = true;
+    // Deferred one event: this path is reached synchronously from inside
+    // OpticalFabric::transmit / TorSwitch arrival handling.
+    std::weak_ptr<bool> weak = alive_;
+    net_.sim().schedule_at(
+        at,
+        [this, n, weak]() {
+          if (auto a = weak.lock(); a && *a) escalate(n);
+        },
+        "sync.escalate");
+  }
+}
+
+void SyncWatchdog::escalate(NodeId n) {
+  auto& st = nodes_[static_cast<std::size_t>(n)];
+  st.escalate_pending = false;
+  if (st.state == TorState::Quarantined) return;
+  const SimTime now = net_.sim().now();
+  const auto symptoms = static_cast<std::int64_t>(st.window.size());
+  if (!st.detected) {
+    st.detected = true;
+    desyncs_->inc();
+    const SimTime ttd = now - st.first_symptom;
+    time_to_detect_us_.add(ttd.us());
+    if (auto* tr = net_.sim().recorder()) {
+      tr->desync(now, n, symptoms, ttd.ns());
+    }
+  }
+  st.clean_rounds = 0;
+  if (st.widenings < cfg_.max_widenings) {
+    ++st.widenings;
+    net_.set_node_guard_extra(n, widen_step_ * st.widenings);
+    widenings_->inc();
+    if (auto* tr = net_.sim().recorder()) {
+      tr->guard_widen(now, n, net_.node_guard_extra(n).ns(), st.widenings);
+    }
+    st.state = TorState::Widened;
+  } else if (st.sender_evidence && net_.electrical() != nullptr) {
+    net_.set_node_quarantined(n, true);
+    quarantines_->inc();
+    if (auto* tr = net_.sim().recorder()) tr->quarantine(now, n, symptoms);
+    st.state = TorState::Quarantined;
+    st.quarantined_at = now;
+    if (quarantine_hook_) quarantine_hook_(n, true);
+  }
+  // Each rung of the ladder demands fresh evidence.
+  st.window.clear();
+  st.sender_evidence = false;
+}
+
+void SyncWatchdog::check_round() {
+  if (!started_) return;
+  const SimTime now = net_.sim().now();
+  auto& clock = net_.clock();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto n = static_cast<NodeId>(i);
+    auto& st = nodes_[i];
+    const SimTime last = clock.last_resync(n);
+    const bool fresh = last != st.last_seen_resync;
+    if (fresh) {
+      st.last_seen_resync = last;
+      st.stale_flagged = false;
+      st.backoff = cfg_.probe_backoff_initial;
+    }
+    // Beacon staleness: flag once per outage (widen-only evidence) and keep
+    // re-probing with capped exponential backoff until one gets through.
+    if (beacon_timeout_ > SimTime::zero() &&
+        now - last > beacon_timeout_) {
+      if (!st.stale_flagged) {
+        st.stale_flagged = true;
+        record_symptom(n, now, false);
+      }
+      if (!st.probe_pending) {
+        st.probe_pending = true;
+        std::weak_ptr<bool> weak = alive_;
+        net_.sim().schedule_at(
+            now,
+            [this, n, weak]() {
+              if (auto a = weak.lock(); a && *a) probe(n);
+            },
+            "sync.probe");
+      }
+    }
+    // Readmission: a clean round is a fresh beacon that measured the clock
+    // back inside the bound, with no symptoms since the last scan.
+    if (st.state != TorState::Healthy) {
+      if (st.symptom_since_check) {
+        st.clean_rounds = 0;
+      } else if (fresh && clock.within_bound(n, now)) {
+        if (++st.clean_rounds >= cfg_.readmit_clean_rounds) readmit(n);
+      }
+    }
+    st.symptom_since_check = false;
+  }
+}
+
+void SyncWatchdog::probe(NodeId n) {
+  auto& st = nodes_[static_cast<std::size_t>(n)];
+  st.probe_pending = false;
+  if (!started_) return;
+  const SimTime now = net_.sim().now();
+  // A scheduled beacon may have landed while this probe waited out its
+  // backoff; don't spend a probe on a freshly disciplined clock.
+  if (now - net_.clock().last_resync(n) <= beacon_timeout_) return;
+  if (net_.probe_beacon(n)) {
+    probes_ok_->inc();
+    st.backoff = cfg_.probe_backoff_initial;
+    return;
+  }
+  probes_lost_->inc();
+  st.backoff = std::min(st.backoff * 2, cfg_.probe_backoff_cap);
+  st.probe_pending = true;
+  std::weak_ptr<bool> weak = alive_;
+  net_.sim().schedule_at(
+      now + st.backoff,
+      [this, n, weak]() {
+        if (auto a = weak.lock(); a && *a) probe(n);
+      },
+      "sync.probe");
+}
+
+void SyncWatchdog::readmit(NodeId n) {
+  auto& st = nodes_[static_cast<std::size_t>(n)];
+  const SimTime now = net_.sim().now();
+  if (st.state == TorState::Quarantined) {
+    net_.set_node_quarantined(n, false);
+    readmissions_->inc();
+    const SimTime held = now - st.quarantined_at;
+    quarantine_us_.add(held.us());
+    if (auto* tr = net_.sim().recorder()) tr->readmit(now, n, held.ns());
+    if (quarantine_hook_) quarantine_hook_(n, false);
+  }
+  net_.set_node_guard_extra(n, SimTime::zero());
+  st.state = TorState::Healthy;
+  st.widenings = 0;
+  st.detected = false;
+  st.clean_rounds = 0;
+  st.window.clear();
+  st.sender_evidence = false;
+}
+
+}  // namespace oo::services

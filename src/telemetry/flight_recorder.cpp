@@ -30,6 +30,18 @@ const char* event_kind_name(EventKind k) {
       return "fault_inject";
     case EventKind::FaultRepair:
       return "fault_repair";
+    case EventKind::WrongSlice:
+      return "wrong_slice";
+    case EventKind::BeaconLost:
+      return "beacon_lost";
+    case EventKind::ClockDesync:
+      return "clock_desync";
+    case EventKind::GuardWiden:
+      return "guard_widen";
+    case EventKind::Quarantine:
+      return "quarantine";
+    case EventKind::Readmit:
+      return "readmit";
   }
   return "?";
 }

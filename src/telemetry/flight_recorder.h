@@ -93,6 +93,33 @@ class FlightRecorder {
     record({ts, inject ? EventKind::FaultInject : EventKind::FaultRepair,
             DropReason::None, node, port, kind, 0});
   }
+  void wrong_slice(SimTime ts, NodeId node, PortId port, std::int64_t pkt,
+                   std::int64_t intended_abs_slice) {
+    record({ts, EventKind::WrongSlice, DropReason::None, node, port, pkt,
+            intended_abs_slice});
+  }
+  void beacon_lost(SimTime ts, NodeId node, bool probe) {
+    record({ts, EventKind::BeaconLost, DropReason::None, node, -1,
+            probe ? 1 : 0, 0});
+  }
+  void desync(SimTime ts, NodeId node, std::int64_t symptoms,
+              std::int64_t detect_ns) {
+    record({ts, EventKind::ClockDesync, DropReason::None, node, -1, symptoms,
+            detect_ns});
+  }
+  void guard_widen(SimTime ts, NodeId node, std::int64_t extra_ns,
+                   std::int64_t ordinal) {
+    record({ts, EventKind::GuardWiden, DropReason::None, node, -1, extra_ns,
+            ordinal});
+  }
+  void quarantine(SimTime ts, NodeId node, std::int64_t symptoms) {
+    record({ts, EventKind::Quarantine, DropReason::None, node, -1, symptoms,
+            0});
+  }
+  void readmit(SimTime ts, NodeId node, std::int64_t quarantined_ns) {
+    record({ts, EventKind::Readmit, DropReason::None, node, -1,
+            quarantined_ns, 0});
+  }
 
   // Oldest-to-newest iteration without copying.
   template <typename Fn>

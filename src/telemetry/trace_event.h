@@ -26,8 +26,14 @@ enum class EventKind : std::uint8_t {
   ControlRetry,    // recovery backoff retry, a = retry ordinal
   FaultInject,     // node/port, a = services::FaultKind ordinal
   FaultRepair,     // node/port, a = services::FaultKind ordinal
+  WrongSlice,      // node/port, a = packet id, b = intended abs slice
+  BeaconLost,      // node, a = 1 probe / 0 scheduled round
+  ClockDesync,     // node, a = symptom count, b = time-to-detect ns
+  GuardWiden,      // node, a = new extra guard ns, b = widen ordinal
+  Quarantine,      // node, a = symptom count at escalation
+  Readmit,         // node, a = quarantine duration ns
 };
-inline constexpr int kNumEventKinds = 13;
+inline constexpr int kNumEventKinds = 19;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {

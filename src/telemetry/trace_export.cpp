@@ -47,6 +47,14 @@ Track track_for(const TraceEvent& ev) {
     case EventKind::FaultInject:
     case EventKind::FaultRepair:
       return {kFaultPid, 0};
+    case EventKind::WrongSlice:
+      return {ev.node, ev.port >= 0 ? ev.port + 1 : 0};
+    case EventKind::BeaconLost:
+    case EventKind::ClockDesync:
+    case EventKind::GuardWiden:
+    case EventKind::Quarantine:
+    case EventKind::Readmit:
+      return {ev.node, 0};
   }
   return {kFabricPid, 0};
 }

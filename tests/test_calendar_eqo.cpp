@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
 #include "core/calendar_queue.h"
 #include "core/eqo.h"
 #include "core/guardband.h"
@@ -173,6 +177,127 @@ TEST(Sync, Deterministic) {
   SyncModel a(8, 28_ns, Rng{5});
   SyncModel b(8, 28_ns, Rng{5});
   for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(a.offset(n), b.offset(n));
+}
+
+TEST(Guardband, RejectsMeaninglessInputs) {
+  GuardbandInputs in;
+  in.line_rate = 0;
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.line_rate = -100e9;
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.eqo_error_bytes = -1;
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.rotation_variance = SimTime::nanos(-1);
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.sync_error = SimTime::nanos(-1);
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.headroom = 0.5;  // guardband below the analytic sum
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.headroom = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+  in = GuardbandInputs{};
+  in.duty_factor = 0;
+  EXPECT_THROW(derive_guardband(in), std::invalid_argument);
+}
+
+TEST(Guardband, AcceptsBoundaryInputs) {
+  GuardbandInputs in;
+  in.headroom = 1.0;     // no headroom is meaningful (analytic budget)
+  in.duty_factor = 1;    // slice == guardband: all guard, still legal
+  in.eqo_error_bytes = 0;
+  in.rotation_variance = 0_ns;
+  in.sync_error = 0_ns;
+  EXPECT_NO_THROW(derive_guardband(in));
+}
+
+TEST(Clock, DriftAccumulatesLazilyOnRead) {
+  ClockModel c(4, 28_ns, Rng{9});
+  const SimTime base = c.offset(1);
+  c.set_drift_ppm(1, 1000.0, 0_ns);  // 1000 ppm = 1 ns per us
+  EXPECT_EQ(c.offset(1, 1_ms), base + 1_us);
+  EXPECT_EQ(c.offset(1, 2_ms), base + 2_us);
+  // Reads are pure: sampling did not advance the reference.
+  EXPECT_EQ(c.offset(1, 1_ms), base + 1_us);
+  // Other nodes hold their static residuals.
+  EXPECT_EQ(c.offset(2, 2_ms), c.offset(2));
+  EXPECT_EQ(c.drift_ppm(1), 1000.0);
+  EXPECT_EQ(c.drift_ppm(2), 0.0);
+}
+
+TEST(Clock, StepJumpsAndResyncRedisciplines) {
+  ClockModel c(4, 28_ns, Rng{9});
+  const SimTime residual = c.offset(1);
+  c.step(1, 5_us, 10_us);
+  EXPECT_EQ(c.offset(1, 10_us), residual + 5_us);
+  EXPECT_FALSE(c.within_bound(1, 10_us));
+  c.resync(1, 20_us);
+  EXPECT_EQ(c.offset(1, 20_us), residual);
+  EXPECT_TRUE(c.within_bound(1, 20_us));
+  EXPECT_EQ(c.last_resync(1), 20_us);
+}
+
+TEST(Clock, DriftSurvivesResyncButOffsetSnaps) {
+  ClockModel c(2, 28_ns, Rng{3});
+  const SimTime residual = c.offset(0);
+  c.set_drift_ppm(0, 2000.0, 0_ns);
+  EXPECT_EQ(c.offset(0, 1_ms), residual + 2_us);
+  c.resync(0, 1_ms);
+  // The beacon snaps the accumulated error, but the oscillator still runs
+  // fast: error re-accumulates from the residual.
+  EXPECT_EQ(c.offset(0, 1_ms), residual);
+  EXPECT_EQ(c.offset(0, 2_ms), residual + 2_us);
+}
+
+TEST(Clock, RotationTimeSolvesFixedPoint) {
+  ClockModel c(2, 28_ns, Rng{11});
+  // Zero drift: exactly the historical boundary + offset convention.
+  EXPECT_EQ(c.rotation_time(0, 100_us, 100_us), 100_us + c.offset(0));
+  // Under drift the firing instant satisfies t = target + offset(t) to
+  // within the fixed-point iteration's sub-ns convergence.
+  c.set_drift_ppm(0, 8000.0, 0_ns);
+  const SimTime t = c.rotation_time(0, 100_us, 100_us);
+  const SimTime err = t - (100_us + c.offset(0, t));
+  EXPECT_LE(std::abs(err.ns()), 1);
+}
+
+TEST(Clock, JitterBoundedDeterministicAndPure) {
+  ClockModel a(4, 28_ns, Rng{17});
+  ClockModel b(4, 28_ns, Rng{17});
+  const SimTime base = a.offset(0);
+  a.set_jitter(0, 10_ns);
+  b.set_jitter(0, 10_ns);
+  for (int i = 0; i < 64; ++i) {
+    const SimTime now = SimTime::nanos(i * 777);
+    const SimTime off = a.offset(0, now);
+    EXPECT_LE(std::abs((off - base).ns()), 10) << "at " << now.ns();
+    EXPECT_EQ(off, b.offset(0, now)) << "at " << now.ns();
+  }
+  // Piecewise-constant: samples inside one ~1 us bucket agree.
+  EXPECT_EQ(a.offset(0, SimTime::nanos(5000)),
+            a.offset(0, SimTime::nanos(5100)));
+}
+
+TEST(Clock, BeaconBlockingAndOutageWindows) {
+  ClockModel c(4, 28_ns, Rng{7});
+  EXPECT_FALSE(c.beacons_blocked(1, 0_ns));
+  c.block_beacons(1, 10_us);
+  EXPECT_TRUE(c.beacons_blocked(1, 5_us));
+  EXPECT_FALSE(c.beacons_blocked(1, 10_us));  // half-open window
+  EXPECT_FALSE(c.beacons_blocked(2, 5_us));   // per-node isolation
+  // A shorter re-block never shrinks the active window.
+  c.block_beacons(1, 2_us);
+  EXPECT_TRUE(c.beacons_blocked(1, 5_us));
+  // Fabric-wide outage blocks everyone.
+  c.set_outage(20_us);
+  EXPECT_TRUE(c.beacons_blocked(2, 15_us));
+  EXPECT_TRUE(c.outage(15_us));
+  EXPECT_FALSE(c.outage(20_us));
 }
 
 }  // namespace

@@ -232,6 +232,70 @@ TEST(FaultPlan, LoadsPlansFromJson) {
                std::runtime_error);
 }
 
+TEST(FaultKindNames, RoundTripEveryKind) {
+  // Every enumerator must serialize to a unique name and parse back —
+  // the JSON plan loader depends on it (kNumFaultKinds static_assert in
+  // fault_plan.cpp catches enum growth at compile time).
+  for (int k = 0; k < services::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<services::FaultKind>(k);
+    const std::string name = services::fault_kind_name(kind);
+    EXPECT_NE(name, "?") << k;
+    EXPECT_EQ(services::fault_kind_from_name(name), kind) << name;
+  }
+  EXPECT_THROW(services::fault_kind_from_name("meteor"), std::runtime_error);
+  // The four clock-fault kinds are spelled as documented.
+  EXPECT_EQ(services::fault_kind_from_name("clock_drift"),
+            services::FaultKind::ClockDriftRamp);
+  EXPECT_EQ(services::fault_kind_from_name("clock_step"),
+            services::FaultKind::ClockStep);
+  EXPECT_EQ(services::fault_kind_from_name("beacon_loss"),
+            services::FaultKind::SyncBeaconLoss);
+  EXPECT_EQ(services::fault_kind_from_name("sync_outage"),
+            services::FaultKind::SyncOutage);
+}
+
+TEST(FaultPlan, LoadsClockFaultsFromJson) {
+  auto inst = rotor_instance();
+  auto& clock = inst.net->clock();
+  const SimTime residual2 = clock.offset(2);
+  const SimTime residual3 = clock.offset(3);
+  services::FaultPlan plan(*inst.net, 1, inst.ctl.get());
+  plan.load_json(R"({"events": [
+    {"kind": "clock_drift", "at_us": 1000, "node": 2, "ppm": 8000,
+     "duration_us": 2000},
+    {"kind": "clock_step", "at_us": 1000, "node": 3, "extra_us": 5},
+    {"kind": "beacon_loss", "at_us": 1000, "node": 2, "duration_us": 2000},
+    {"kind": "sync_outage", "at_us": 4000, "duration_us": 500}
+  ]})");
+  EXPECT_EQ(plan.size(), 4u);
+  plan.arm();
+
+  inst.run_for(2_ms);  // t = 2 ms: ramp active, beacons suppressed
+  EXPECT_DOUBLE_EQ(clock.drift_ppm(2), 8000.0);
+  EXPECT_TRUE(clock.beacons_blocked(2, inst.net->sim().now()));
+  // 1 ms of 8000 ppm = 8 us of accumulated error.
+  EXPECT_EQ(clock.offset(2, 2_ms), residual2 + 8_us);
+  // The step landed instantly; the next beacon already re-disciplined it.
+  EXPECT_EQ(clock.offset(3, inst.net->sim().now()), residual3);
+
+  inst.run_for(1500_us);  // t = 3.5 ms: ramp expired, beacons resumed
+  EXPECT_DOUBLE_EQ(clock.drift_ppm(2), 0.0);
+  EXPECT_FALSE(clock.beacons_blocked(2, inst.net->sim().now()));
+  EXPECT_EQ(clock.offset(2, inst.net->sim().now()), residual2);
+
+  inst.run_for(700_us);  // t = 4.2 ms: inside the fabric-wide outage
+  EXPECT_TRUE(clock.outage(inst.net->sim().now()));
+  EXPECT_TRUE(clock.beacons_blocked(0, inst.net->sim().now()));
+  inst.run_for(400_us);  // t = 4.6 ms: outage over
+  EXPECT_FALSE(clock.outage(inst.net->sim().now()));
+
+  EXPECT_EQ(plan.injected(services::FaultKind::ClockDriftRamp), 1);
+  EXPECT_EQ(plan.injected(services::FaultKind::ClockStep), 1);
+  EXPECT_EQ(plan.injected(services::FaultKind::SyncBeaconLoss), 1);
+  EXPECT_EQ(plan.injected(services::FaultKind::SyncOutage), 1);
+  EXPECT_NE(plan.summary().find("clock_drift=1"), std::string::npos);
+}
+
 TEST(FailureRecovery, StopSilencesDetectionAndScrub) {
   auto inst = rotor_instance();
   services::FailureRecovery recovery(*inst.net, *inst.ctl, direct_reroute(),

@@ -14,6 +14,7 @@
 #include "routing/to_routing.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
+#include "services/sync_watchdog.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
@@ -197,6 +198,62 @@ TEST(ChromeTrace, TracingDoesNotPerturbTheRun) {
   }
   EXPECT_EQ(traced_delivered, bare_delivered);
   EXPECT_EQ(traced_events, bare_events);
+}
+
+// Clock-chaos scenario: a drift ramp with suppressed beacons on a hybrid
+// rotor while the sync watchdog walks the widen -> quarantine -> re-admit
+// ladder. Exercises every clock-domain trace event class.
+void run_clock_chaos(telemetry::FlightRecorder* rec) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.slice = 5_us;
+  p.seed = 7;
+  auto inst =
+      arch::make_rotornet(p, arch::RotorRouting::Direct, /*hybrid=*/true);
+  if (rec != nullptr) inst.net->sim().set_recorder(rec);
+  services::SyncWatchdog watchdog(*inst.net);
+  watchdog.start();
+  inst.net->sim().schedule_every(5_us, 10_us, [net = inst.net.get()]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 500 + src;
+      pkt.dst_host = (src + 3) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+  services::FaultPlan plan(*inst.net, /*seed=*/2024);
+  plan.drift_clock(1_ms, 2, 8000.0, /*duration=*/4_ms);
+  plan.lose_beacons(1_ms, 2, /*duration=*/4_ms);
+  plan.arm();
+  inst.run_for(8_ms);
+}
+
+TEST(ChromeTrace, ClockChaosEventsPresentAndDeterministic) {
+  telemetry::FlightRecorder rec_a(std::size_t{1} << 16);
+  telemetry::FlightRecorder rec_b(std::size_t{1} << 16);
+  run_clock_chaos(&rec_a);
+  run_clock_chaos(&rec_b);
+  ASSERT_GT(rec_a.size(), 0u);
+  // Identical seeds: identical detection timeline, quarantine set, and
+  // byte-identical Chrome traces.
+  EXPECT_EQ(rec_a.snapshot(), rec_b.snapshot());
+  EXPECT_EQ(telemetry::chrome_trace_json(rec_a),
+            telemetry::chrome_trace_json(rec_b));
+
+  std::set<std::string> names;
+  const json::Value doc = json::parse(telemetry::chrome_trace_json(rec_a));
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    names.insert(ev.at("name").as_string());
+  }
+  for (const char* need :
+       {"wrong_slice", "beacon_lost", "clock_desync", "guard_widen",
+        "quarantine", "readmit", "fault_inject", "fault_repair"}) {
+    EXPECT_TRUE(names.count(need)) << "missing trace event: " << need;
+  }
 }
 
 TEST(PostMortem, DumpsLastEventsWithReasons) {
