@@ -3,105 +3,125 @@
 // (b) Elephants: Gloo-style ring allreduce over all 8 hosts.
 // Architectures: Clos, c-Through, Jupiter (TA); Mordia (slotted TA);
 // RotorNet-VLB, Opera, RotorNet-UCMP (TO).
+//
+// Both sweeps are campaign specs executed by the runner (src/runner/):
+// each architecture point is an isolated parallel run, and the same specs
+// (examples/specs/fig08_*.json) regenerate the figure from the campaign
+// CLI. Per-architecture quirks live in spec patches: Jupiter's slow
+// control loop, RotorNet-VLB's reordering-tolerant transport (an
+// effectively disabled dupack FR, since VLB sprays per packet).
 #include <cstdio>
-#include <functional>
-#include <vector>
+#include <string>
 
-#include "arch/arch.h"
 #include "bench/bench_util.h"
-#include "workload/allreduce.h"
-#include "workload/kv.h"
 
 using namespace oo;
-using namespace oo::literals;
 
 namespace {
 
-struct ArchCase {
-  std::string label;
-  std::function<arch::Instance()> make;
-};
+const char* kArchesMice[] = {"clos",         "cthrough", "jupiter",
+                             "mordia",       "rotornet-vlb",
+                             "opera",        "rotornet-ucmp"};
+const char* kArchesBulk[] = {"clos",         "cthrough", "jupiter",
+                             "mordia",       "rotornet-vlb",
+                             "opera-bulk",   "rotornet-ucmp"};
 
-std::vector<ArchCase> cases(const arch::Params& p, bool bulk) {
-  using arch::RotorRouting;
-  return {
-      {"clos", [p] { return arch::make_clos(p); }},
-      {"c-through", [p] { return arch::make_cthrough(p); }},
-      {"jupiter",
-       [p] {
-         arch::Params q = p;
-         q.collect_interval = SimTime::millis(60);  // infrequent (24h-like)
-         return arch::make_jupiter(q);
-       }},
-      {"mordia", [p] { return arch::make_mordia(p); }},
-      {"rotornet-vlb",
-       [p] { return arch::make_rotornet(p, RotorRouting::Vlb); }},
-      // Opera segregates classes: expander plane for mice, direct plane
-      // for bulk (its own design).
-      {"opera", [p, bulk] { return arch::make_opera(p, bulk); }},
-      {"rotornet-ucmp",
-       [p] { return arch::make_rotornet(p, RotorRouting::Ucmp); }},
-  };
+json::Object fig08_fixed() {
+  json::Object fixed;
+  fixed["tors"] = 8;
+  fixed["hosts"] = 1;
+  // The testbed's 400 Gbps ToR uplink appears as multiple 100G lanes.
+  fixed["uplinks"] = 2;
+  fixed["slice_us"] = 100.0;
+  fixed["collect_interval_ms"] = 10.0;
+  fixed["reconfig_delay_ms"] = 1.0;  // MEMS scaled to the simulated horizon
+  fixed["net_seed"] = 1;
+  return fixed;
+}
+
+// Jupiter collects infrequently (the paper's 24 h control loop, scaled).
+runner::CampaignSpec::Patch jupiter_patch() {
+  runner::CampaignSpec::Patch p;
+  p.match["arch"] = "jupiter";
+  p.set["collect_interval_ms"] = 60.0;
+  return p;
+}
+
+std::string arch_label(const runner::RunRecord& rec) {
+  std::string label = rec.params.at("arch").as_string();
+  if (label == "opera-bulk") return "opera";
+  if (label == "cthrough") return "c-through";  // the paper's spelling
+  return label;
 }
 
 }  // namespace
 
 int main() {
-  arch::Params p;
-  p.tors = 8;
-  p.hosts_per_tor = 1;
-  // The testbed's 400 Gbps ToR uplink appears as multiple 100G lanes.
-  p.uplinks = 2;
-  p.slice = 100_us;
-  p.collect_interval = 10_ms;
-  p.reconfig_delay = 1_ms;  // MEMS scaled to the simulated horizon
-
   bench::banner(
       "Fig. 8(a): mice FCT (Memcached SETs) across architectures",
       "c-Through ~ Clos; Jupiter low; Mordia low median / long tail; "
       "RotorNet(VLB) long circuit-wait tail; Opera low; UCMP lowest of TO");
-  for (auto& c : cases(p, /*bulk=*/false)) {
-    auto inst = c.make();
-    std::vector<HostId> clients;
-    for (HostId h = 1; h < 8; ++h) clients.push_back(h);
-    workload::KvWorkload kv(*inst.net, 0, clients, 2_ms);
-    kv.start();
-    inst.run_for(250_ms);
-    kv.stop();
-    bench::fct_row(c.label, kv.fct_us());
+  {
+    runner::CampaignSpec spec;
+    spec.name = "fig08_mice";
+    spec.experiment = "fct";
+    spec.fixed = fig08_fixed();
+    spec.fixed["duration_ms"] = 250;
+    spec.fixed["kv_interval_ms"] = 2.0;
+    json::Array arches;
+    for (const char* a : kArchesMice) arches.emplace_back(a);
+    spec.grid["arch"] = arches;
+    spec.patches.push_back(jupiter_patch());
+
+    auto engine = bench::run_campaign(spec);
+    for (const auto& rec : engine.records()) {
+      bench::fct_row(arch_label(rec), rec.result);
+    }
   }
 
   bench::banner(
       "Fig. 8(b): elephant FCT (ring allreduce) across architectures",
       "TA (c-Through/Jupiter/Mordia) ~ Clos; RotorNet/Opera ~2x (50% duty); "
       "UCMP between");
-  const std::vector<std::int64_t> sizes = {800 << 10, 4 << 20, 20 << 20};
-  for (auto& c : cases(p, /*bulk=*/true)) {
-    std::printf("  %-22s", c.label.c_str());
-    for (const auto bytes : sizes) {
-      auto inst = c.make();
-      std::vector<HostId> ring;
-      for (HostId h = 0; h < 8; ++h) ring.push_back(h);
-      SimTime total = SimTime::zero();
-      auto tcp = workload::RingAllreduce::default_tcp();
-      if (c.label == "rotornet-vlb") {
-        // VLB sprays per packet; rotor designs assume reordering-tolerant
-        // transport, approximated by an effectively disabled dupack FR.
-        tcp.dupack_threshold = 64;
-      }
-      workload::RingAllreduce ar(*inst.net, ring, bytes,
-                                 [&](SimTime t) { total = t; }, tcp);
-      ar.start();
-      inst.run_for(3_s);
-      if (total == SimTime::zero()) {
-        std::printf("  %8s@%.1fMB", "timeout",
-                    static_cast<double>(bytes) / 1e6);
-      } else {
-        std::printf("  %7.2fms@%.1fMB", total.ms(),
-                    static_cast<double>(bytes) / 1e6);
-      }
+  {
+    runner::CampaignSpec spec;
+    spec.name = "fig08_elephants";
+    spec.experiment = "allreduce";
+    spec.fixed = fig08_fixed();
+    spec.fixed["duration_ms"] = 3000;
+    json::Array arches, sizes;
+    for (const char* a : kArchesBulk) arches.emplace_back(a);
+    for (const std::int64_t b :
+         {std::int64_t{800 << 10}, std::int64_t{4 << 20},
+          std::int64_t{20 << 20}}) {
+      sizes.emplace_back(b);
     }
-    std::printf("\n");
+    spec.grid["arch"] = arches;
+    spec.grid["bytes"] = sizes;
+    spec.patches.push_back(jupiter_patch());
+    runner::CampaignSpec::Patch vlb;
+    vlb.match["arch"] = "rotornet-vlb";
+    vlb.set["dupack_threshold"] = 64;
+    spec.patches.push_back(vlb);
+
+    auto engine = bench::run_campaign(spec);
+    // Axes iterate sorted by name, "bytes" fastest: records group into
+    // one row of three sizes per architecture.
+    const auto& records = engine.records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (i % 3 == 0) {
+        std::printf("  %-22s", arch_label(records[i]).c_str());
+      }
+      const auto& r = records[i].result;
+      const double mb =
+          static_cast<double>(records[i].params.at("bytes").as_int()) / 1e6;
+      if (r.at("done").as_bool()) {
+        std::printf("  %7.2fms@%.1fMB", r.at("total_ms").as_double(), mb);
+      } else {
+        std::printf("  %8s@%.1fMB", "timeout", mb);
+      }
+      if (i % 3 == 2) std::printf("\n");
+    }
   }
   return 0;
 }

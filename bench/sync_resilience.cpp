@@ -9,103 +9,48 @@
 //   - watchdog on: the symptom ladder (widen -> quarantine) halts the
 //     corruption — zero wrong-slice launches after the quarantine instant —
 //     and the node is re-admitted within bounded time once beacons resume.
-// Identical seeds reproduce identical detection times and quarantine sets.
+//
+// The sweep is a campaign spec on the "sync_resilience" experiment
+// (src/runner/experiments.cpp holds the run logic); the determinism gate
+// replays the whole campaign at --jobs 1 and demands byte-identical result
+// rows — seed-reproducibility and jobs-independence in one check.
 #include <cstdio>
 #include <cstdlib>
 
-#include "arch/arch.h"
 #include "bench/bench_util.h"
-#include "services/fault_plan.h"
-#include "services/sync_watchdog.h"
 
 using namespace oo;
-using namespace oo::literals;
 
 namespace {
 
-constexpr NodeId kDriftNode = 2;
-
-struct RunResult {
-  std::int64_t wrong_slice = 0;        // fabric wrong-slice launches
-  std::int64_t wrong_at_quarantine = -1;
-  std::int64_t delivered = 0;
-  std::int64_t desyncs = 0;
-  std::int64_t widenings = 0;
-  std::int64_t quarantines = 0;
-  std::int64_t readmissions = 0;
-  double detect_us = 0.0;      // first-symptom -> first response
-  double quarantine_us = 0.0;  // fence-off -> re-admission
-};
-
-RunResult run_once(double ppm, bool watchdog_on) {
-  arch::Params p;
-  p.tors = 8;
-  p.hosts_per_tor = 1;
-  p.uplinks = 1;
-  p.slice = 5_us;
-  p.seed = 7;
-  auto inst =
-      arch::make_rotornet(p, arch::RotorRouting::Direct, /*hybrid=*/true);
-  auto* net = inst.net.get();
-
-  services::SyncWatchdog watchdog(*net);
-  RunResult r;
-  if (watchdog_on) {
-    watchdog.set_quarantine_hook(
-        [net, &r](NodeId, bool quarantined) {
-          if (quarantined && r.wrong_at_quarantine < 0) {
-            r.wrong_at_quarantine = net->optical().wrong_slice();
-          }
-        });
-    watchdog.start();
+runner::CampaignSpec sweep_spec() {
+  runner::CampaignSpec spec;
+  spec.name = "sync_resilience";
+  spec.experiment = "sync_resilience";
+  spec.fixed["arch"] = "rotornet-direct-hybrid";
+  spec.fixed["tors"] = 8;
+  spec.fixed["hosts"] = 1;
+  spec.fixed["uplinks"] = 1;
+  spec.fixed["slice_us"] = 5.0;
+  spec.fixed["net_seed"] = 7;
+  spec.fixed["fault_seed"] = 2024;
+  spec.fixed["fault_window_ms"] = 6;
+  spec.fixed["duration_ms"] = 12;
+  spec.fixed["drift_node"] = 2;
+  json::Array ppms, watchdogs;
+  for (const double ppm : {0.0, 500.0, 2000.0, 8000.0, 32000.0}) {
+    ppms.emplace_back(ppm);
   }
-
-  net->sim().schedule_every(5_us, 10_us, [net]() {
-    for (HostId src = 0; src < net->num_hosts(); ++src) {
-      core::Packet pkt;
-      pkt.type = core::PacketType::Data;
-      pkt.flow = 500 + src;
-      pkt.dst_host = (src + 3) % net->num_hosts();
-      pkt.size_bytes = 1500;
-      net->host(src).send(std::move(pkt));
-    }
-  });
-
-  // Drift + beacon loss share one window: the clock compounds its error
-  // unchecked for 6 ms, then beacons resume and re-discipline it.
-  services::FaultPlan plan(*net, /*seed=*/2024);
-  if (ppm > 0) {
-    plan.drift_clock(1_ms, kDriftNode, ppm, /*duration=*/6_ms);
-    plan.lose_beacons(1_ms, kDriftNode, /*duration=*/6_ms);
-  }
-  plan.arm();
-
-  inst.run_for(12_ms);
-
-  r.wrong_slice = net->optical().wrong_slice();
-  r.delivered = net->optical().delivered();
-  if (watchdog_on) {
-    r.desyncs = watchdog.desyncs_detected();
-    r.widenings = watchdog.guard_widenings();
-    r.quarantines = watchdog.quarantines();
-    r.readmissions = watchdog.readmissions();
-    if (watchdog.time_to_detect_us().count() > 0) {
-      r.detect_us = watchdog.time_to_detect_us().percentile(50);
-    }
-    if (watchdog.quarantine_us().count() > 0) {
-      r.quarantine_us = watchdog.quarantine_us().percentile(50);
-    }
-  }
-  return r;
+  watchdogs.emplace_back(false);
+  watchdogs.emplace_back(true);
+  // Axes iterate sorted by key: ppm outer, watchdog inner (off, on).
+  spec.grid["ppm"] = ppms;
+  spec.grid["watchdog"] = watchdogs;
+  return spec;
 }
 
-bool same(const RunResult& a, const RunResult& b) {
-  return a.wrong_slice == b.wrong_slice && a.delivered == b.delivered &&
-         a.desyncs == b.desyncs && a.widenings == b.widenings &&
-         a.quarantines == b.quarantines &&
-         a.readmissions == b.readmissions && a.detect_us == b.detect_us &&
-         a.quarantine_us == b.quarantine_us &&
-         a.wrong_at_quarantine == b.wrong_at_quarantine;
+std::int64_t geti(const json::Object& r, const char* k) {
+  return r.at(k).as_int();
 }
 
 }  // namespace
@@ -123,49 +68,56 @@ int main() {
               "wrong-slice", "@quarantine", "desyncs", "quarantines",
               "detect(us)", "held(us)");
 
-  bool ok = true;
-  for (const double ppm : {0.0, 500.0, 2000.0, 8000.0, 32000.0}) {
-    for (const bool on : {false, true}) {
-      const RunResult r = run_once(ppm, on);
-      std::printf("  %-9.0f %-9s %12lld %12lld %9lld %11lld %12.1f %12.1f\n",
-                  ppm, on ? "on" : "off",
-                  static_cast<long long>(r.wrong_slice),
-                  static_cast<long long>(r.wrong_at_quarantine),
-                  static_cast<long long>(r.desyncs),
-                  static_cast<long long>(r.quarantines), r.detect_us,
-                  r.quarantine_us);
+  const auto spec = sweep_spec();
+  auto engine = bench::run_campaign(spec);
 
-      if (ppm == 0.0) {
-        // No fault injected: the dynamic clock model must be bit-identical
-        // to the static one — zero corruption, zero false positives.
-        ok = ok && r.wrong_slice == 0 && r.desyncs == 0;
-      }
-      if (ppm >= 8000.0) {
-        if (on) {
-          // Quarantine freezes the corruption count and the node returns
-          // once beacons resume.
-          ok = ok && r.quarantines >= 1 && r.readmissions >= 1 &&
-               r.wrong_at_quarantine >= 0 &&
-               r.wrong_slice == r.wrong_at_quarantine;
-        } else {
-          // Unwatched, the same seed corrupts deliveries.
-          ok = ok && r.wrong_slice > 0;
-        }
+  bool ok = true;
+  for (const auto& rec : engine.records()) {
+    const json::Object& r = rec.result;
+    const double ppm = rec.params.at("ppm").as_double();
+    const bool on = rec.params.at("watchdog").as_bool();
+    std::printf("  %-9.0f %-9s %12lld %12lld %9lld %11lld %12.1f %12.1f\n",
+                ppm, on ? "on" : "off",
+                static_cast<long long>(geti(r, "wrong_slice")),
+                static_cast<long long>(geti(r, "wrong_at_quarantine")),
+                static_cast<long long>(geti(r, "desyncs")),
+                static_cast<long long>(geti(r, "quarantines")),
+                r.at("detect_us").as_double(),
+                r.at("quarantine_us").as_double());
+
+    if (ppm == 0.0) {
+      // No fault injected: the dynamic clock model must be bit-identical
+      // to the static one — zero corruption, zero false positives.
+      ok = ok && geti(r, "wrong_slice") == 0 && geti(r, "desyncs") == 0;
+    }
+    if (ppm >= 8000.0) {
+      if (on) {
+        // Quarantine freezes the corruption count and the node returns
+        // once beacons resume.
+        ok = ok && geti(r, "quarantines") >= 1 &&
+             geti(r, "readmissions") >= 1 &&
+             geti(r, "wrong_at_quarantine") >= 0 &&
+             geti(r, "wrong_slice") == geti(r, "wrong_at_quarantine");
+      } else {
+        // Unwatched, the same seed corrupts deliveries.
+        ok = ok && geti(r, "wrong_slice") > 0;
       }
     }
   }
 
-  // Determinism: the headline configuration, replayed, must be equal in
-  // every observable — detection time, quarantine set, corruption counts.
-  const RunResult a = run_once(8000.0, true);
-  const RunResult b = run_once(8000.0, true);
-  if (!same(a, b)) {
-    std::printf("FAILED: identical seeds diverged\n");
+  // Determinism: the identical campaign replayed single-threaded must
+  // produce byte-identical result rows — every observable (detection
+  // times, quarantine sets, corruption counts) across every run.
+  auto replay = bench::run_campaign(spec, /*jobs=*/1);
+  if (engine.results_jsonl() != replay.results_jsonl()) {
+    std::printf("FAILED: --jobs %d and --jobs 1 campaigns diverged\n",
+                bench::default_jobs());
     return 2;
   }
-  std::printf("determinism: replayed run identical "
-              "(wrong-slice=%lld detect=%.1fus)\n",
-              static_cast<long long>(a.wrong_slice), a.detect_us);
+  std::printf("determinism: %d-run campaign replayed byte-identical at "
+              "--jobs 1 (speedup %.2fx at --jobs %d)\n",
+              engine.summary().total, engine.summary().speedup(),
+              bench::default_jobs());
 
   if (!ok) {
     std::printf("FAILED: resilience expectations not met\n");

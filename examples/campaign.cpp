@@ -1,0 +1,82 @@
+// campaign — run a declarative experiment campaign (src/runner/) from the
+// command line:
+//
+//   campaign --spec FILE [--jobs N] [--out DIR] [--resume] [--attempts N]
+//
+// The spec is a JSON cartesian grid × seed replicas (see
+// EXPERIMENTS.md "Campaign runner"); runs execute on a bounded worker pool
+// with per-run crash isolation and deterministic per-run seeds. With
+// --out, the campaign appends per-run outcomes to DIR/manifest.jsonl as
+// they finish and writes DIR/results.{jsonl,csv} ordered by run index —
+// byte-identical whatever --jobs says. Re-invoking with --resume skips
+// every run the manifest already records as ok.
+#include <cstdio>
+
+#include "api/openoptics.h"
+#include "common/cli.h"
+#include "runner/experiments.h"
+
+int main(int argc, char** argv) {
+  std::string spec_path, out_dir;
+  int jobs = 1, attempts = 0;
+  bool resume = false, list = false, quiet = false;
+
+  oo::cli::ArgParser args("campaign",
+                          "run a JSON experiment-campaign spec");
+  args.option("--spec", &spec_path, "campaign spec JSON file")
+      .option("--jobs", &jobs, "worker threads (default 1)")
+      .option("--out", &out_dir,
+              "output dir for manifest.jsonl + results.{jsonl,csv}")
+      .flag("--resume", &resume, "skip runs the manifest records as ok")
+      .option("--attempts", &attempts,
+              "override the spec's max_attempts (0 = keep)")
+      .flag("--list", &list, "list registered experiments and exit")
+      .flag("--quiet", &quiet, "no progress line");
+  if (!args.parse(argc, argv)) return 1;
+
+  if (list) {
+    for (const auto& name : oo::runner::experiment_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (spec_path.empty()) {
+    std::fprintf(stderr, "campaign: --spec is required\n%s",
+                 args.usage().c_str());
+    return 1;
+  }
+
+  try {
+    auto spec = oo::runner::CampaignSpec::from_file(spec_path);
+    if (attempts > 0) spec.max_attempts = attempts;
+
+    oo::runner::RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.resume = resume;
+    opt.out_dir = out_dir;
+    opt.progress = !quiet;
+
+    oo::runner::CampaignRunner engine(
+        spec, oo::runner::find_experiment(spec.experiment), opt);
+    const auto s = engine.run();
+
+    std::printf(
+        "campaign %s: %d runs (%d executed, %d resumed) — %d ok, %d "
+        "failed, %d retries\n",
+        spec.name.c_str(), s.total, s.executed, s.skipped, s.ok, s.failed,
+        s.retries);
+    std::printf("wall %.1f ms, run-wall sum %.1f ms, speedup %.2fx at "
+                "--jobs %d\n",
+                s.wall_ms, s.run_wall_ms_sum, s.speedup(), jobs);
+    if (!out_dir.empty()) {
+      std::printf("wrote %s/manifest.jsonl, results.jsonl, results.csv\n",
+                  out_dir.c_str());
+    }
+    // Failed runs are campaign-visible, not campaign-fatal; still exit
+    // non-zero so CI notices unless the spec injected them on purpose.
+    return s.failed > 0 && spec.fixed.count("expect_failures") == 0 ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 1;
+  }
+}

@@ -18,10 +18,10 @@
 // and, under --clock-chaos, wrong-slice launches, lost beacons, desync
 // detections, guard widenings, quarantines, and re-admissions.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "arch/arch.h"
+#include "common/cli.h"
 #include "routing/ta_routing.h"
 #include "services/export.h"
 #include "services/failure_recovery.h"
@@ -271,17 +271,12 @@ int run_clock_drill(const std::string& trace_path) {
 int main(int argc, char** argv) {
   std::string trace_path;
   bool clock_chaos = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-    } else if (std::strcmp(argv[i], "--clock-chaos") == 0) {
-      clock_chaos = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: chaos_drill [--clock-chaos] [--trace=PATH]\n");
-      return 1;
-    }
-  }
+  cli::ArgParser args("chaos_drill",
+                      "scripted fault drill against the recovery services");
+  args.flag("--clock-chaos", &clock_chaos,
+            "clock-drift drill against the sync watchdog")
+      .option("--trace", &trace_path, "write a Chrome trace_event JSON");
+  if (!args.parse(argc, argv)) return 1;
   return clock_chaos ? run_clock_drill(trace_path)
                      : run_fault_drill(trace_path);
 }

@@ -19,11 +19,12 @@
 //   --trace=PATH    record a flight-recorder trace and write it as Chrome
 //                   trace_event JSON (open in chrome://tracing or Perfetto)
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 
 #include "arch/arch.h"
+#include "common/cli.h"
+#include "runner/experiments.h"
 #include "services/export.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/trace_export.h"
@@ -33,84 +34,32 @@
 using namespace oo;
 using namespace oo::literals;
 
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: oosim <arch> [--tors N] [--hosts N] [--slice US] "
-               "[--uplinks N]\n"
-               "             [--workload kv|rpc|hadoop|kvstore] [--load F] "
-               "[--ms N] [--seed N] [--csv PATH] [--trace=PATH]\n"
-               "archs: clos cthrough jupiter mordia rotornet-vlb "
-               "rotornet-direct\n"
-               "       rotornet-ucmp rotornet-hoho opera shale "
-               "semi-oblivious\n");
-  return 1;
-}
-
-arch::Instance make(const std::string& name, const arch::Params& p) {
-  using arch::RotorRouting;
-  if (name == "clos") return arch::make_clos(p);
-  if (name == "cthrough") return arch::make_cthrough(p);
-  if (name == "jupiter") return arch::make_jupiter(p);
-  if (name == "mordia") return arch::make_mordia(p);
-  if (name == "rotornet-vlb")
-    return arch::make_rotornet(p, RotorRouting::Vlb);
-  if (name == "rotornet-direct")
-    return arch::make_rotornet(p, RotorRouting::Direct);
-  if (name == "rotornet-ucmp")
-    return arch::make_rotornet(p, RotorRouting::Ucmp);
-  if (name == "rotornet-hoho")
-    return arch::make_rotornet(p, RotorRouting::Hoho);
-  if (name == "opera") return arch::make_opera(p);
-  if (name == "shale") return arch::make_shale(p);
-  if (name == "semi-oblivious") return arch::make_semi_oblivious(p);
-  throw std::runtime_error("unknown architecture: " + name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  // --trace=FILE can appear anywhere; strip it before the paired-flag scan.
-  std::string trace_path;
-  {
-    int w = 1;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-        trace_path = argv[i] + 8;
-      } else {
-        argv[w++] = argv[i];
-      }
-    }
-    argc = w;
-  }
-  if (argc < 2) return usage();
-  const std::string arch_name = argv[1];
-
   arch::Params p;
-  std::string workload = "kv";
-  std::string csv_path;
-  double load = 0.3;
+  std::string arch_name, workload = "kv", csv_path, trace_path;
+  double load = 0.3, slice_us = 100.0;
   int ms = 100;
-  double slice_us = 100.0;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string opt = argv[i];
-    const std::string val = argv[i + 1];
-    if (opt == "--tors") p.tors = std::stoi(val);
-    else if (opt == "--hosts") p.hosts_per_tor = std::stoi(val);
-    else if (opt == "--slice") slice_us = std::stod(val);
-    else if (opt == "--uplinks") p.uplinks = std::stoi(val);
-    else if (opt == "--workload") workload = val;
-    else if (opt == "--load") load = std::stod(val);
-    else if (opt == "--ms") ms = std::stoi(val);
-    else if (opt == "--seed") p.seed = std::stoull(val);
-    else if (opt == "--csv") csv_path = val;
-    else return usage();
-  }
+
+  cli::ArgParser args(
+      "oosim",
+      "archs: clos cthrough jupiter mordia rotornet-vlb rotornet-direct\n"
+      "       rotornet-ucmp rotornet-hoho opera shale semi-oblivious");
+  args.positional("arch", &arch_name, "architecture preset")
+      .option("--tors", &p.tors, "number of ToRs (default 8)")
+      .option("--hosts", &p.hosts_per_tor, "hosts per ToR (default 1)")
+      .option("--slice", &slice_us, "slice duration us (default 100)")
+      .option("--uplinks", &p.uplinks, "optical uplinks per ToR (default 1)")
+      .option("--workload", &workload, "kv | rpc | hadoop | kvstore")
+      .option("--load", &load, "offered load fraction for traces")
+      .option("--ms", &ms, "simulated milliseconds (default 100)")
+      .option("--seed", &p.seed, "RNG seed (default 1)")
+      .option("--csv", &csv_path, "write the FCT CDF as CSV")
+      .option("--trace", &trace_path, "write a Chrome trace_event JSON");
+  if (!args.parse(argc, argv)) return 1;
   p.slice = SimTime::nanos(static_cast<std::int64_t>(slice_us * 1e3));
 
   try {
-    auto inst = make(arch_name, p);
+    auto inst = runner::make_arch(arch_name, p);
     telemetry::FlightRecorder recorder(std::size_t{1} << 16);
     if (!trace_path.empty()) inst.net->sim().set_recorder(&recorder);
     std::printf("architecture: %s  (%d ToRs x %d hosts, %s)\n",
@@ -132,7 +81,7 @@ int main(int argc, char** argv) {
       if (workload == "rpc") kind = workload::TraceKind::Rpc;
       else if (workload == "hadoop") kind = workload::TraceKind::Hadoop;
       else if (workload == "kvstore") kind = workload::TraceKind::KvStore;
-      else return usage();
+      else throw std::runtime_error("unknown workload: " + workload);
       trace = std::make_unique<workload::TraceReplay>(*inst.net, kind, load);
       trace->start();
       fct = &trace->mice_fct_us();

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runner/experiments.h"
 #include "telemetry/trace_export.h"
 
 namespace oo::api {
@@ -185,6 +186,19 @@ std::int64_t Net::bw_usage(NodeId node) {
   const std::int64_t delta = total - base;
   base = total;
   return delta;
+}
+
+runner::CampaignSummary run_campaign(const runner::CampaignSpec& spec,
+                                     const runner::RunnerOptions& opt) {
+  runner::CampaignRunner engine(spec,
+                                runner::find_experiment(spec.experiment),
+                                opt);
+  return engine.run();
+}
+
+runner::CampaignSummary run_campaign_file(const std::string& spec_path,
+                                          const runner::RunnerOptions& opt) {
+  return run_campaign(runner::CampaignSpec::from_file(spec_path), opt);
 }
 
 }  // namespace oo::api

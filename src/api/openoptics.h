@@ -24,6 +24,7 @@
 #include "optics/fabric.h"
 #include "optics/schedule.h"
 #include "routing/time_expanded.h"
+#include "runner/runner.h"
 #include "telemetry/flight_recorder.h"
 #include "topo/traffic_matrix.h"
 
@@ -130,5 +131,17 @@ class Net {
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::vector<std::int64_t> bw_baseline_;
 };
+
+// --- Campaign helpers ---
+// Run a campaign spec against the built-in experiment registry (see
+// src/runner/): expands the parameter grid × replicas, executes on
+// opt.jobs worker threads with per-run crash isolation and retries, and —
+// when opt.out_dir is set — writes manifest.jsonl plus the deterministic
+// results.jsonl/results.csv (byte-identical for any jobs value).
+runner::CampaignSummary run_campaign(const runner::CampaignSpec& spec,
+                                     const runner::RunnerOptions& opt);
+// Same, loading the JSON spec from disk (the campaign CLI's entry point).
+runner::CampaignSummary run_campaign_file(const std::string& spec_path,
+                                          const runner::RunnerOptions& opt);
 
 }  // namespace oo::api

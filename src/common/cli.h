@@ -1,0 +1,183 @@
+// Tiny header-only command-line option parser shared by the example and
+// campaign binaries. Supports `--opt value`, `--opt=value`, bool flags, and
+// positional arguments; generates the usage text from the registrations so
+// binaries stop hand-maintaining diverging copies of both.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace oo::cli {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  // Required positional argument, consumed in registration order.
+  ArgParser& positional(const std::string& name, std::string* out,
+                        const std::string& help) {
+    positionals_.push_back({name, out, help});
+    return *this;
+  }
+
+  // Bool flag: present -> true. Also accepts --name=true/false.
+  ArgParser& flag(const std::string& name, bool* out,
+                  const std::string& help) {
+    opts_.push_back({name, help, /*takes_value=*/false,
+                     [out](const std::string& v) {
+                       *out = v.empty() || v == "true" || v == "1";
+                       return true;
+                     }});
+    return *this;
+  }
+
+  ArgParser& option(const std::string& name, std::string* out,
+                    const std::string& help) {
+    return add_value(name, help, [out](const std::string& v) {
+      *out = v;
+      return true;
+    });
+  }
+
+  ArgParser& option(const std::string& name, int* out,
+                    const std::string& help) {
+    return add_value(name, help, [out](const std::string& v) {
+      return parse_ll(v, [out](long long x) { *out = static_cast<int>(x); });
+    });
+  }
+
+  ArgParser& option(const std::string& name, std::int64_t* out,
+                    const std::string& help) {
+    return add_value(name, help, [out](const std::string& v) {
+      return parse_ll(v, [out](long long x) { *out = x; });
+    });
+  }
+
+  ArgParser& option(const std::string& name, std::uint64_t* out,
+                    const std::string& help) {
+    return add_value(name, help, [out](const std::string& v) {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') return false;
+      *out = x;
+      return true;
+    });
+  }
+
+  ArgParser& option(const std::string& name, double* out,
+                    const std::string& help) {
+    return add_value(name, help, [out](const std::string& v) {
+      char* end = nullptr;
+      const double x = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0') return false;
+      *out = x;
+      return true;
+    });
+  }
+
+  // Parses argv. On any error prints the offending token plus usage to
+  // stderr and returns false (callers `return 1`).
+  bool parse(int argc, char** argv) {
+    std::size_t pos = 0;
+    for (int i = 1; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.size() >= 2 && tok[0] == '-' && tok[1] == '-') {
+        std::string name = tok, value;
+        bool has_inline = false;
+        if (const auto eq = tok.find('='); eq != std::string::npos) {
+          name = tok.substr(0, eq);
+          value = tok.substr(eq + 1);
+          has_inline = true;
+        }
+        Opt* opt = find(name);
+        if (!opt) return fail("unknown option: " + name);
+        if (opt->takes_value && !has_inline) {
+          if (i + 1 >= argc) return fail("missing value for " + name);
+          value = argv[++i];
+        }
+        if (!opt->apply(value)) {
+          return fail("bad value for " + name + ": '" + value + "'");
+        }
+      } else {
+        if (pos >= positionals_.size()) {
+          return fail("unexpected argument: " + tok);
+        }
+        *positionals_[pos++].out = tok;
+      }
+    }
+    if (pos < positionals_.size()) {
+      return fail("missing argument: <" + positionals_[pos].name + ">");
+    }
+    return true;
+  }
+
+  std::string usage() const {
+    std::string u = "usage: " + program_;
+    for (const auto& p : positionals_) u += " <" + p.name + ">";
+    if (!opts_.empty()) u += " [options]";
+    u += "\n";
+    if (!summary_.empty()) u += summary_ + "\n";
+    for (const auto& p : positionals_) {
+      u += "  <" + p.name + ">  " + p.help + "\n";
+    }
+    for (const auto& o : opts_) {
+      std::string lhs = "  " + o.name + (o.takes_value ? " V" : "");
+      while (lhs.size() < 18) lhs += ' ';
+      u += lhs + o.help + "\n";
+    }
+    return u;
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string help;
+    bool takes_value;
+    std::function<bool(const std::string&)> apply;
+  };
+  struct Positional {
+    std::string name;
+    std::string* out;
+    std::string help;
+  };
+
+  ArgParser& add_value(const std::string& name, const std::string& help,
+                       std::function<bool(const std::string&)> apply) {
+    opts_.push_back({name, help, /*takes_value=*/true, std::move(apply)});
+    return *this;
+  }
+
+  template <typename Store>
+  static bool parse_ll(const std::string& v, Store store) {
+    char* end = nullptr;
+    const long long x = std::strtoll(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') return false;
+    store(x);
+    return true;
+  }
+
+  Opt* find(const std::string& name) {
+    for (auto& o : opts_) {
+      if (o.name == name) return &o;
+    }
+    return nullptr;
+  }
+
+  bool fail(const std::string& why) {
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), why.c_str(),
+                 usage().c_str());
+    return false;
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Positional> positionals_;
+  std::vector<Opt> opts_;
+};
+
+}  // namespace oo::cli

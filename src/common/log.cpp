@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 
 namespace oo {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so campaign worker threads can log while the main thread adjusts
+// verbosity; relaxed is enough — the level is advisory, not a fence.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::Debug: return "DEBUG";
@@ -18,8 +21,10 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const char* tag, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, msg.c_str());

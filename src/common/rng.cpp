@@ -93,4 +93,45 @@ std::uint32_t hash_mix(std::uint64_t x) {
   return static_cast<std::uint32_t>(x);
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+// FNV-1a over the stream name; the empty name hashes to the FNV offset
+// basis, so derive_seed(root, i) and derive_seed(root, i, "") agree.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index,
+                          std::string_view stream) {
+  // Chain the coordinates through the finalizer: each step is bijective in
+  // its accumulator, so distinct (root, index, name) triples cannot merge
+  // except through mix64's avalanche (astronomically unlikely).
+  std::uint64_t h = mix64(root);
+  h = mix64(h ^ index);
+  h = mix64(h ^ fnv1a(stream));
+  return h;
+}
+
+Rng derive_rng(std::uint64_t root, std::uint64_t index,
+               std::string_view stream) {
+  const std::uint64_t seed = derive_seed(root, index, stream);
+  // A second, decorrelated derivation picks the PCG stream increment.
+  const std::uint64_t inc = mix64(seed ^ 0xd6e8feb86659fd93ULL);
+  return Rng{seed, inc | 1u};
+}
+
 }  // namespace oo

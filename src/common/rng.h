@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace oo {
@@ -42,5 +43,28 @@ class Rng {
 // 32-bit stateless mix, handy for per-packet hashing (five-tuple / timestamp
 // multipath hashing in the time-flow table).
 std::uint32_t hash_mix(std::uint64_t x);
+
+// 64-bit stateless finalizer (SplitMix64's output function): full-avalanche,
+// bijective. The building block of the stream-splitting API below.
+std::uint64_t mix64(std::uint64_t x);
+
+// --- Stream splitting -------------------------------------------------------
+// Deterministic derivation of child seeds/streams from a root seed. The
+// campaign runner (and anything else that fans a root seed out over many
+// runs) derives each child as a pure function of
+//   (root seed, run index, stream name)
+// so results are independent of execution order, thread count, and which
+// subset of runs actually executes (resume). Two children collide only if
+// all three coordinates match; derive_seed chains SplitMix64 finalizers over
+// the coordinates (plus an FNV-1a hash of the name), which empirically keeps
+// billions of children collision-free (see Rng.DeriveSeedNoCollisions).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index,
+                          std::string_view stream = {});
+
+// An Rng on its own PCG stream for (root, index, name): seed and stream
+// increment are both derived, so children never share a sequence even when
+// their derived seeds happen to be near each other.
+Rng derive_rng(std::uint64_t root, std::uint64_t index,
+               std::string_view stream = {});
 
 }  // namespace oo

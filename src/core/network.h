@@ -381,6 +381,11 @@ class Network {
   void reconfigure(optics::Schedule next, SimTime delay);
 
   PacketId next_packet_id() { return ++packet_seq_; }
+  // Per-network flow-id allocation. Flow ids seed multipath hashing, so they
+  // must be a function of this network's history alone — a process-global
+  // allocator would make results depend on whatever other simulations ran
+  // (or run concurrently on other campaign worker threads) in the process.
+  FlowId alloc_flow_id() { return ++flow_seq_; }
   Rng fork_rng() { return master_rng_.fork(); }
 
   // Aggregate drop/delivery counters across all components.
@@ -425,6 +430,7 @@ class Network {
   std::vector<std::unique_ptr<TorSwitch>> tors_;
   std::vector<std::unique_ptr<Host>> hosts_;
   PacketId packet_seq_ = 0;
+  FlowId flow_seq_ = 0;
   bool started_ = false;
   DeliveryProbe delivery_probe_;
   // Derived slice-window margins (see network.cpp).

@@ -1,0 +1,149 @@
+#include "runner/campaign.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace oo::runner {
+
+CampaignSpec CampaignSpec::from_json(const std::string& text) {
+  const json::Value v = json::parse(text);
+  const auto& obj = v.as_object();
+  CampaignSpec spec;
+  spec.name = v.get_string("name", spec.name);
+  spec.experiment = v.get_string("experiment", "");
+  if (spec.experiment.empty()) {
+    throw std::runtime_error("campaign spec: missing \"experiment\"");
+  }
+  spec.seed = static_cast<std::uint64_t>(v.get_int("seed", 1));
+  spec.replicas = static_cast<int>(v.get_int("replicas", 1));
+  if (spec.replicas < 1) {
+    throw std::runtime_error("campaign spec: replicas must be >= 1");
+  }
+  spec.max_attempts = static_cast<int>(v.get_int("max_attempts", 2));
+  if (spec.max_attempts < 1) {
+    throw std::runtime_error("campaign spec: max_attempts must be >= 1");
+  }
+  if (obj.count("fixed")) spec.fixed = v.at("fixed").as_object();
+  if (obj.count("patches")) {
+    for (const json::Value& p : v.at("patches").as_array()) {
+      Patch patch;
+      patch.match = p.at("match").as_object();
+      patch.set = p.at("set").as_object();
+      spec.patches.push_back(std::move(patch));
+    }
+  }
+  if (obj.count("grid")) {
+    spec.grid = v.at("grid").as_object();
+    for (const auto& [axis, values] : spec.grid) {
+      if (values.type() != json::Type::Array || values.as_array().empty()) {
+        throw std::runtime_error("campaign spec: grid axis \"" + axis +
+                                 "\" must be a non-empty array");
+      }
+      if (spec.fixed.count(axis)) {
+        throw std::runtime_error("campaign spec: \"" + axis +
+                                 "\" is both fixed and a grid axis");
+      }
+    }
+  }
+  return spec;
+}
+
+CampaignSpec CampaignSpec::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open campaign spec: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_json(ss.str());
+}
+
+json::Value CampaignSpec::to_json() const {
+  json::Object o;
+  o["name"] = name;
+  o["experiment"] = experiment;
+  o["seed"] = static_cast<std::int64_t>(seed);
+  o["replicas"] = replicas;
+  o["max_attempts"] = max_attempts;
+  o["fixed"] = fixed;
+  o["grid"] = grid;
+  if (!patches.empty()) {
+    json::Array arr;
+    for (const Patch& p : patches) {
+      json::Object po;
+      po["match"] = p.match;
+      po["set"] = p.set;
+      arr.emplace_back(po);
+    }
+    o["patches"] = arr;
+  }
+  return json::Value{o};
+}
+
+namespace {
+
+// Structural equality via the compact dump — json::Value has no operator==
+// and patch matching is far off any hot path.
+bool same_value(const json::Value& a, const json::Value& b) {
+  return a.dump() == b.dump();
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::num_runs() const {
+  std::size_t n = 1;
+  for (const auto& [axis, values] : grid) {
+    (void)axis;
+    n *= values.as_array().size();
+  }
+  return n * static_cast<std::size_t>(replicas);
+}
+
+std::vector<RunSpec> CampaignSpec::expand() const {
+  // Odometer over the axes in map (sorted-key) order, last axis fastest,
+  // replicas innermost.
+  std::vector<std::pair<std::string, const json::Array*>> axes;
+  for (const auto& [axis, values] : grid) {
+    axes.emplace_back(axis, &values.as_array());
+  }
+  std::vector<std::size_t> digits(axes.size(), 0);
+
+  std::vector<RunSpec> runs;
+  runs.reserve(num_runs());
+  for (;;) {
+    for (int rep = 0; rep < replicas; ++rep) {
+      RunSpec r;
+      r.index = static_cast<int>(runs.size());
+      r.replica = rep;
+      r.seed = derive_seed(seed, static_cast<std::uint64_t>(r.index), "run");
+      r.params = fixed;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        r.params[axes[a].first] = (*axes[a].second)[digits[a]];
+      }
+      for (const Patch& patch : patches) {
+        bool hit = true;
+        for (const auto& [k, want] : patch.match) {
+          const auto it = r.params.find(k);
+          if (it == r.params.end() || !same_value(it->second, want)) {
+            hit = false;
+            break;
+          }
+        }
+        if (!hit) continue;
+        for (const auto& [k, val] : patch.set) r.params[k] = val;
+      }
+      runs.push_back(std::move(r));
+    }
+    // Advance the odometer; done once the most-significant digit wraps.
+    std::size_t a = axes.size();
+    for (;;) {
+      if (a == 0) return runs;
+      --a;
+      if (++digits[a] < axes[a].second->size()) break;
+      digits[a] = 0;
+    }
+  }
+}
+
+}  // namespace oo::runner

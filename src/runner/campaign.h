@@ -1,0 +1,71 @@
+// Campaign specs: a declarative description of an experiment sweep — a
+// cartesian parameter grid crossed with seed replicas — that expands to a
+// deterministic, stably-ordered run list. The spec is plain JSON so a
+// campaign is a reviewable artifact (EXPERIMENTS.md records the specs that
+// regenerate the paper figures):
+//
+//   {
+//     "name":       "fig08_mice",
+//     "experiment": "fct",            // registered run function
+//     "seed":       1,                // campaign root seed
+//     "replicas":   1,                // seed replicas per grid point
+//     "max_attempts": 2,              // per-run tries before giving up
+//     "fixed":  {"workload": "kv", "duration_ms": 250},
+//     "grid":   {"arch": ["clos", "opera"], "slice_us": [50, 100]}
+//   }
+//
+// Expansion order is the invariant everything else leans on: grid axes are
+// iterated in sorted-key order (json::Object is an ordered map), the last
+// axis fastest, replicas innermost. Run `index` is the position in that
+// order; the per-run seed is derive_seed(campaign_seed, index, "run"), a
+// pure function of the spec — independent of worker count, execution order,
+// and which subset of runs a resumed campaign still has to execute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace oo::runner {
+
+// One expanded grid point: everything a worker needs to execute the run.
+struct RunSpec {
+  int index = 0;        // position in expansion order; names the run
+  int replica = 0;      // which seed replica of its grid point
+  std::uint64_t seed = 0;  // derive_seed(campaign seed, index, "run")
+  json::Object params;     // fixed ∪ grid values for this point
+};
+
+struct CampaignSpec {
+  // Conditional parameter patch: when every `match` key equals the run's
+  // composed params, `set` entries are overlaid. Lets one grid express
+  // per-architecture quirks, e.g. Fig. 8's slow Jupiter control loop:
+  //   "patches": [{"match": {"arch": "jupiter"},
+  //                "set":   {"collect_interval_ms": 60}}]
+  struct Patch {
+    json::Object match;
+    json::Object set;
+  };
+
+  std::string name = "campaign";
+  std::string experiment;  // looked up in the experiment registry
+  std::uint64_t seed = 1;
+  int replicas = 1;
+  int max_attempts = 2;    // 1 = no retry
+  json::Object fixed;
+  json::Object grid;       // axis name -> json::Array of values
+  std::vector<Patch> patches;
+
+  static CampaignSpec from_json(const std::string& text);
+  static CampaignSpec from_file(const std::string& path);
+  json::Value to_json() const;
+
+  // Grid size × replicas.
+  std::size_t num_runs() const;
+  // The full deterministic run list (see header comment for the order).
+  std::vector<RunSpec> expand() const;
+};
+
+}  // namespace oo::runner

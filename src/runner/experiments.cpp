@@ -1,0 +1,281 @@
+#include "runner/experiments.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "services/fault_plan.h"
+#include "services/sync_watchdog.h"
+#include "workload/allreduce.h"
+#include "workload/kv.h"
+
+namespace oo::runner {
+
+namespace {
+
+using namespace oo::literals;
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, RunFn>& registry() {
+  static std::map<std::string, RunFn> r;
+  return r;
+}
+
+// Shared fault-injection hook (see experiments.h): throws when the spec
+// listed this run in "fail_runs", or in "flaky_runs" on its first attempt.
+void maybe_inject_failure(const RunContext& ctx) {
+  const auto listed = [&](const char* key) {
+    const auto it = ctx.spec.params.find(key);
+    if (it == ctx.spec.params.end()) return false;
+    for (const json::Value& v : it->second.as_array()) {
+      if (static_cast<int>(v.as_int()) == ctx.spec.index) return true;
+    }
+    return false;
+  };
+  if (listed("fail_runs")) {
+    throw std::runtime_error("injected failure (fail_runs)");
+  }
+  if (ctx.attempt == 1 && listed("flaky_runs")) {
+    throw std::runtime_error("injected first-attempt failure (flaky_runs)");
+  }
+}
+
+json::Object percentile_row(const PercentileSampler& s) {
+  json::Object o;
+  o["n"] = static_cast<std::int64_t>(s.count());
+  o["p50_us"] = s.count() ? s.percentile(50) : 0.0;
+  o["p90_us"] = s.count() ? s.percentile(90) : 0.0;
+  o["p99_us"] = s.count() ? s.percentile(99) : 0.0;
+  o["max_us"] = s.count() ? s.max() : 0.0;
+  return o;
+}
+
+// --- fct: Fig. 8(a)-style mice FCT on one architecture -------------------
+json::Object run_fct(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "clos"), p);
+
+  std::vector<HostId> clients;
+  for (HostId h = 1; h < inst.net->num_hosts(); ++h) clients.push_back(h);
+  workload::KvWorkload kv(
+      *inst.net, 0, clients,
+      SimTime::nanos(static_cast<std::int64_t>(
+          ctx.param_double("kv_interval_ms", 2.0) * 1e6)),
+      ctx.param_int("op_bytes", 4200));
+  kv.start();
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 250)));
+  kv.stop();
+
+  json::Object o = percentile_row(kv.fct_us());
+  const auto t = inst.net->totals();
+  o["ops"] = kv.ops_completed();
+  o["delivered"] = t.delivered;
+  o["fabric_drops"] = t.fabric_drops;
+  ctx.sim_events = inst.net->sim().events_executed();
+  return o;
+}
+
+// --- allreduce: Fig. 8(b)-style ring allreduce completion ----------------
+json::Object run_allreduce(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "clos"), p);
+
+  std::vector<HostId> ring;
+  for (HostId h = 0; h < inst.net->num_hosts(); ++h) ring.push_back(h);
+  SimTime total = SimTime::zero();
+  auto tcp = workload::RingAllreduce::default_tcp();
+  tcp.dupack_threshold = static_cast<int>(
+      ctx.param_int("dupack_threshold", tcp.dupack_threshold));
+  workload::RingAllreduce ar(
+      *inst.net, ring, ctx.param_int("bytes", 4 << 20),
+      [&](SimTime t) { total = t; }, tcp);
+  ar.start();
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 3000)));
+
+  json::Object o;
+  o["done"] = total != SimTime::zero();
+  o["total_ms"] = total == SimTime::zero() ? -1.0 : total.ms();
+  o["bytes"] = ctx.param_int("bytes", 4 << 20);
+  ctx.sim_events = inst.net->sim().events_executed();
+  return o;
+}
+
+// --- sync_resilience: clock-drift ramp vs. the sync watchdog -------------
+json::Object run_sync_resilience(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "rotornet-direct-hybrid"),
+                        p);
+  auto* net = inst.net.get();
+
+  const double ppm = ctx.param_double("ppm", 0.0);
+  const bool watchdog_on = ctx.param_bool("watchdog", true);
+  const NodeId drift_node =
+      static_cast<NodeId>(ctx.param_int("drift_node", 2));
+
+  services::SyncWatchdog watchdog(*net);
+  std::int64_t wrong_at_quarantine = -1;
+  if (watchdog_on) {
+    watchdog.set_quarantine_hook(
+        [net, &wrong_at_quarantine](NodeId, bool quarantined) {
+          if (quarantined && wrong_at_quarantine < 0) {
+            wrong_at_quarantine = net->optical().wrong_slice();
+          }
+        });
+    watchdog.start();
+  }
+
+  net->sim().schedule_every(5_us, 10_us, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 500 + src;
+      pkt.dst_host = (src + 3) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  // Drift + beacon loss share one window: the clock compounds its error
+  // unchecked, then beacons resume and re-discipline it.
+  services::FaultPlan plan(
+      *net,
+      static_cast<std::uint64_t>(ctx.param_int("fault_seed", 2024)));
+  if (ppm > 0) {
+    const SimTime window =
+        SimTime::millis(ctx.param_int("fault_window_ms", 6));
+    plan.drift_clock(1_ms, drift_node, ppm, window);
+    plan.lose_beacons(1_ms, drift_node, window);
+  }
+  plan.arm();
+
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 12)));
+
+  json::Object o;
+  o["wrong_slice"] = net->optical().wrong_slice();
+  o["wrong_at_quarantine"] = wrong_at_quarantine;
+  o["delivered"] = net->optical().delivered();
+  o["desyncs"] = watchdog_on ? watchdog.desyncs_detected() : 0;
+  o["widenings"] = watchdog_on ? watchdog.guard_widenings() : 0;
+  o["quarantines"] = watchdog_on ? watchdog.quarantines() : 0;
+  o["readmissions"] = watchdog_on ? watchdog.readmissions() : 0;
+  o["detect_us"] = watchdog_on && watchdog.time_to_detect_us().count() > 0
+                       ? watchdog.time_to_detect_us().percentile(50)
+                       : 0.0;
+  o["quarantine_us"] = watchdog_on && watchdog.quarantine_us().count() > 0
+                           ? watchdog.quarantine_us().percentile(50)
+                           : 0.0;
+  ctx.sim_events = net->sim().events_executed();
+  return o;
+}
+
+// --- selftest: cheap deterministic arithmetic for machinery drills -------
+json::Object run_selftest(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  Rng rng = ctx.rng();
+  std::uint64_t acc = 0;
+  const std::int64_t iters = ctx.param_int("iters", 1000);
+  for (std::int64_t i = 0; i < iters; ++i) acc ^= rng.next_u64();
+  json::Object o;
+  o["acc"] = static_cast<std::int64_t>(acc);
+  o["draw"] = static_cast<std::int64_t>(ctx.stream("extra").next_u32());
+  ctx.sim_events = iters;
+  return o;
+}
+
+bool register_builtins() {
+  register_experiment("fct", run_fct);
+  register_experiment("allreduce", run_allreduce);
+  register_experiment("sync_resilience", run_sync_resilience);
+  register_experiment("selftest", run_selftest);
+  return true;
+}
+
+// Runs at static-initialization time. This TU is always linked when the
+// registry is used (find_experiment lives here), so the built-ins can't be
+// stripped while anything can look them up.
+const bool kBuiltinsRegistered = register_builtins();
+
+}  // namespace
+
+void register_experiment(const std::string& name, RunFn fn) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(fn);
+}
+
+RunFn find_experiment(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [n, fn] : registry()) {
+      (void)fn;
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::runtime_error("unknown experiment '" + name +
+                             "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> experiment_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  for (const auto& [n, fn] : registry()) {
+    (void)fn;
+    names.push_back(n);
+  }
+  return names;
+}
+
+arch::Params arch_params_from(const RunContext& ctx) {
+  arch::Params p;
+  p.tors = static_cast<int>(ctx.param_int("tors", p.tors));
+  p.hosts_per_tor =
+      static_cast<int>(ctx.param_int("hosts", p.hosts_per_tor));
+  p.uplinks = static_cast<int>(ctx.param_int("uplinks", p.uplinks));
+  p.slice = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("slice_us", p.slice.us()) * 1e3));
+  p.collect_interval = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("collect_interval_ms", p.collect_interval.ms()) *
+      1e6));
+  p.reconfig_delay = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("reconfig_delay_ms", p.reconfig_delay.ms()) * 1e6));
+  // The network seed defaults to the run's derived seed, so replicas of a
+  // grid point differ exactly in their stochastic inputs; specs replaying
+  // a bench's published numbers pin it with "net_seed".
+  p.seed = static_cast<std::uint64_t>(ctx.param_int(
+      "net_seed", static_cast<std::int64_t>(ctx.seed_for("net"))));
+  return p;
+}
+
+arch::Instance make_arch(const std::string& name, const arch::Params& p) {
+  using arch::RotorRouting;
+  if (name == "clos") return arch::make_clos(p);
+  if (name == "cthrough") return arch::make_cthrough(p);
+  if (name == "jupiter") return arch::make_jupiter(p);
+  if (name == "mordia") return arch::make_mordia(p);
+  if (name == "rotornet-vlb")
+    return arch::make_rotornet(p, RotorRouting::Vlb);
+  if (name == "rotornet-direct")
+    return arch::make_rotornet(p, RotorRouting::Direct);
+  if (name == "rotornet-direct-hybrid")
+    return arch::make_rotornet(p, RotorRouting::Direct, /*hybrid=*/true);
+  if (name == "rotornet-ucmp")
+    return arch::make_rotornet(p, RotorRouting::Ucmp);
+  if (name == "rotornet-hoho")
+    return arch::make_rotornet(p, RotorRouting::Hoho);
+  if (name == "opera") return arch::make_opera(p);
+  if (name == "opera-bulk") return arch::make_opera(p, /*bulk=*/true);
+  if (name == "shale") return arch::make_shale(p);
+  if (name == "semi-oblivious") return arch::make_semi_oblivious(p);
+  throw std::runtime_error("unknown architecture: " + name);
+}
+
+}  // namespace oo::runner

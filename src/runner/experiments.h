@@ -1,0 +1,40 @@
+// Experiment registry: named run functions the campaign engine can execute
+// from a JSON spec ("experiment": "fct"). Built-ins cover the sweeps the
+// bench binaries used to hand-roll — architecture FCT comparisons (Fig. 8a),
+// ring-allreduce completion (Fig. 8b), and the clock-drift resilience sweep
+// — so `bench/fig08_fct` and `bench/sync_resilience` are thin spec builders
+// over the same code paths `examples/campaign` drives from the CLI.
+//
+// Every built-in honours two fault-injection params for campaign-machinery
+// drills (ignored when absent):
+//   "fail_runs":  [indices...] — the run always throws (exhausts retries);
+//   "flaky_runs": [indices...] — the run throws on its first attempt only
+//                 (exercises the failed-then-retried manifest path).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "runner/runner.h"
+
+namespace oo::runner {
+
+// Registers `fn` under `name`; later registrations replace earlier ones.
+void register_experiment(const std::string& name, RunFn fn);
+// Throws std::runtime_error when `name` is unknown.
+RunFn find_experiment(const std::string& name);
+std::vector<std::string> experiment_names();
+
+// Architecture preset by campaign name (the oosim spellings: clos,
+// cthrough, jupiter, mordia, rotornet-vlb, rotornet-direct, rotornet-ucmp,
+// rotornet-hoho, opera, opera-bulk, shale, semi-oblivious). Throws on an
+// unknown name.
+arch::Instance make_arch(const std::string& name, const arch::Params& p);
+
+// arch::Params from the common campaign params (tors, hosts, uplinks,
+// slice_us, collect_interval_ms, reconfig_delay_ms, seed from the run).
+arch::Params arch_params_from(const RunContext& ctx);
+
+}  // namespace oo::runner

@@ -1,0 +1,83 @@
+#include "runner/manifest.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace oo::runner {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+RunStatus run_status_from_string(const std::string& s) {
+  if (s == "ok") return RunStatus::Ok;
+  if (s == "failed") return RunStatus::Failed;
+  throw std::runtime_error("manifest: unknown run status '" + s + "'");
+}
+
+json::Value RunRecord::to_json() const {
+  json::Object o;
+  o["run"] = index;
+  o["replica"] = replica;
+  o["seed"] = static_cast<std::int64_t>(seed);
+  o["status"] = to_string(status);
+  o["attempts"] = attempts;
+  if (!error.empty()) o["error"] = error;
+  o["wall_ms"] = wall_ms;
+  o["sim_events"] = sim_events;
+  o["params"] = params;
+  o["result"] = result;
+  return json::Value{o};
+}
+
+RunRecord RunRecord::from_json(const json::Value& v) {
+  RunRecord r;
+  r.index = static_cast<int>(v.at("run").as_int());
+  r.replica = static_cast<int>(v.get_int("replica", 0));
+  r.seed = static_cast<std::uint64_t>(v.get_int("seed", 0));
+  r.status = run_status_from_string(v.at("status").as_string());
+  r.attempts = static_cast<int>(v.get_int("attempts", 1));
+  r.error = v.get_string("error", "");
+  r.wall_ms = v.get_double("wall_ms", 0.0);
+  r.sim_events = v.get_int("sim_events", 0);
+  if (v.as_object().count("params")) r.params = v.at("params").as_object();
+  if (v.as_object().count("result")) r.result = v.at("result").as_object();
+  return r;
+}
+
+std::map<int, RunRecord> Manifest::load() const {
+  std::map<int, RunRecord> latest;
+  std::ifstream in(path_);
+  if (!in) return latest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      RunRecord r = RunRecord::from_json(json::parse(line));
+      latest[r.index] = std::move(r);  // later lines supersede
+    } catch (const std::exception&) {
+      // Truncated tail line from an interrupted writer, or hand-edited
+      // garbage: skip — resume re-runs anything it cannot prove finished.
+      continue;
+    }
+  }
+  return latest;
+}
+
+void Manifest::append(const RunRecord& rec) const {
+  std::ofstream out(path_, std::ios::app);
+  if (!out) throw std::runtime_error("manifest: cannot append to " + path_);
+  out << rec.to_json().dump() << '\n';
+  out.flush();
+}
+
+void Manifest::reset() const {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) throw std::runtime_error("manifest: cannot create " + path_);
+}
+
+}  // namespace oo::runner

@@ -1,0 +1,65 @@
+// Campaign manifest: one JSONL line per run attempt outcome, appended (and
+// fsync-flushed) the moment a worker finishes a run. The manifest is the
+// campaign's durable state — a re-invoked campaign loads it, keeps every
+// run whose latest record is `ok` (the stored result row makes re-running
+// unnecessary), and executes only the rest. Lines are whole JSON objects,
+// so a crash mid-write leaves at most one truncated tail line, which load()
+// ignores rather than poisoning the resume.
+//
+// Manifest records carry wall-clock timing and attempt counts, which vary
+// across machines and worker counts; the deterministic artifacts are the
+// results files the runner regenerates from the records, which exclude
+// those fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+
+namespace oo::runner {
+
+enum class RunStatus { Ok, Failed };
+
+const char* to_string(RunStatus s);
+RunStatus run_status_from_string(const std::string& s);
+
+struct RunRecord {
+  int index = 0;
+  int replica = 0;
+  std::uint64_t seed = 0;
+  RunStatus status = RunStatus::Failed;
+  int attempts = 0;          // total tries this invocation (>1 => retried)
+  std::string error;         // last exception text when status == Failed
+  double wall_ms = 0.0;      // wall-clock of the successful/last attempt
+  std::int64_t sim_events = 0;  // simulator events the run dispatched
+  json::Object params;       // the run's grid point (for humans / tooling)
+  json::Object result;       // experiment's structured result row
+
+  json::Value to_json() const;
+  static RunRecord from_json(const json::Value& v);
+};
+
+class Manifest {
+ public:
+  explicit Manifest(std::string path) : path_(std::move(path)) {}
+  const std::string& path() const { return path_; }
+
+  // Latest record per run index (later lines supersede earlier ones, so a
+  // retried-then-resumed run resolves to its final outcome). Missing file
+  // -> empty map; malformed/truncated lines are skipped.
+  std::map<int, RunRecord> load() const;
+
+  // Append one record. Not synchronized — the runner serializes appends
+  // behind its writer mutex.
+  void append(const RunRecord& rec) const;
+
+  // Truncate/create the file (fresh, non-resumed campaigns).
+  void reset() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace oo::runner

@@ -1,0 +1,277 @@
+#include "runner/runner.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "services/export.h"
+
+namespace oo::runner {
+
+namespace {
+
+double now_wall_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+// CSV cell for a JSON scalar; strings are quoted only when they need it.
+std::string csv_cell(const json::Value& v) {
+  switch (v.type()) {
+    case json::Type::Null: return "";
+    case json::Type::Bool: return v.as_bool() ? "true" : "false";
+    case json::Type::Int: return std::to_string(v.as_int());
+    case json::Type::Double: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v.as_double());
+      return buf;
+    }
+    case json::Type::String: {
+      const std::string& s = v.as_string();
+      if (s.find_first_of(",\"\n") == std::string::npos) return s;
+      std::string q = "\"";
+      for (const char c : s) {
+        if (c == '"') q += '"';
+        q += c;
+      }
+      q += '"';
+      return q;
+    }
+    default: return v.dump();  // nested values: rare, dump compact JSON
+  }
+}
+
+}  // namespace
+
+std::int64_t RunContext::param_int(const std::string& key,
+                                   std::int64_t fallback) const {
+  const auto it = spec.params.find(key);
+  return it == spec.params.end() ? fallback : it->second.as_int();
+}
+
+double RunContext::param_double(const std::string& key,
+                                double fallback) const {
+  const auto it = spec.params.find(key);
+  return it == spec.params.end() ? fallback : it->second.as_double();
+}
+
+std::string RunContext::param_string(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = spec.params.find(key);
+  return it == spec.params.end() ? fallback : it->second.as_string();
+}
+
+bool RunContext::param_bool(const std::string& key, bool fallback) const {
+  const auto it = spec.params.find(key);
+  return it == spec.params.end() ? fallback : it->second.as_bool();
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, RunFn fn, RunnerOptions opt)
+    : spec_(std::move(spec)), fn_(std::move(fn)), opt_(std::move(opt)) {}
+
+RunRecord CampaignRunner::execute(const RunSpec& rs) {
+  RunRecord rec;
+  rec.index = rs.index;
+  rec.replica = rs.replica;
+  rec.seed = rs.seed;
+  rec.params = rs.params;
+  for (int attempt = 1; attempt <= spec_.max_attempts; ++attempt) {
+    rec.attempts = attempt;
+    const double t0 = now_wall_ms();
+    try {
+      RunContext ctx{rs};
+      ctx.attempt = attempt;
+      rec.result = fn_(ctx);
+      rec.sim_events = ctx.sim_events;
+      rec.wall_ms = now_wall_ms() - t0;
+      rec.status = RunStatus::Ok;
+      rec.error.clear();
+      return rec;
+    } catch (const std::exception& e) {
+      rec.wall_ms = now_wall_ms() - t0;
+      rec.status = RunStatus::Failed;
+      rec.error = e.what();
+    } catch (...) {
+      rec.wall_ms = now_wall_ms() - t0;
+      rec.status = RunStatus::Failed;
+      rec.error = "unknown exception";
+    }
+  }
+  rec.result.clear();
+  return rec;
+}
+
+CampaignSummary CampaignRunner::run() {
+  const double campaign_t0 = now_wall_ms();
+  const std::vector<RunSpec> runs = spec_.expand();
+
+  summary_ = CampaignSummary{};
+  summary_.total = static_cast<int>(runs.size());
+  records_.assign(runs.size(), RunRecord{});
+
+  Manifest manifest(opt_.out_dir.empty() ? std::string{}
+                                         : opt_.out_dir + "/manifest.jsonl");
+  std::set<int> done;
+  if (!opt_.out_dir.empty()) {
+    ::mkdir(opt_.out_dir.c_str(), 0777);  // EEXIST is fine
+    if (opt_.resume) {
+      for (auto& [index, rec] : manifest.load()) {
+        if (rec.status != RunStatus::Ok) continue;
+        if (index < 0 || index >= summary_.total) continue;
+        records_[static_cast<std::size_t>(index)] = std::move(rec);
+        done.insert(index);
+      }
+    } else {
+      manifest.reset();
+    }
+  }
+
+  // Work list: every run the manifest could not prove finished.
+  std::vector<const RunSpec*> todo;
+  todo.reserve(runs.size());
+  for (const RunSpec& rs : runs) {
+    if (!done.count(rs.index)) todo.push_back(&rs);
+  }
+  summary_.skipped = static_cast<int>(runs.size() - todo.size());
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> failed_now{0};
+  std::mutex writer;  // guards manifest appends + records_ slots + progress
+
+  const int jobs = std::max(
+      1, std::min(opt_.jobs, static_cast<int>(std::max<std::size_t>(
+                                 1, todo.size()))));
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= todo.size()) return;
+      RunRecord rec = execute(*todo[i]);
+      std::lock_guard<std::mutex> lock(writer);
+      if (!opt_.out_dir.empty()) manifest.append(rec);
+      if (rec.status == RunStatus::Failed) failed_now.fetch_add(1);
+      summary_.retries += rec.attempts - 1;
+      summary_.run_wall_ms_sum += rec.wall_ms;
+      metrics_.histogram("campaign.run_wall_ms").add(rec.wall_ms);
+      if (rec.wall_ms > 0 && rec.sim_events > 0) {
+        metrics_.histogram("campaign.run_event_rate")
+            .add(static_cast<double>(rec.sim_events) /
+                 (rec.wall_ms / 1e3));
+      }
+      records_[static_cast<std::size_t>(rec.index)] = std::move(rec);
+      const int n = completed.fetch_add(1) + 1;
+      if (opt_.progress) {
+        std::fprintf(stderr,
+                     "\r[%s] %d/%zu runs (%d skipped, %d failed)   ",
+                     spec_.name.c_str(), n, todo.size(), summary_.skipped,
+                     failed_now.load());
+        if (static_cast<std::size_t>(n) == todo.size()) {
+          std::fprintf(stderr, "\n");
+        }
+      }
+    }
+  };
+
+  if (jobs == 1 || todo.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  summary_.executed = static_cast<int>(todo.size());
+  summary_.wall_ms = now_wall_ms() - campaign_t0;
+  for (const RunRecord& rec : records_) {
+    if (rec.status == RunStatus::Ok) ++summary_.ok;
+    else ++summary_.failed;
+  }
+
+  metrics_.counter("campaign.runs", {{"status", "ok"}}).set(summary_.ok);
+  metrics_.counter("campaign.runs", {{"status", "failed"}})
+      .set(summary_.failed);
+  metrics_.counter("campaign.runs", {{"status", "skipped"}})
+      .set(summary_.skipped);
+  metrics_.counter("campaign.retries").set(summary_.retries);
+  metrics_.gauge("campaign.wall_ms").set(summary_.wall_ms);
+  metrics_.gauge("campaign.jobs").set(jobs);
+  metrics_.gauge("campaign.speedup").set(summary_.speedup());
+
+  if (!opt_.out_dir.empty()) write_outputs();
+  return summary_;
+}
+
+std::string CampaignRunner::results_jsonl() const {
+  // Deterministic twin of the manifest: ordered by run index, stripped of
+  // timing/attempt metadata that varies across machines and worker counts.
+  std::string out;
+  for (const RunRecord& rec : records_) {
+    json::Object o;
+    o["run"] = rec.index;
+    o["replica"] = rec.replica;
+    o["seed"] = static_cast<std::int64_t>(rec.seed);
+    o["status"] = to_string(rec.status);
+    o["params"] = rec.params;
+    o["result"] = rec.result;
+    out += json::Value{o}.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CampaignRunner::results_csv() const {
+  // Columns: run, replica, seed, status, then the sorted union of param
+  // keys, then the sorted union of result keys. Unions (not first-row
+  // keys) so heterogeneous rows — e.g. failed runs with empty results —
+  // stay rectangular.
+  std::set<std::string> param_keys, result_keys;
+  for (const RunRecord& rec : records_) {
+    for (const auto& [k, v] : rec.params) {
+      (void)v;
+      param_keys.insert(k);
+    }
+    for (const auto& [k, v] : rec.result) {
+      (void)v;
+      result_keys.insert(k);
+    }
+  }
+  std::string out = "run,replica,seed,status";
+  for (const auto& k : param_keys) out += "," + k;
+  for (const auto& k : result_keys) out += "," + k;
+  out += '\n';
+  for (const RunRecord& rec : records_) {
+    out += std::to_string(rec.index);
+    out += ',' + std::to_string(rec.replica);
+    out += ',' + std::to_string(rec.seed);
+    out += ',';
+    out += to_string(rec.status);
+    for (const auto& k : param_keys) {
+      out += ',';
+      const auto it = rec.params.find(k);
+      if (it != rec.params.end()) out += csv_cell(it->second);
+    }
+    for (const auto& k : result_keys) {
+      out += ',';
+      const auto it = rec.result.find(k);
+      if (it != rec.result.end()) out += csv_cell(it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CampaignRunner::write_outputs() const {
+  services::write_file(opt_.out_dir + "/results.jsonl", results_jsonl());
+  services::write_file(opt_.out_dir + "/results.csv", results_csv());
+}
+
+}  // namespace oo::runner

@@ -1,0 +1,135 @@
+// Campaign runner: executes an expanded campaign on a bounded pool of
+// std::thread workers with deterministic results, crash isolation, and
+// resumable manifests.
+//
+// Threading model. Workers pull run indices from a shared atomic cursor
+// over the expanded run list; each run constructs its own sim::Simulator
+// (inside the experiment function), so no simulation state crosses
+// threads. The only shared mutable state is the cursor, the progress
+// counters, and the manifest writer, each behind an atomic or the writer
+// mutex. Experiment functions must therefore not touch process globals —
+// the one historical offender (the process-wide flow-id allocator) now
+// lives per-Network.
+//
+// Determinism argument. Result files are byte-identical for any --jobs
+// value because (1) every run's inputs are a pure function of the spec
+// (per-run seeds via derive_seed(campaign_seed, run_index, "run")), (2)
+// runs share no mutable state, and (3) the results sink orders records by
+// run index, not completion order, and excludes wall-clock fields. The
+// manifest is the non-deterministic twin: append-ordered by completion,
+// carrying timing/attempt metadata.
+//
+// Failure semantics. A run that throws is caught in the worker, recorded
+// as `failed` with the exception text, and retried up to
+// spec.max_attempts times in place (same worker, fresh RunContext — the
+// retry replays the identical deterministic inputs, so it only helps for
+// environmental failures, which is exactly the crash-isolation goal: one
+// bad run must not take down a multi-hour campaign). Exhausted runs stay
+// `failed` in the manifest and leave a placeholder row in the results
+// files; the campaign completes and reports them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runner/campaign.h"
+#include "runner/manifest.h"
+#include "telemetry/metrics.h"
+
+namespace oo::runner {
+
+// Everything an experiment function receives for one run.
+struct RunContext {
+  const RunSpec& spec;
+  // 1-based attempt number (2+ on retry after a thrown run). Experiments
+  // exist that fail only on specific attempts (fault-injection drills);
+  // real experiments ignore this.
+  int attempt = 1;
+
+  // Root RNG for the run, on its own derived stream.
+  Rng rng() const { return derive_rng(spec.seed, 0, "root"); }
+  // Named sub-stream, e.g. ctx.stream("faults") — stable under code
+  // reordering, unlike chained fork()s.
+  Rng stream(std::string_view name) const {
+    return derive_rng(spec.seed, 0, name);
+  }
+  std::uint64_t seed_for(std::string_view name) const {
+    return derive_seed(spec.seed, 0, name);
+  }
+
+  // Parameter accessors with spec-level fallbacks.
+  std::int64_t param_int(const std::string& key, std::int64_t fallback) const;
+  double param_double(const std::string& key, double fallback) const;
+  std::string param_string(const std::string& key,
+                           const std::string& fallback) const;
+  bool param_bool(const std::string& key, bool fallback) const;
+
+  // Experiments report how much simulated work the run did so the runner's
+  // telemetry can derive per-run event rates.
+  std::int64_t sim_events = 0;
+};
+
+// An experiment: executes one run and returns its structured result row.
+// Must be thread-safe in the trivial sense — no shared mutable state.
+using RunFn = std::function<json::Object(RunContext&)>;
+
+struct RunnerOptions {
+  int jobs = 1;            // worker threads (clamped to [1, num_runs])
+  bool resume = false;     // load the manifest, skip runs recorded ok
+  std::string out_dir;     // manifest.jsonl / results.jsonl / results.csv
+                           // (empty: in-memory only, no files)
+  bool progress = false;   // live progress line on stderr
+};
+
+struct CampaignSummary {
+  int total = 0;       // expanded runs
+  int executed = 0;    // runs actually executed this invocation
+  int skipped = 0;     // resumed as ok from the manifest
+  int ok = 0;          // final status ok (executed + skipped)
+  int failed = 0;      // final status failed after all attempts
+  int retries = 0;     // extra attempts spent across all runs
+  double wall_ms = 0.0;         // campaign wall-clock
+  double run_wall_ms_sum = 0.0; // Σ per-run wall-clock (executed runs)
+  // Σ run wall / campaign wall: the observed parallel speedup (≈ jobs when
+  // runs dominate and load-balance).
+  double speedup() const {
+    return wall_ms > 0 ? run_wall_ms_sum / wall_ms : 0.0;
+  }
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(CampaignSpec spec, RunFn fn, RunnerOptions opt);
+
+  // Executes the campaign; returns the summary. Records (ordered by run
+  // index) and the telemetry registry stay readable afterwards.
+  CampaignSummary run();
+
+  const std::vector<RunRecord>& records() const { return records_; }
+  const CampaignSummary& summary() const { return summary_; }
+
+  // Campaign-level telemetry: campaign.runs{status=...}, campaign.retries,
+  // campaign.run_wall_ms / campaign.run_event_rate histograms,
+  // campaign.speedup gauge.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+  // The deterministic artifacts, regenerated from the ordered records.
+  std::string results_jsonl() const;
+  std::string results_csv() const;
+
+ private:
+  RunRecord execute(const RunSpec& rs);
+  void write_outputs() const;
+
+  CampaignSpec spec_;
+  RunFn fn_;
+  RunnerOptions opt_;
+  std::vector<RunRecord> records_;
+  CampaignSummary summary_;
+  telemetry::MetricsRegistry metrics_;
+};
+
+}  // namespace oo::runner

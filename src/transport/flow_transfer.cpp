@@ -1,17 +1,11 @@
 #include "transport/flow_transfer.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace oo::transport {
 
 using core::Packet;
 using core::PacketType;
-
-FlowId FlowTransfer::alloc_flow_id() {
-  static std::atomic<FlowId> next{1};
-  return next++;
-}
 
 FlowTransfer::FlowTransfer(core::Network& net, HostId src, HostId dst,
                            std::int64_t bytes, FlowTransferConfig cfg,
@@ -19,7 +13,7 @@ FlowTransfer::FlowTransfer(core::Network& net, HostId src, HostId dst,
     : net_(net),
       src_(src),
       dst_(dst),
-      flow_(alloc_flow_id()),
+      flow_(net.alloc_flow_id()),
       total_bytes_(bytes),
       cfg_(cfg),
       done_(std::move(done)),

@@ -40,8 +40,6 @@ class FlowTransfer {
   SimTime start_time() const { return start_time_; }
   std::int64_t retransmissions() const { return retrans_; }
 
-  static FlowId alloc_flow_id();
-
  private:
   void pump();                     // send while window allows
   void send_segment(std::int64_t seq);

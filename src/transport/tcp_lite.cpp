@@ -13,7 +13,7 @@ TcpLite::TcpLite(core::Network& net, HostId src, HostId dst, TcpConfig cfg)
     : net_(net),
       src_(src),
       dst_(dst),
-      flow_(FlowTransfer::alloc_flow_id()),
+      flow_(net.alloc_flow_id()),
       cfg_(cfg),
       cwnd_(cfg.init_cwnd),
       ssthresh_(cfg.max_cwnd),

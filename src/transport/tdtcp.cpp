@@ -14,7 +14,7 @@ TdtcpLite::TdtcpLite(core::Network& net, HostId src, HostId dst,
     : net_(net),
       src_(src),
       dst_(dst),
-      flow_(FlowTransfer::alloc_flow_id()),
+      flow_(net.alloc_flow_id()),
       cfg_(cfg),
       alive_(std::make_shared<bool>(true)) {
   const int phases =

@@ -15,7 +15,7 @@ TrimRetxTransfer::TrimRetxTransfer(core::Network& net, HostId src,
     : net_(net),
       src_(src),
       dst_(dst),
-      flow_(FlowTransfer::alloc_flow_id()),
+      flow_(net.alloc_flow_id()),
       total_bytes_(bytes),
       cfg_(cfg),
       done_(std::move(done)),

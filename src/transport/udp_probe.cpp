@@ -14,7 +14,7 @@ UdpProbe::UdpProbe(core::Network& net, HostId pinger, HostId responder,
       responder_(responder),
       interval_(interval),
       size_bytes_(size_bytes),
-      flow_(FlowTransfer::alloc_flow_id()),
+      flow_(net.alloc_flow_id()),
       alive_(std::make_shared<bool>(true)) {
   net_.host(responder_).bind_flow(flow_, [this](Packet&& p) {
     // Echo the probe back, preserving the original tx timestamp.

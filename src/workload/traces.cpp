@@ -171,7 +171,7 @@ void OpenLoopReplay::schedule_next() {
       auto remaining = static_cast<std::int64_t>(
           sample_flow_size(trace_cdf(kind_), rng_));
       bytes_offered_ += remaining;
-      const FlowId flow = transport::FlowTransfer::alloc_flow_id();
+      const FlowId flow = net_.alloc_flow_id();
       // Packets enter the host stack back-to-back (line rate) or spread at
       // the flow pace; no acks, no windows.
       SimTime at = net_.sim().now();

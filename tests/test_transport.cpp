@@ -117,8 +117,15 @@ TEST(FlowTransfer, FctMeasuredFromStart) {
   EXPECT_LT(fct, 1_ms);  // relative, not absolute
 }
 
-TEST(FlowTransfer, UniqueFlowIds) {
-  EXPECT_NE(FlowTransfer::alloc_flow_id(), FlowTransfer::alloc_flow_id());
+TEST(FlowTransfer, UniqueFlowIdsPerNetwork) {
+  auto net = make_electrical_net();
+  const FlowId a = net->alloc_flow_id();
+  const FlowId b = net->alloc_flow_id();
+  EXPECT_NE(a, b);
+  // Allocation is a function of the network's own history, not process
+  // history: a fresh network replays the same id sequence.
+  auto net2 = make_electrical_net();
+  EXPECT_EQ(net2->alloc_flow_id(), a);
 }
 
 TEST(TcpLite, SaturatesCleanPathUpToCap) {
