@@ -12,6 +12,15 @@
 // while the SyncWatchdog detects the desync from observable symptoms and
 // walks the drifted ToR down the widen -> quarantine -> re-admit ladder.
 //
+// With --control-chaos the drill targets the transactional southbound
+// control plane: a rotor fabric takes total install-message loss to one
+// ToR, fabric-wide message duplication, port churn that forces recovery
+// redeploys through the degraded channel, and a controller crash with
+// restart resync. The fenced run is executed twice (the seed-determinism
+// replay gate: counter fingerprints must match byte-for-byte) and once
+// with fencing disabled — the legacy scatter baseline — which must expose
+// mixed-epoch slices that the transaction keeps at zero.
+//
 // With --trace=PATH the whole drill is captured in the flight recorder and
 // written as Chrome trace_event JSON (chrome://tracing, Perfetto): circuit
 // up/down per fault, per-class drops, control-plane deploys and retries —
@@ -23,6 +32,7 @@
 #include "arch/arch.h"
 #include "common/cli.h"
 #include "routing/ta_routing.h"
+#include "routing/to_routing.h"
 #include "services/export.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
@@ -266,17 +276,182 @@ int run_clock_drill(const std::string& trace_path) {
   return passed ? 0 : 2;
 }
 
+// Counter fingerprint of one control-chaos scenario run. Two runs of the
+// same scenario at the same seed must produce identical fingerprints (the
+// replay gate); the fenced/unfenced pair differ exactly in the epoch
+// exposure the transaction prevents.
+struct ControlFingerprint {
+  std::uint64_t epoch = 0;
+  std::int64_t commits = 0;
+  std::int64_t aborts = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t fenced = 0;
+  std::int64_t resyncs = 0;
+  std::int64_t rejected = 0;
+  std::int64_t mixed = 0;
+  std::int64_t sb_sent = 0;
+  std::int64_t sb_lost = 0;
+  std::int64_t sb_duped = 0;
+  std::int64_t delivered = 0;
+  std::int64_t events = 0;
+  int recoveries = 0;
+  int retries = 0;
+
+  std::string summary() const {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "epoch=%llu commits=%lld aborts=%lld rollbacks=%lld fenced=%lld "
+        "resyncs=%lld rejected=%lld mixed=%lld sb=%lld/%lld/%lld "
+        "delivered=%lld events=%lld recoveries=%d retries=%d",
+        static_cast<unsigned long long>(epoch),
+        static_cast<long long>(commits), static_cast<long long>(aborts),
+        static_cast<long long>(rollbacks), static_cast<long long>(fenced),
+        static_cast<long long>(resyncs), static_cast<long long>(rejected),
+        static_cast<long long>(mixed), static_cast<long long>(sb_sent),
+        static_cast<long long>(sb_lost), static_cast<long long>(sb_duped),
+        static_cast<long long>(delivered), static_cast<long long>(events),
+        recoveries, retries);
+    return buf;
+  }
+};
+
+ControlFingerprint run_control_scenario(bool fencing,
+                                        const std::string& trace_path) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.slice = 50_us;
+  p.seed = 7;
+  auto inst = arch::make_rotornet(p, arch::RotorRouting::Direct);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+  if (!trace_path.empty()) net->sim().set_recorder(&recorder);
+
+  // The architecture's initial deploy already happened over an ideal
+  // (inline) channel; from here on every install crosses a 20 us modeled
+  // southbound, so recovery redeploys are real two-phase transactions.
+  ctl->set_fencing(fencing);
+  core::SouthboundConfig sb;
+  sb.latency = 20_us;
+  ctl->southbound().configure(sb);
+
+  services::FailureRecovery recovery(
+      *net, *ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/1_ms);
+  recovery.start();
+
+  // Steady calendar traffic so epoch mixture is a forwarding-plane fact,
+  // not just a bookkeeping one.
+  net->sim().schedule_every(25_us, 100_us, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 700 + src;
+      pkt.dst_host = (src + 3) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  // The control-chaos script: total install loss to ToR 3 while port churn
+  // forces redeploys (every prepare times out and rolls back until the
+  // window lifts), then fabric-wide duplication (echo installs must be
+  // fenced), then a controller crash spanning a failure (deploys rejected,
+  // retried, and resynced after restart).
+  services::FaultPlan plan(*net, /*seed=*/2024, ctl);
+  plan.load_json(R"({"events": [
+    {"kind": "sb_msg_loss", "at_us": 5000, "node": 3, "prob": 1.0,
+     "duration_us": 20000},
+    {"kind": "port_fail", "at_us": 8000, "node": 0, "port": 0},
+    {"kind": "port_repair", "at_us": 22000, "node": 0, "port": 0},
+    {"kind": "sb_msg_dup", "at_us": 30000, "prob": 0.5,
+     "duration_us": 12000},
+    {"kind": "port_fail", "at_us": 32000, "node": 1, "port": 0},
+    {"kind": "port_repair", "at_us": 38000, "node": 1, "port": 0},
+    {"kind": "controller_crash", "at_us": 45000, "duration_us": 3000},
+    {"kind": "port_fail", "at_us": 46000, "node": 2, "port": 0},
+    {"kind": "port_repair", "at_us": 58000, "node": 2, "port": 0}
+  ]})");
+  plan.arm();
+
+  inst.run_for(80_ms);
+
+  write_trace(trace_path, recorder);
+
+  ControlFingerprint fp;
+  fp.epoch = ctl->committed_epoch();
+  fp.commits = ctl->txn_commits();
+  fp.aborts = ctl->txn_aborts();
+  fp.rollbacks = ctl->txn_rollbacks();
+  fp.fenced = ctl->fenced_stale_installs();
+  fp.resyncs = ctl->resyncs();
+  fp.rejected = ctl->deploys_rejected();
+  fp.mixed = net->mixed_epoch_slices();
+  fp.sb_sent = ctl->southbound().msgs_sent();
+  fp.sb_lost = ctl->southbound().msgs_lost();
+  fp.sb_duped = ctl->southbound().msgs_duped();
+  fp.delivered = net->optical().delivered();
+  fp.events = net->sim().events_executed();
+  fp.recoveries = recovery.recoveries();
+  fp.retries = recovery.retries();
+  return fp;
+}
+
+int run_control_drill(const std::string& trace_path) {
+  const ControlFingerprint fenced = run_control_scenario(true, trace_path);
+  const ControlFingerprint replay = run_control_scenario(true, "");
+  const ControlFingerprint scatter = run_control_scenario(false, "");
+
+  std::printf("=== control chaos drill: rotornet-direct, 80 ms, "
+              "9 scripted events ===\n");
+  std::printf("fenced:   %s\n", fenced.summary().c_str());
+  std::printf("replay:   %s\n", replay.summary().c_str());
+  std::printf("scatter:  %s\n", scatter.summary().c_str());
+
+  const bool deterministic = fenced.summary() == replay.summary();
+  const bool passed = deterministic &&
+                      fenced.mixed == 0 &&        // txn hides epoch mixture
+                      scatter.mixed > 0 &&        // ...that scatter exposes
+                      fenced.commits >= 2 &&
+                      fenced.aborts >= 1 &&       // loss window rolled back
+                      fenced.rollbacks >= 1 &&
+                      fenced.resyncs == 1 &&      // crash + restart resynced
+                      fenced.rejected >= 1 &&     // deploys hit the outage
+                      fenced.sb_lost >= 1 &&
+                      fenced.sb_duped >= 1 &&
+                      fenced.recoveries >= 1 &&
+                      fenced.retries >= 1;
+  if (!deterministic) {
+    std::printf("replay gate FAILED: fingerprints differ\n");
+  }
+  std::printf("%s\n",
+              passed ? "control chaos drill passed: lossy southbound "
+                       "contained, stale installs fenced, crash resynced, "
+                       "replay deterministic"
+                     : "control chaos drill FAILED");
+  return passed ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   bool clock_chaos = false;
+  bool control_chaos = false;
   cli::ArgParser args("chaos_drill",
                       "scripted fault drill against the recovery services");
   args.flag("--clock-chaos", &clock_chaos,
             "clock-drift drill against the sync watchdog")
+      .flag("--control-chaos", &control_chaos,
+            "southbound transaction drill against the control plane")
       .option("--trace", &trace_path, "write a Chrome trace_event JSON");
   if (!args.parse(argc, argv)) return 1;
+  if (control_chaos) return run_control_drill(trace_path);
   return clock_chaos ? run_clock_drill(trace_path)
                      : run_fault_drill(trace_path);
 }

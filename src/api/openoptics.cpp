@@ -33,6 +33,10 @@ Config Config::from_json(const std::string& text) {
   c.pushback = v.get_bool("pushback", c.pushback);
   c.offload = v.get_bool("offload", c.offload);
   c.host_stack = v.get_string("host_stack", c.host_stack);
+  c.sb_latency_us = v.get_double("sb_latency_us", c.sb_latency_us);
+  c.sb_loss_prob = v.get_double("sb_loss_prob", c.sb_loss_prob);
+  c.sb_dup_prob = v.get_double("sb_dup_prob", c.sb_dup_prob);
+  c.sb_fencing = v.get_bool("sb_fencing", c.sb_fencing);
   return c;
 }
 
@@ -104,6 +108,13 @@ bool Net::deploy_topo(const std::vector<optics::Circuit>& circuits,
     net_ = std::make_unique<core::Network>(cfg_.to_network_config(),
                                            std::move(sched), profile_cached());
     ctl_ = std::make_unique<core::Controller>(*net_);
+    core::SouthboundConfig sb;
+    sb.latency =
+        SimTime::nanos(static_cast<std::int64_t>(cfg_.sb_latency_us * 1e3));
+    sb.loss_prob = cfg_.sb_loss_prob;
+    sb.dup_prob = cfg_.sb_dup_prob;
+    ctl_->southbound().configure(sb);
+    ctl_->set_fencing(cfg_.sb_fencing);
     if (recorder_) net_->sim().set_recorder(recorder_.get());
     bw_baseline_.assign(static_cast<std::size_t>(cfg_.node_num), 0);
     net_->start();

@@ -56,6 +56,16 @@ struct Config {
   bool offload = false;
   std::string host_stack = "libvma";  // libvma|kernel
 
+  // Southbound control channel (controller <-> ToR install agents). The
+  // defaults model an ideal channel: deploys commit inline, exactly the
+  // pre-transactional semantics. Non-zero values run every deploy as an
+  // asynchronous two-phase transaction. sb_fencing=false selects the
+  // legacy scatter baseline that exposes mixed-epoch forwarding.
+  double sb_latency_us = 0.0;
+  double sb_loss_prob = 0.0;
+  double sb_dup_prob = 0.0;
+  bool sb_fencing = true;
+
   static Config from_json(const std::string& text);
   // Reads the JSON config from disk (the paper's static configuration
   // file); throws on I/O or parse errors.
@@ -121,6 +131,10 @@ class Net {
   void start() { net_->start(); }
 
   const std::string& last_error() const { return ctl_->last_error(); }
+  // Highest fabric-wide committed deploy epoch (0 before materialization).
+  std::uint64_t committed_epoch() const {
+    return ctl_ ? ctl_->committed_epoch() : 0;
+  }
 
  private:
   optics::OcsProfile profile_cached() const;

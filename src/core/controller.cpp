@@ -1,11 +1,90 @@
 #include "core/controller.h"
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <tuple>
 
 #include "common/log.h"
 
 namespace oo::core {
+
+namespace {
+
+// Sentinel for "no overlay to clear" in a transaction.
+constexpr int kNoClear = std::numeric_limits<int>::min();
+
+// Commit retransmission cap: after this many unacked rounds the controller
+// gives up and lets the mixed-epoch metric expose the straggler.
+constexpr int kMaxCommitRounds = 8;
+
+}  // namespace
+
+// One deployment transaction. Prepared state lives here until the epoch is
+// either committed (the Txn is retained as the agents' staged payload until
+// the next epoch supersedes it) or aborted.
+struct Controller::Txn {
+  std::uint64_t epoch = 0;
+  SimTime issued_at = SimTime::zero();
+
+  bool has_topo = false;
+  optics::Schedule topo;
+  SimTime reconfig_delay = SimTime::zero();
+
+  bool has_routing = false;
+  std::vector<std::vector<TftEntry>> entries;  // per node
+  MultipathMode multipath = MultipathMode::None;
+  int clear_prio = kNoClear;
+
+  TxnDoneFn on_done;
+
+  // Prepare phase.
+  int acks = 0;
+  std::vector<char> acked;
+  sim::EventHandle timeout;
+  bool done = false;  // outcome decided (committed or aborted)
+
+  // Commit phase.
+  bool committed = false;
+  std::int64_t activation_abs = -1;  // -1 = apply on commit receipt
+  int commit_acks = 0;
+  std::vector<char> commit_acked;
+  int commit_rounds = 0;
+  sim::EventHandle commit_timer;
+};
+
+Controller::Controller(Network& net)
+    : net_(net),
+      sb_(net),
+      agents_(static_cast<std::size_t>(net.num_tors())) {
+  auto& m = net_.sim().metrics();
+  deploys_rejected_ = &m.counter("controller.deploys_rejected");
+  txn_prepares_ = &m.counter("controller.txn_prepares");
+  txn_commits_ = &m.counter("controller.txn_commits");
+  txn_aborts_ = &m.counter("controller.txn_aborts");
+  txn_rollbacks_ = &m.counter("controller.txn_rollbacks");
+  fenced_stale_ = &m.counter("controller.fenced_stale_installs");
+  resyncs_ = &m.counter("controller.resyncs");
+  net_.set_rotation_hook(
+      [this](NodeId n, std::int64_t abs) { on_boundary(n, abs); });
+}
+
+Controller::~Controller() { net_.set_rotation_hook(nullptr); }
+
+std::int64_t Controller::deploys_rejected() const {
+  return deploys_rejected_->value();
+}
+std::int64_t Controller::txn_commits() const { return txn_commits_->value(); }
+std::int64_t Controller::txn_aborts() const { return txn_aborts_->value(); }
+std::int64_t Controller::txn_rollbacks() const {
+  return txn_rollbacks_->value();
+}
+std::int64_t Controller::fenced_stale_installs() const {
+  return fenced_stale_->value();
+}
+std::int64_t Controller::resyncs() const { return resyncs_->value(); }
+
+bool Controller::txn_in_flight() const { return txn_ != nullptr && !txn_->done; }
 
 bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
                                   SliceId period,
@@ -25,16 +104,21 @@ bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
   return true;
 }
 
-bool Controller::control_plane_up() const {
+bool Controller::control_plane_up() {
+  if (crashed_) {
+    last_error_ = "control plane unavailable (controller crashed)";
+    deploys_rejected_->inc();
+    return false;
+  }
   if (!deploy_fail_) return true;
   last_error_ = "control plane unavailable (injected fault)";
-  ++const_cast<Controller*>(this)->deploys_rejected_;
-  net_.sim().metrics().counter("controller.deploys_rejected").inc();
+  deploys_rejected_->inc();
   return false;
 }
 
 bool Controller::deploy_topo(const std::vector<optics::Circuit>& circuits,
                              SliceId period, SimTime reconfig_delay) {
+  last_error_.clear();
   auto& sim = net_.sim();
   const auto note = [&sim](bool accepted) {
     if (auto* tr = sim.recorder()) {
@@ -50,12 +134,14 @@ bool Controller::deploy_topo(const std::vector<optics::Circuit>& circuits,
     note(false);
     return false;
   }
-  // Injected controller latency delays the start of the retargeting the
-  // same way a slow controller round-trip would.
-  net_.reconfigure(std::move(sched), reconfig_delay + deploy_delay_);
+  auto txn = std::make_unique<Txn>();
+  txn->has_topo = true;
+  txn->topo = std::move(sched);
+  txn->reconfig_delay = reconfig_delay;
+  const bool issued = begin_txn(std::move(txn));
   sim.metrics().counter("controller.deploys", {{"kind", "topo"}}).inc();
-  note(true);
-  return true;
+  note(issued);
+  return issued;
 }
 
 bool Controller::check_path(const Path& path,
@@ -95,6 +181,7 @@ bool Controller::check_path(const Path& path,
 
 bool Controller::validate_routing(const std::vector<Path>& paths,
                                   const optics::Schedule* validate_against) {
+  last_error_.clear();
   if (!control_plane_up()) return false;
   const optics::Schedule& sched =
       validate_against != nullptr ? *validate_against : net_.schedule();
@@ -104,18 +191,9 @@ bool Controller::validate_routing(const std::vector<Path>& paths,
   return true;
 }
 
-bool Controller::deploy_routing(const std::vector<Path>& paths,
-                                LookupMode lookup, MultipathMode multipath,
-                                int priority,
-                                const optics::Schedule* validate_against) {
-  auto& sim = net_.sim();
-  if (!validate_routing(paths, validate_against)) {
-    if (auto* tr = sim.recorder()) {
-      tr->control_deploy(sim.now(), /*routing=*/true, false);
-    }
-    return false;
-  }
-
+bool Controller::compile_routing(
+    const std::vector<Path>& paths, LookupMode lookup, int priority,
+    std::vector<std::vector<TftEntry>>& out) const {
   // Merge per-(node, match) action sets so parallel paths become one
   // multipath entry. Identical actions merge by summing their weights.
   using Key = std::tuple<NodeId, SliceId, NodeId, NodeId>;
@@ -173,35 +251,483 @@ bool Controller::deploy_routing(const std::vector<Path>& paths,
     }
   }
 
-  std::vector<std::pair<NodeId, TftEntry>> installs;
-  installs.reserve(merged.size());
+  out.assign(static_cast<std::size_t>(net_.num_tors()), {});
   for (auto& [key, actions] : merged) {
     const auto [node, arr, src, dst] = key;
     TftEntry entry;
     entry.match = TftMatch{arr, src, dst};
     entry.actions = std::move(actions);
     entry.priority = priority;
-    installs.emplace_back(node, std::move(entry));
-  }
-  auto install = [this, installs = std::move(installs), multipath]() mutable {
-    for (auto& [node, entry] : installs) {
-      net_.tor(node).tft().add(std::move(entry));
-    }
-    for (NodeId n = 0; n < net_.num_tors(); ++n) {
-      net_.tor(n).set_multipath(multipath);
-    }
-  };
-  if (deploy_delay_ > SimTime::zero()) {
-    net_.sim().schedule_in(deploy_delay_, std::move(install),
-                           "control.deploy");
-  } else {
-    install();
-  }
-  sim.metrics().counter("controller.deploys", {{"kind", "routing"}}).inc();
-  if (auto* tr = sim.recorder()) {
-    tr->control_deploy(sim.now(), /*routing=*/true, true);
+    out[static_cast<std::size_t>(node)].push_back(std::move(entry));
   }
   return true;
+}
+
+bool Controller::deploy_routing(const std::vector<Path>& paths,
+                                LookupMode lookup, MultipathMode multipath,
+                                int priority,
+                                const optics::Schedule* validate_against) {
+  auto& sim = net_.sim();
+  if (!validate_routing(paths, validate_against)) {
+    if (auto* tr = sim.recorder()) {
+      tr->control_deploy(sim.now(), /*routing=*/true, false);
+    }
+    return false;
+  }
+  auto txn = std::make_unique<Txn>();
+  txn->has_routing = true;
+  compile_routing(paths, lookup, priority, txn->entries);
+  txn->multipath = multipath;
+  const bool issued = begin_txn(std::move(txn));
+  sim.metrics().counter("controller.deploys", {{"kind", "routing"}}).inc();
+  if (auto* tr = sim.recorder()) {
+    tr->control_deploy(sim.now(), /*routing=*/true, issued);
+  }
+  return issued;
+}
+
+bool Controller::deploy_update(const optics::Schedule& sched,
+                               const std::vector<Path>& paths,
+                               LookupMode lookup, MultipathMode multipath,
+                               int priority, int clear_priority,
+                               SimTime reconfig_delay, TxnDoneFn on_done) {
+  last_error_.clear();
+  if (!control_plane_up()) return false;
+  for (const auto& p : paths) {
+    if (!check_path(p, sched)) return false;
+  }
+  auto txn = std::make_unique<Txn>();
+  txn->has_topo = true;
+  txn->topo = sched;
+  txn->reconfig_delay = reconfig_delay;
+  txn->has_routing = true;
+  compile_routing(paths, lookup, priority, txn->entries);
+  txn->multipath = multipath;
+  txn->clear_prio = clear_priority;
+  txn->on_done = std::move(on_done);
+  const bool issued = begin_txn(std::move(txn));
+  net_.sim().metrics().counter("controller.deploys", {{"kind", "update"}})
+      .inc();
+  if (auto* tr = net_.sim().recorder()) {
+    tr->control_deploy(net_.sim().now(), /*routing=*/true, issued);
+  }
+  return issued;
+}
+
+SimTime Controller::prepare_timeout() const {
+  // Covers two full southbound round trips plus the injected controller
+  // latency, with a floor so slow-slice fabrics don't abort spuriously.
+  const SimTime rtt = sb_.config().latency * 4;
+  return deploy_delay_ + std::max({rtt, net_.schedule().slice_duration() * 2,
+                                   SimTime::micros(200)});
+}
+
+bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
+  auto& sim = net_.sim();
+  if (txn_ && !txn_->done) abort_txn("superseded by a newer deploy");
+  txn->epoch = ++epoch_seq_;
+  txn->issued_at = sim.now();
+  txn->acked.assign(agents_.size(), 0);
+  txn->commit_acked.assign(agents_.size(), 0);
+  if (txn->has_topo) txn->topo.set_epoch(txn->epoch);
+  if (txn->has_routing) {
+    for (auto& node_entries : txn->entries) {
+      for (auto& e : node_entries) e.epoch = txn->epoch;
+    }
+  }
+  const std::uint64_t e = txn->epoch;
+  txn_ = std::move(txn);
+  txn_prepares_->inc();
+  if (auto* tr = sim.recorder()) {
+    tr->txn_prepare(sim.now(), static_cast<std::int64_t>(e),
+                    net_.num_tors());
+  }
+
+  if (!fencing_) {
+    // Legacy scatter mode: fire-and-forget installs that apply on arrival,
+    // no quorum, no rollback — the half-programmed-fabric baseline. The
+    // fabric swap happens controller-side exactly as the monolithic deploy
+    // did.
+    txn_->done = true;
+    txn_->committed = true;
+    committed_epoch_ = e;
+    txn_commits_->inc();
+    committed_ = std::move(txn_);
+    if (auto* tr = sim.recorder()) {
+      tr->txn_commit(sim.now(), static_cast<std::int64_t>(e),
+                     /*activation_abs=*/-1);
+    }
+    if (committed_->has_topo) {
+      net_.reconfigure(committed_->topo,
+                       committed_->reconfig_delay + deploy_delay_);
+    }
+    for (NodeId n = 0; n < net_.num_tors(); ++n) {
+      if (deploy_delay_ > SimTime::zero()) {
+        sim.schedule_in(
+            deploy_delay_,
+            [this, e, n]() {
+              sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+            },
+            "sb.install");
+      } else {
+        sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+      }
+    }
+    if (committed_->on_done) committed_->on_done(true);
+    return true;
+  }
+
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    // An inline NACK can abort (or an inline full quorum can commit) the
+    // transaction mid-scatter; stop sending installs for a decided epoch.
+    if (txn_ == nullptr || txn_->done || txn_->epoch != e) break;
+    if (deploy_delay_ > SimTime::zero()) {
+      sim.schedule_in(
+          deploy_delay_,
+          [this, e, n]() {
+            sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+          },
+          "sb.install");
+    } else {
+      sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+    }
+  }
+  if (committed_ && committed_->epoch == e) return true;  // committed inline
+  if (txn_ == nullptr || txn_->epoch != e || txn_->done) {
+    return false;  // aborted inline (NACK or revalidation failure)
+  }
+  txn_->timeout = sim.schedule_in(
+      prepare_timeout(),
+      [this, e]() {
+        if (txn_ && !txn_->done && txn_->epoch == e && !txn_->committed) {
+          abort_txn("prepare timeout (partial install quorum)");
+        }
+      },
+      "sb.txn_timeout");
+  return true;
+}
+
+void Controller::on_install(std::uint64_t e, NodeId n) {
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  if (!fencing_) {
+    // Unfenced agents trust whatever arrives: a delayed duplicate from a
+    // superseded epoch happily reinstalls stale state. Payload must still
+    // exist controller-side to model the message contents.
+    if (committed_ && committed_->epoch == e) {
+      ag.staged_epoch = 0;
+      ag.committed_epoch = e;
+      apply_node(n);
+    }
+    return;
+  }
+  // Fencing watermark: installs at or below the agent's committed epoch are
+  // stale duplicates; installs from an epoch that is no longer in flight
+  // belong to an aborted or superseded transaction. Both are rejected.
+  if (e <= ag.committed_epoch || txn_ == nullptr || txn_->done ||
+      txn_->epoch != e) {
+    fence(n, e);
+    return;
+  }
+  if (ag.install_fail) {
+    sb_.send(n, [this, e, n]() { on_ack(e, n, false); }, "sb.ack");
+    return;
+  }
+  ag.staged_epoch = e;
+  ag.pending_apply = false;
+  sb_.send(n, [this, e, n]() { on_ack(e, n, true); }, "sb.ack");
+}
+
+void Controller::on_ack(std::uint64_t e, NodeId n, bool ok) {
+  if (crashed_) return;  // a crashed controller hears nothing
+  if (txn_ == nullptr || txn_->done || txn_->epoch != e) return;
+  auto& sim = net_.sim();
+  if (auto* tr = sim.recorder()) {
+    tr->txn_ack(sim.now(), n, static_cast<std::int64_t>(e), ok);
+  }
+  if (!ok) {
+    abort_txn("ToR " + std::to_string(n) + " rejected install (epoch " +
+              std::to_string(e) + ")");
+    return;
+  }
+  auto& acked = txn_->acked[static_cast<std::size_t>(n)];
+  if (acked) return;  // duplicate ack
+  acked = 1;
+  if (++txn_->acks == net_.num_tors()) decide_commit();
+}
+
+void Controller::decide_commit() {
+  auto& sim = net_.sim();
+  txn_->timeout.cancel();
+  // Commit-time revalidation: the fabric may have changed while installs
+  // were in flight (a port failed mid-delay). Committing would swap in a
+  // schedule with circuits on dark fiber; abort and let the caller replan.
+  if (sim.now() > txn_->issued_at && txn_->has_topo) {
+    for (const auto& c : txn_->topo.circuits()) {
+      if (net_.optical().port_failed(c.a, c.a_port) ||
+          net_.optical().port_failed(c.b, c.b_port)) {
+        abort_txn("port " + std::to_string(c.a) + ":" +
+                  std::to_string(c.a_port) + " <-> " + std::to_string(c.b) +
+                  ":" + std::to_string(c.b_port) +
+                  " failed mid-transaction");
+        return;
+      }
+    }
+  }
+  txn_->committed = true;
+  txn_->done = true;
+  committed_epoch_ = txn_->epoch;
+  txn_commits_->inc();
+  // Activation: a transaction decided inside the issuing event on an ideal
+  // channel applies immediately (the legacy synchronous swap); an
+  // asynchronous commit in calendar mode arms the swap at a slice boundary
+  // far enough out for the commit messages to land, so every node
+  // activates on the same slice edge.
+  const bool async_commit = sim.now() > txn_->issued_at;
+  // Boundary activation needs rotation timers; on a never-started network
+  // (unit-test deploys) the boundary would never come, so apply directly.
+  if (async_commit && net_.started() && net_.config().calendar_mode &&
+      net_.schedule().period() > 1) {
+    txn_->activation_abs = net_.schedule().abs_slice_at(sim.now()) + 2;
+  } else {
+    txn_->activation_abs = -1;
+  }
+  if (auto* tr = sim.recorder()) {
+    tr->txn_commit(sim.now(), static_cast<std::int64_t>(txn_->epoch),
+                   txn_->activation_abs);
+  }
+  auto done_cb = std::move(txn_->on_done);
+  committed_ = std::move(txn_);
+  apply_fabric();
+  for (NodeId n = 0; n < net_.num_tors(); ++n) send_commit(n);
+  if (committed_->commit_acks < net_.num_tors()) {
+    const SimTime interval =
+        std::max(sb_.config().latency * 2, SimTime::micros(10));
+    committed_->commit_timer = sim.schedule_every(
+        sim.now() + interval, interval, [this]() { retransmit_commits(); },
+        "sb.commit_retx");
+  }
+  if (done_cb) done_cb(true);
+}
+
+void Controller::apply_fabric() {
+  if (!committed_->has_topo) return;
+  auto& sim = net_.sim();
+  SimTime to_activation = SimTime::zero();
+  if (committed_->activation_abs >= 0) {
+    const SimTime at = net_.schedule().slice_start(committed_->activation_abs);
+    if (at > sim.now()) to_activation = at - sim.now();
+  }
+  net_.reconfigure(committed_->topo,
+                   committed_->reconfig_delay + to_activation);
+}
+
+void Controller::send_commit(NodeId n) {
+  const std::uint64_t e = committed_->epoch;
+  sb_.send(n, [this, e, n]() { on_commit(e, n); }, "sb.commit");
+}
+
+void Controller::on_commit(std::uint64_t e, NodeId n) {
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  if (ag.committed_epoch == e) {
+    // Duplicate commit (retransmission overlap): just re-ack.
+    sb_.send(n, [this, e, n]() { on_commit_ack(e, n); }, "sb.commit_ack");
+    return;
+  }
+  if (e < ag.committed_epoch || ag.staged_epoch != e ||
+      committed_ == nullptr || committed_->epoch != e) {
+    fence(n, e);  // commit for an epoch this agent never staged / rolled back
+    return;
+  }
+  ag.committed_epoch = e;  // watermark up: stale installs fence from now on
+  ag.staged_epoch = 0;
+  if (committed_->activation_abs < 0) {
+    apply_node(n);
+  } else {
+    ag.pending_apply = true;  // the rotation hook applies at the boundary
+  }
+  sb_.send(n, [this, e, n]() { on_commit_ack(e, n); }, "sb.commit_ack");
+}
+
+void Controller::on_commit_ack(std::uint64_t e, NodeId n) {
+  if (committed_ == nullptr || committed_->epoch != e) return;
+  auto& acked = committed_->commit_acked[static_cast<std::size_t>(n)];
+  if (acked) return;
+  acked = 1;
+  if (++committed_->commit_acks == net_.num_tors()) {
+    committed_->commit_timer.cancel();
+  }
+}
+
+void Controller::retransmit_commits() {
+  if (committed_ == nullptr || crashed_) return;
+  if (++committed_->commit_rounds > kMaxCommitRounds) {
+    committed_->commit_timer.cancel();
+    return;  // straggler stays exposed; the mixed-epoch metric shows it
+  }
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    if (!committed_->commit_acked[static_cast<std::size_t>(n)]) {
+      send_commit(n);
+    }
+  }
+}
+
+void Controller::apply_node(NodeId n) {
+  Txn& t = *committed_;
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  auto& tor = net_.tor(n);
+  if (t.clear_prio != kNoClear) tor.tft().remove_priority(t.clear_prio);
+  if (t.has_routing) {
+    for (const TftEntry& e : t.entries[static_cast<std::size_t>(n)]) {
+      tor.tft().add(e);
+    }
+    tor.set_multipath(t.multipath);
+  }
+  ag.pending_apply = false;
+  net_.note_node_epoch(n, t.epoch);
+}
+
+void Controller::on_boundary(NodeId n, std::int64_t abs_slice) {
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  if (!ag.pending_apply || committed_ == nullptr) return;
+  if (abs_slice >= committed_->activation_abs &&
+      ag.committed_epoch == committed_->epoch) {
+    apply_node(n);
+  }
+}
+
+void Controller::abort_txn(const std::string& why) {
+  auto& sim = net_.sim();
+  auto t = std::move(txn_);
+  t->timeout.cancel();
+  t->done = true;
+  last_error_ = why;
+  txn_aborts_->inc();
+  if (auto* tr = sim.recorder()) {
+    tr->txn_abort(sim.now(), static_cast<std::int64_t>(t->epoch), t->acks);
+  }
+  // Roll every staged agent back to its last committed epoch. The abort
+  // travels the same lossy channel; an agent the abort never reaches keeps
+  // its staged state until a later install or resync fences it.
+  if (!crashed_) {
+    for (NodeId n = 0; n < net_.num_tors(); ++n) {
+      if (agents_[static_cast<std::size_t>(n)].staged_epoch == t->epoch) {
+        const std::uint64_t e = t->epoch;
+        sb_.send(
+            n,
+            [this, e, n]() {
+              if (agents_[static_cast<std::size_t>(n)].staged_epoch == e) {
+                rollback_agent(n);
+              }
+            },
+            "sb.abort");
+      }
+    }
+  }
+  if (t->on_done) t->on_done(false);
+}
+
+void Controller::rollback_agent(NodeId n) {
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  const std::uint64_t e = ag.staged_epoch;
+  ag.staged_epoch = 0;
+  ag.pending_apply = false;
+  txn_rollbacks_->inc();
+  auto& sim = net_.sim();
+  if (auto* tr = sim.recorder()) {
+    tr->txn_rollback(sim.now(), n, static_cast<std::int64_t>(e));
+  }
+}
+
+void Controller::fence(NodeId n, std::uint64_t stale_epoch) {
+  fenced_stale_->inc();
+  auto& sim = net_.sim();
+  if (auto* tr = sim.recorder()) {
+    tr->txn_fence(
+        sim.now(), n, static_cast<std::int64_t>(stale_epoch),
+        static_cast<std::int64_t>(
+            agents_[static_cast<std::size_t>(n)].committed_epoch));
+  }
+}
+
+void Controller::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  auto& sim = net_.sim();
+  // The in-flight prepare dies with the controller. No abort messages go
+  // out (a dead controller sends nothing) — staged agents are cleaned up by
+  // the restart resync — but the issuer's callback observes the failure so
+  // its retry machinery arms.
+  if (txn_ && !txn_->done) {
+    auto t = std::move(txn_);
+    t->timeout.cancel();
+    t->done = true;
+    last_error_ = "control plane unavailable (controller crashed)";
+    txn_aborts_->inc();
+    if (auto* tr = sim.recorder()) {
+      tr->txn_abort(sim.now(), static_cast<std::int64_t>(t->epoch), t->acks);
+    }
+    if (t->on_done) t->on_done(false);
+  }
+  // The commit retransmitter is controller-side state; the committed
+  // payload itself models the agents' staged copies and survives (pending
+  // boundary activations still fire — the data plane outlives its
+  // controller).
+  if (committed_) committed_->commit_timer.cancel();
+  // Volatile memory lost: the epoch counter and commit watermark must be
+  // reconstructed from per-ToR reports at restart.
+  epoch_seq_ = 0;
+  committed_epoch_ = 0;
+  if (auto* tr = sim.recorder()) tr->ctl_crash(sim.now());
+}
+
+void Controller::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  resyncs_->inc();
+  // State resync from per-ToR reports (modeled synchronously; the outage
+  // cost is the crash window itself): the committed epoch is the highest
+  // any agent runs, and the epoch counter resumes above everything any
+  // agent has ever *seen*, so a reissued epoch can never collide with a
+  // fenceable one.
+  std::uint64_t max_committed = 0;
+  std::uint64_t max_seen = 0;
+  for (const Agent& ag : agents_) {
+    max_committed = std::max(max_committed, ag.committed_epoch);
+    max_seen = std::max({max_seen, ag.committed_epoch, ag.staged_epoch});
+  }
+  committed_epoch_ = max_committed;
+  epoch_seq_ = std::max(epoch_seq_, max_seen);
+  std::int64_t stragglers = 0;
+  for (const Agent& ag : agents_) {
+    if (max_committed > 0 && ag.committed_epoch < max_committed) {
+      ++stragglers;
+    }
+  }
+  if (auto* tr = net_.sim().recorder()) {
+    tr->ctl_resync(net_.sim().now(),
+                   static_cast<std::int64_t>(max_committed), stragglers);
+  }
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    Agent& ag = agents_[static_cast<std::size_t>(n)];
+    if (ag.staged_epoch == 0) continue;
+    if (ag.staged_epoch == max_committed && committed_ != nullptr &&
+        committed_->epoch == max_committed) {
+      // Some nodes committed this epoch before the crash: complete it on
+      // the stragglers rather than leaving the fabric mixed.
+      send_commit(n);
+    } else {
+      // Presumed abort: staged-but-uncommitted state rolls back.
+      const std::uint64_t e = ag.staged_epoch;
+      sb_.send(
+          n,
+          [this, e, n]() {
+            if (agents_[static_cast<std::size_t>(n)].staged_epoch == e) {
+              rollback_agent(n);
+            }
+          },
+          "sb.abort");
+    }
+  }
 }
 
 bool Controller::add(const TftEntry& entry, NodeId node) {

@@ -867,6 +867,9 @@ Network::Network(NetworkConfig cfg, optics::Schedule schedule,
   beacons_ok_ = &sim_.metrics().counter("sync.beacons", {{"result", "ok"}});
   beacons_lost_ =
       &sim_.metrics().counter("sync.beacons", {{"result", "lost"}});
+  node_epoch_.assign(static_cast<std::size_t>(cfg_.num_tors), 0);
+  node_abs_.assign(static_cast<std::size_t>(cfg_.num_tors), 0);
+  mixed_epoch_slices_ = &sim_.metrics().counter("net.mixed_epoch_slices");
 
   optical_ = std::make_unique<optics::OpticalFabric>(
       sim_, schedule_, profile, master_rng_.fork());
@@ -935,10 +938,57 @@ void Network::arm_rotation(NodeId n, std::int64_t k) {
   sim_.schedule_at(
       when,
       [this, tor, n, k]() {
+        // The controller's boundary hook first, so a committed transaction's
+        // staged state activates before this slice is processed; then the
+        // mixed-epoch bookkeeping sees the post-activation epoch.
+        if (rotation_hook_) rotation_hook_(n, k);
         tor->on_rotation(k);
+        note_rotation_epoch(n, k);
         arm_rotation(n, k + 1);
       },
       "rotation");
+}
+
+void Network::refresh_epoch_mixed() {
+  const std::uint64_t first = node_epoch_.empty() ? 0 : node_epoch_[0];
+  epoch_mixed_ = false;
+  for (const std::uint64_t e : node_epoch_) {
+    if (e != first) {
+      epoch_mixed_ = true;
+      return;
+    }
+  }
+}
+
+void Network::note_node_epoch(NodeId n, std::uint64_t e) {
+  const bool was_mixed = epoch_mixed_;
+  node_epoch_[static_cast<std::size_t>(n)] = e;
+  refresh_epoch_mixed();
+  // Without rotations there is no per-slice sampling point, so each
+  // transition into a mixed state counts as one exposure window instead.
+  if (epoch_mixed_ && !was_mixed &&
+      (!cfg_.calendar_mode || schedule_.period() <= 1)) {
+    mixed_epoch_slices_->inc();
+  }
+}
+
+void Network::note_rotation_epoch(NodeId n, std::int64_t abs_slice) {
+  node_abs_[static_cast<std::size_t>(n)] = abs_slice;
+  // Charge slice `abs_slice` once the *last* node rotates into it: a clean
+  // boundary-synchronized swap (every node activates at its own rotation
+  // into the same slice) is uniform again by then and charges nothing,
+  // while a node left behind by a lost commit keeps the fabric mixed when
+  // the slice completes its entry.
+  std::int64_t min_abs = node_abs_[0];
+  for (const std::int64_t a : node_abs_) min_abs = std::min(min_abs, a);
+  if (min_abs == abs_slice && abs_slice > last_counted_abs_) {
+    last_counted_abs_ = abs_slice;
+    if (epoch_mixed_) mixed_epoch_slices_->inc();
+  }
+}
+
+std::int64_t Network::mixed_epoch_slices() const {
+  return mixed_epoch_slices_->value();
 }
 
 void Network::beacon_round() {

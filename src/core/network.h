@@ -344,6 +344,7 @@ class Network {
   // Starts slice-rotation timers and the resync-beacon protocol (TO mode).
   // Idempotent.
   void start();
+  bool started() const { return started_; }
 
   // ---- per-node safe-mode controls (driven by services::SyncWatchdog) ----
   // Extra guard margin applied to *both* ends of this node's drain window on
@@ -370,6 +371,30 @@ class Network {
   void set_wrong_slice_arrival_hook(SymptomHook hook) {
     arrival_hook_ = std::move(hook);
   }
+
+  // ---- transactional deploy support (core::Controller) ----
+  // Fired just before node n processes its rotation into absolute slice k —
+  // the boundary at which a committed transaction's staged state activates
+  // on that node's clock.
+  using RotationHook = std::function<void(NodeId, std::int64_t)>;
+  void set_rotation_hook(RotationHook hook) {
+    rotation_hook_ = std::move(hook);
+  }
+
+  // Controller callback: node n is now forwarding on deployment epoch `e`.
+  // The network tracks per-node epochs and counts mixed-epoch exposure —
+  // slices during which at least two nodes forwarded on different epochs
+  // (the control-plane analogue of the clock-desync hazard). In calendar
+  // mode a slice is charged when its last node rotates in while the fabric
+  // is mixed; without rotations (TA / period 1) each transition into a
+  // mixed state is charged once instead.
+  void note_node_epoch(NodeId n, std::uint64_t e);
+  std::uint64_t node_epoch(NodeId n) const {
+    return node_epoch_[static_cast<std::size_t>(n)];
+  }
+  // True while at least two nodes forward on different epochs.
+  bool epoch_mixed() const { return epoch_mixed_; }
+  std::int64_t mixed_epoch_slices() const;
 
   // One beacon exchange with node `n` right now (the watchdog's backoff
   // re-probe path; the periodic protocol uses the same primitive). Returns
@@ -442,6 +467,16 @@ class Network {
   SymptomHook arrival_hook_;
   telemetry::Counter* beacons_ok_ = nullptr;
   telemetry::Counter* beacons_lost_ = nullptr;
+  // Transactional-deploy state: per-node deployment epochs, each node's
+  // latest rotation slice, and the mixed-epoch exposure counter.
+  void note_rotation_epoch(NodeId n, std::int64_t abs_slice);
+  void refresh_epoch_mixed();
+  RotationHook rotation_hook_;
+  std::vector<std::uint64_t> node_epoch_;
+  std::vector<std::int64_t> node_abs_;
+  bool epoch_mixed_ = false;
+  std::int64_t last_counted_abs_ = 0;
+  telemetry::Counter* mixed_epoch_slices_ = nullptr;
 };
 
 }  // namespace oo::core

@@ -43,6 +43,11 @@ struct TftEntry {
   // Among equally specific matches the highest priority wins. TA designs use
   // this to overlay new routes atop old ones before reconfiguring (§2.2).
   int priority = 0;
+  // Deployment epoch of the transaction that installed this entry (0 for
+  // direct add()/pre-transactional installs) — diagnostic stamp matching
+  // optics::Schedule::epoch(), so a post-mortem can tell which overlay
+  // generation a node was forwarding on.
+  std::uint64_t epoch = 0;
 };
 
 class TimeFlowTable {

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "routing/to_routing.h"
+#include "services/failure_recovery.h"
 #include "services/fault_plan.h"
 #include "services/sync_watchdog.h"
 #include "workload/allreduce.h"
@@ -175,6 +177,82 @@ json::Object run_sync_resilience(RunContext& ctx) {
   return o;
 }
 
+// --- control_chaos: southbound loss/dup + controller crash vs. the
+// transactional deploy path. fencing=true must keep mixed_epoch_slices at
+// 0; fencing=false is the legacy-scatter baseline that exposes them. -----
+json::Object run_control_chaos(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "rotornet-direct"), p);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  const bool fencing = ctx.param_bool("fencing", true);
+  ctl->set_fencing(fencing);
+  core::SouthboundConfig sb;
+  sb.latency = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("sb_latency_us", 20.0) * 1e3));
+  ctl->southbound().configure(sb);
+
+  services::FailureRecovery recovery(
+      *net, *ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/1_ms);
+  recovery.start();
+
+  net->sim().schedule_every(50_us, 100_us, [net]() {
+    for (HostId src : {HostId{0}, HostId{1}, HostId{2}}) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 100 + src;
+      pkt.dst_host = (src + 4) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  const double loss = ctx.param_double("sb_loss_prob", 0.7);
+  const NodeId lossy = static_cast<NodeId>(ctx.param_int("lossy_node", 3));
+  services::FaultPlan plan(
+      *net,
+      static_cast<std::uint64_t>(ctx.param_int("fault_seed", 2024)), ctl);
+  // Port churn forces recovery redeploys; they cross the southbound while
+  // it is lossy/dup-prone and once while the controller is down entirely.
+  plan.lose_sb_msgs(5_ms, lossy, loss, /*duration=*/20_ms);
+  plan.fail_port(8_ms, 0, 0);
+  plan.repair_port(22_ms, 0, 0);
+  plan.dup_sb_msgs(30_ms, kInvalidNode, 0.5, /*duration=*/12_ms);
+  plan.fail_port(32_ms, 1, 0);
+  plan.repair_port(38_ms, 1, 0);
+  plan.crash_controller(45_ms, /*duration=*/3_ms);
+  plan.fail_port(46_ms, 2, 0);
+  plan.repair_port(58_ms, 2, 0);
+  plan.arm();
+
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 80)));
+
+  json::Object o;
+  o["fencing"] = fencing;
+  o["mixed_epoch_slices"] = net->mixed_epoch_slices();
+  o["epoch_mixed_at_end"] = net->epoch_mixed();
+  o["committed_epoch"] =
+      static_cast<std::int64_t>(ctl->committed_epoch());
+  o["txn_commits"] = ctl->txn_commits();
+  o["txn_aborts"] = ctl->txn_aborts();
+  o["txn_rollbacks"] = ctl->txn_rollbacks();
+  o["fenced_stale_installs"] = ctl->fenced_stale_installs();
+  o["resyncs"] = ctl->resyncs();
+  o["deploys_rejected"] = ctl->deploys_rejected();
+  o["sb_sent"] = ctl->southbound().msgs_sent();
+  o["sb_lost"] = ctl->southbound().msgs_lost();
+  o["sb_duped"] = ctl->southbound().msgs_duped();
+  o["recoveries"] = recovery.recoveries();
+  o["retries"] = recovery.retries();
+  o["delivered"] = net->optical().delivered();
+  ctx.sim_events = net->sim().events_executed();
+  return o;
+}
+
 // --- selftest: cheap deterministic arithmetic for machinery drills -------
 json::Object run_selftest(RunContext& ctx) {
   maybe_inject_failure(ctx);
@@ -193,6 +271,7 @@ bool register_builtins() {
   register_experiment("fct", run_fct);
   register_experiment("allreduce", run_allreduce);
   register_experiment("sync_resilience", run_sync_resilience);
+  register_experiment("control_chaos", run_control_chaos);
   register_experiment("selftest", run_selftest);
   return true;
 }

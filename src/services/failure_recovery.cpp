@@ -114,28 +114,32 @@ bool FailureRecovery::recover_now() {
     schedule_retry();
     return false;
   }
-  // Make-before-break, atomically in simulated time: clearing the
-  // superseded overlay and installing the next one happen inside this one
-  // simulator event, so no packet ever routes in the gap. The fixed
-  // overlay priority keeps recovery from stacking priorities unboundedly.
-  ctl_.clear_priority(overlay_priority_);
-  if (!ctl_.deploy_routing(paths, core::LookupMode::PerHop,
-                           core::MultipathMode::None, overlay_priority_,
-                           &healthy)) {
+  // Make-before-break through ONE transaction: clearing the superseded
+  // overlay, installing the next one, and swapping the fabric are a single
+  // epoch — all-or-nothing on every ToR, so no packet ever routes in the
+  // gap and a lossy southbound can't leave the fabric half-recovered. On
+  // an ideal channel the whole transaction (and this callback) completes
+  // synchronously inside this call; under southbound chaos it resolves
+  // later and a failed commit re-arms the retry backoff.
+  const bool issued = ctl_.deploy_update(
+      healthy, paths, core::LookupMode::PerHop, core::MultipathMode::None,
+      overlay_priority_, overlay_priority_, SimTime::zero(),
+      [this](bool committed) {
+        if (committed) {
+          backoff_ = initial_backoff_;
+          ++recoveries_;
+          net_.sim().metrics().counter("recovery.recoveries").inc();
+          close_incidents(net_.sim().now());
+        } else {
+          last_error_ = ctl_.last_error();
+          schedule_retry();
+        }
+      });
+  if (!issued) {
     last_error_ = ctl_.last_error();
     schedule_retry();
     return false;
   }
-  if (!ctl_.deploy_topo(healthy.circuits(), healthy.period(),
-                        SimTime::zero())) {
-    last_error_ = ctl_.last_error();
-    schedule_retry();
-    return false;
-  }
-  backoff_ = initial_backoff_;
-  ++recoveries_;
-  net_.sim().metrics().counter("recovery.recoveries").inc();
-  close_incidents(net_.sim().now());
   return true;
 }
 

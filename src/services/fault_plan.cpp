@@ -37,6 +37,16 @@ const char* fault_kind_name(FaultKind k) {
       return "beacon_loss";
     case FaultKind::SyncOutage:
       return "sync_outage";
+    case FaultKind::SbMsgLoss:
+      return "sb_msg_loss";
+    case FaultKind::SbMsgDelay:
+      return "sb_msg_delay";
+    case FaultKind::SbMsgDup:
+      return "sb_msg_dup";
+    case FaultKind::TorInstallFail:
+      return "tor_install_fail";
+    case FaultKind::ControllerCrash:
+      return "controller_crash";
   }
   return "?";
 }
@@ -52,7 +62,7 @@ FaultKind fault_kind_from_name(const std::string& name) {
 // Every enumerator must have a name and a round-trip; a new kind that grows
 // the enum without bumping the count trips this at compile time.
 static_assert(kNumFaultKinds ==
-                  static_cast<int>(FaultKind::SyncOutage) + 1,
+                  static_cast<int>(FaultKind::ControllerCrash) + 1,
               "kNumFaultKinds out of sync with the FaultKind enum");
 
 FaultPlan& FaultPlan::add(FaultEvent ev) {
@@ -132,6 +142,35 @@ FaultPlan& FaultPlan::sync_outage(SimTime at, SimTime duration) {
               .duration = duration});
 }
 
+FaultPlan& FaultPlan::lose_sb_msgs(SimTime at, NodeId node, double prob,
+                                   SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SbMsgLoss, .node = node,
+              .duration = duration, .ber = prob});
+}
+
+FaultPlan& FaultPlan::delay_sb_msgs(SimTime at, NodeId node, SimTime extra,
+                                    SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SbMsgDelay, .node = node,
+              .duration = duration, .extra = extra});
+}
+
+FaultPlan& FaultPlan::dup_sb_msgs(SimTime at, NodeId node, double prob,
+                                  SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SbMsgDup, .node = node,
+              .duration = duration, .ber = prob});
+}
+
+FaultPlan& FaultPlan::fail_tor_install(SimTime at, NodeId node,
+                                       SimTime duration) {
+  return add({.at = at, .kind = FaultKind::TorInstallFail, .node = node,
+              .duration = duration});
+}
+
+FaultPlan& FaultPlan::crash_controller(SimTime at, SimTime duration) {
+  return add({.at = at, .kind = FaultKind::ControllerCrash,
+              .duration = duration});
+}
+
 FaultPlan& FaultPlan::load_json(const std::string& text) {
   return load_events(json::parse(text));
 }
@@ -148,7 +187,8 @@ FaultPlan& FaultPlan::load_events(const json::Value& plan) {
     ev.period = us_to_time(e.get_double("period_us", 0.0));
     ev.cycles = static_cast<int>(e.get_int("cycles", 1));
     ev.jitter = e.get_double("jitter", 0.0);
-    ev.ber = e.get_double("ber", 0.0);
+    // "prob" is the sb_msg_loss/sb_msg_dup spelling of the same field.
+    ev.ber = e.get_double("ber", e.get_double("prob", 0.0));
     ev.ppm = e.get_double("ppm", 0.0);
     ev.extra = us_to_time(e.get_double(
         "extra_us", e.get_double("delay_us", 0.0)));
@@ -273,6 +313,76 @@ void FaultPlan::fire(const FaultEvent& ev) {
       net_.clock().set_outage(ev.duration > SimTime::zero()
                                   ? sim.now() + ev.duration
                                   : SimTime::max());
+      break;
+    case FaultKind::SbMsgLoss:
+      if (ctl_ == nullptr) break;
+      count(ev.kind, ev.node);
+      ctl_->southbound().set_node_loss(ev.node, ev.ber);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              ctl_->southbound().set_node_loss(node, 0.0);
+              trace_repair(FaultKind::SbMsgLoss, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::SbMsgDelay:
+      if (ctl_ == nullptr) break;
+      count(ev.kind, ev.node);
+      ctl_->southbound().set_node_delay(ev.node, ev.extra);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              ctl_->southbound().set_node_delay(node, SimTime::zero());
+              trace_repair(FaultKind::SbMsgDelay, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::SbMsgDup:
+      if (ctl_ == nullptr) break;
+      count(ev.kind, ev.node);
+      ctl_->southbound().set_node_dup(ev.node, ev.ber);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              ctl_->southbound().set_node_dup(node, 0.0);
+              trace_repair(FaultKind::SbMsgDup, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::TorInstallFail:
+      if (ctl_ == nullptr || ev.node == kInvalidNode) break;
+      count(ev.kind, ev.node);
+      ctl_->set_install_fail(ev.node, true);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              ctl_->set_install_fail(node, false);
+              trace_repair(FaultKind::TorInstallFail, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::ControllerCrash:
+      if (ctl_ == nullptr) break;
+      count(ev.kind);
+      ctl_->crash();
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this]() {
+              ctl_->restart();
+              trace_repair(FaultKind::ControllerCrash);
+            },
+            "fault"));
+      }
       break;
   }
 }

@@ -31,8 +31,13 @@ enum class FaultKind {
   ClockStep,       // instant clock offset jump by `extra` (PLL slip)
   SyncBeaconLoss,  // node's resync beacons lost for `duration` (0 = sticky)
   SyncOutage,      // fabric-wide beacon outage for `duration`
+  SbMsgLoss,       // southbound messages to `node` dropped w.p. `ber`/prob
+  SbMsgDelay,      // southbound messages to `node` delayed by `extra`
+  SbMsgDup,        // southbound messages to `node` duplicated w.p. `ber`/prob
+  TorInstallFail,  // node's install agent NACKs every prepare for a window
+  ControllerCrash, // controller dies; restarts (with resync) after `duration`
 };
-inline constexpr int kNumFaultKinds = 11;
+inline constexpr int kNumFaultKinds = 16;
 
 const char* fault_kind_name(FaultKind k);
 // Inverse of fault_kind_name; throws std::runtime_error on unknown names.
@@ -84,6 +89,19 @@ class FaultPlan {
   FaultPlan& lose_beacons(SimTime at, NodeId node,
                           SimTime duration = SimTime::zero());
   FaultPlan& sync_outage(SimTime at, SimTime duration);
+  // Southbound-channel faults (the transactional control plane's chaos
+  // dimension). `node == kInvalidNode` applies the override fabric-wide.
+  FaultPlan& lose_sb_msgs(SimTime at, NodeId node, double prob,
+                          SimTime duration = SimTime::zero());
+  FaultPlan& delay_sb_msgs(SimTime at, NodeId node, SimTime extra,
+                           SimTime duration = SimTime::zero());
+  FaultPlan& dup_sb_msgs(SimTime at, NodeId node, double prob,
+                         SimTime duration = SimTime::zero());
+  FaultPlan& fail_tor_install(SimTime at, NodeId node,
+                              SimTime duration = SimTime::zero());
+  // Crash the controller at `at`; restart (with state resync) `duration`
+  // later (0 = stays down).
+  FaultPlan& crash_controller(SimTime at, SimTime duration);
 
   // Append events from a JSON plan: {"events": [{"kind": "port_fail",
   // "at_us": 100, "node": 0, "port": 1}, ...]}. Times are microseconds

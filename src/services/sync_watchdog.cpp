@@ -65,6 +65,12 @@ std::vector<NodeId> SyncWatchdog::quarantined_nodes() const {
 void SyncWatchdog::record_symptom(NodeId n, SimTime at,
                                   bool sender_attributed) {
   if (!started_) return;
+  // While the fabric is knowingly mixed-epoch (a deploy transaction has
+  // committed on some ToRs but not others), wrong-slice arrivals are the
+  // *control plane's* fault, not a clock problem at the observer — charging
+  // them here would quarantine healthy nodes. Sender-attributed fabric
+  // violations still count: a drifting clock misbehaves on any epoch.
+  if (!sender_attributed && net_.epoch_mixed()) return;
   auto& st = nodes_[static_cast<std::size_t>(n)];
   // A quarantined node is already off the optical fabric; stray symptoms
   // (in-flight launches racing the flush) must not poison its clean count.

@@ -42,6 +42,22 @@ const char* event_kind_name(EventKind k) {
       return "quarantine";
     case EventKind::Readmit:
       return "readmit";
+    case EventKind::TxnPrepare:
+      return "txn_prepare";
+    case EventKind::TxnAck:
+      return "txn_ack";
+    case EventKind::TxnCommit:
+      return "txn_commit";
+    case EventKind::TxnAbort:
+      return "txn_abort";
+    case EventKind::TxnRollback:
+      return "txn_rollback";
+    case EventKind::TxnFence:
+      return "txn_fence";
+    case EventKind::CtlCrash:
+      return "ctl_crash";
+    case EventKind::CtlResync:
+      return "ctl_resync";
   }
   return "?";
 }

@@ -120,6 +120,41 @@ class FlightRecorder {
     record({ts, EventKind::Readmit, DropReason::None, node, -1,
             quarantined_ns, 0});
   }
+  // Transactional-deploy lifecycle (core::Controller). Controller-scoped
+  // events carry node == -1; per-ToR events name the agent's node.
+  void txn_prepare(SimTime ts, std::int64_t epoch, std::int64_t quorum) {
+    record({ts, EventKind::TxnPrepare, DropReason::None, -1, -1, epoch,
+            quorum});
+  }
+  void txn_ack(SimTime ts, NodeId node, std::int64_t epoch, bool ok) {
+    record({ts, EventKind::TxnAck, DropReason::None, node, -1, epoch,
+            ok ? 1 : 0});
+  }
+  void txn_commit(SimTime ts, std::int64_t epoch,
+                  std::int64_t activation_abs) {
+    record({ts, EventKind::TxnCommit, DropReason::None, -1, -1, epoch,
+            activation_abs});
+  }
+  void txn_abort(SimTime ts, std::int64_t epoch, std::int64_t acks) {
+    record({ts, EventKind::TxnAbort, DropReason::None, -1, -1, epoch, acks});
+  }
+  void txn_rollback(SimTime ts, NodeId node, std::int64_t epoch) {
+    record({ts, EventKind::TxnRollback, DropReason::None, node, -1, epoch,
+            0});
+  }
+  void txn_fence(SimTime ts, NodeId node, std::int64_t stale_epoch,
+                 std::int64_t committed_epoch) {
+    record({ts, EventKind::TxnFence, DropReason::None, node, -1, stale_epoch,
+            committed_epoch});
+  }
+  void ctl_crash(SimTime ts) {
+    record({ts, EventKind::CtlCrash, DropReason::None, -1, -1, 0, 0});
+  }
+  void ctl_resync(SimTime ts, std::int64_t committed_epoch,
+                  std::int64_t stragglers) {
+    record({ts, EventKind::CtlResync, DropReason::None, -1, -1,
+            committed_epoch, stragglers});
+  }
 
   // Oldest-to-newest iteration without copying.
   template <typename Fn>

@@ -32,8 +32,16 @@ enum class EventKind : std::uint8_t {
   GuardWiden,      // node, a = new extra guard ns, b = widen ordinal
   Quarantine,      // node, a = symptom count at escalation
   Readmit,         // node, a = quarantine duration ns
+  TxnPrepare,      // a = epoch, b = nodes in the quorum
+  TxnAck,          // node, a = epoch, b = 1 ack / 0 nack
+  TxnCommit,       // a = epoch, b = activation abs slice (-1 = immediate)
+  TxnAbort,        // a = epoch, b = acks gathered before the abort
+  TxnRollback,     // node, a = epoch rolled back (staged state discarded)
+  TxnFence,        // node, a = stale epoch fenced, b = node's committed epoch
+  CtlCrash,        // controller lost volatile transaction state
+  CtlResync,       // a = committed epoch reconstructed from ToR reports
 };
-inline constexpr int kNumEventKinds = 19;
+inline constexpr int kNumEventKinds = 27;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {

@@ -43,7 +43,18 @@ Track track_for(const TraceEvent& ev) {
       return {kFabricPid, ev.port >= 0 ? ev.port + 1 : 0};
     case EventKind::ControlDeploy:
     case EventKind::ControlRetry:
+    case EventKind::TxnPrepare:
+    case EventKind::TxnCommit:
+    case EventKind::TxnAbort:
+    case EventKind::CtlCrash:
+    case EventKind::CtlResync:
       return {kControlPid, 0};
+    case EventKind::TxnAck:
+    case EventKind::TxnRollback:
+    case EventKind::TxnFence:
+      // Per-ToR agent events: drawn on the node when one is named, on the
+      // control-plane track otherwise.
+      return ev.node >= 0 ? Track{ev.node, 0} : Track{kControlPid, 0};
     case EventKind::FaultInject:
     case EventKind::FaultRepair:
       return {kFaultPid, 0};
