@@ -3,12 +3,18 @@
 // under traffic and reports detection latency (LOS debounce), MTTR, and
 // availability. Part 2 wall-clocks a single recover_now() — prune, reroute,
 // validate, redeploy — as the fabric grows, to show the control-plane cost
-// of a recovery scales with network size, not with traffic.
+// of a recovery scales with network size, not with traffic. Part 3 kills
+// the quorum leader over and over and reports time-to-new-leader and the
+// latency of the first deploy that commits under the new leader.
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "arch/arch.h"
 #include "bench/bench_util.h"
+#include "core/quorum.h"
+#include "core/southbound.h"
 #include "routing/to_routing.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
@@ -99,6 +105,91 @@ void recover_now_wall_clock() {
   }
 }
 
+// Part 3: controller failover. Kill the quorum leader once per cycle and
+// measure (a) how long the fabric is leaderless — kill to the first replica
+// winning an election — and (b) how long until a deploy actually commits
+// under the new leader, which adds the takeover resync and the two-phase
+// commit itself on top of the election.
+void quorum_failover() {
+  std::printf("\nquorum failover: leader killed each cycle, 16-ToR rotor, "
+              "20 us control legs, 200/50 us election/heartbeat timeouts:\n");
+  for (const int replicas : {3, 5}) {
+    auto inst = rotor_instance(16);
+    auto* net = inst.net.get();
+    auto* ctl = inst.ctl.get();
+
+    core::SouthboundConfig sb;
+    sb.latency = 20_us;
+    ctl->southbound().configure(sb);
+
+    core::QuorumConfig qc;
+    qc.replicas = replicas;
+    qc.election_timeout = 200_us;
+    qc.heartbeat = 50_us;
+    core::ControllerQuorum quorum(*net, *ctl, qc);
+    quorum.start();
+    steady_traffic(inst);
+
+    PercentileSampler leader_us;  // kill -> new leader elected
+    PercentileSampler deploy_us;  // kill -> first committed deploy
+    int cycles = 0;
+
+    // Retry an identity redeploy until one commits, then sample the
+    // kill->commit latency. Refusals (engine still crashed / not leader)
+    // and aborts both back off and retry.
+    std::function<void(SimTime)> attempt_deploy = [&](SimTime killed_at) {
+      const bool accepted = ctl->deploy_update(
+          net->schedule(), routing::direct_to(net->schedule()),
+          core::LookupMode::PerHop, core::MultipathMode::None, 1, 1,
+          SimTime::zero(), [&, killed_at](bool ok) {
+            if (ok) {
+              deploy_us.add((net->sim().now() - killed_at).us());
+            } else {
+              net->sim().schedule_in(
+                  50_us, [&, killed_at]() { attempt_deploy(killed_at); });
+            }
+          });
+      if (!accepted) {
+        net->sim().schedule_in(
+            50_us, [&, killed_at]() { attempt_deploy(killed_at); });
+      }
+    };
+
+    const int kCycles = 12;
+    net->sim().schedule_every(5_ms, 10_ms, [&, net]() {
+      if (cycles >= kCycles) return;
+      const int victim = quorum.kill_leader();
+      if (victim < 0) return;
+      ++cycles;
+      const SimTime killed_at = net->sim().now();
+      // Fine-grained probe for the first post-kill leader.
+      auto probe = std::make_shared<std::function<void()>>();
+      *probe = [&, net, killed_at, probe]() {
+        if (quorum.leader() >= 0) {
+          leader_us.add((net->sim().now() - killed_at).us());
+          attempt_deploy(killed_at);
+        } else {
+          net->sim().schedule_in(5_us, *probe);
+        }
+      };
+      net->sim().schedule_in(5_us, *probe);
+      // Revive well before the next cycle so a majority always exists.
+      net->sim().schedule_in(4_ms,
+                             [&, victim]() { quorum.revive_replica(victim); });
+    });
+
+    inst.run_for(130_ms);
+
+    std::printf("  replicas=%d  cycles=%d elections=%lld failovers=%lld "
+                "term=%llu\n",
+                replicas, cycles, static_cast<long long>(quorum.elections()),
+                static_cast<long long>(quorum.failovers()),
+                static_cast<unsigned long long>(quorum.term()));
+    bench::fct_row("time to new leader", leader_us);
+    bench::fct_row("first deploy commit", deploy_us);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -111,5 +202,6 @@ int main() {
 
   fail_repair_cycles();
   recover_now_wall_clock();
+  quorum_failover();
   return 0;
 }

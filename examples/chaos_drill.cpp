@@ -26,11 +26,19 @@
 // up/down per fault, per-class drops, control-plane deploys and retries —
 // and, under --clock-chaos, wrong-slice launches, lost beacons, desync
 // detections, guard widenings, quarantines, and re-admissions.
+// With --quorum-chaos the control plane runs as a 3-replica controller
+// quorum: a scripted leader kill lands mid-deploy-transaction (the new
+// leader finishes or presumed-aborts the in-flight epoch from the
+// replicated log), a replica partition opens and heals, and a log
+// divergence self-repairs on the next sync. The scenario runs twice and
+// the counter fingerprints must match byte-for-byte (the replay gate),
+// with zero mixed-epoch slices leaking from the dead leader's term.
 #include <cstdio>
 #include <string>
 
 #include "arch/arch.h"
 #include "common/cli.h"
+#include "core/quorum.h"
 #include "routing/ta_routing.h"
 #include "routing/to_routing.h"
 #include "services/export.h"
@@ -437,20 +445,202 @@ int run_control_drill(const std::string& trace_path) {
   return passed ? 0 : 2;
 }
 
+// Counter fingerprint of one quorum-chaos scenario run: everything the
+// election, replication, failover, and transaction machinery counts.
+struct QuorumFingerprint {
+  std::uint64_t epoch = 0;
+  std::uint64_t term = 0;
+  std::int64_t commits = 0;
+  std::int64_t aborts = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t resyncs = 0;
+  std::int64_t rejected = 0;
+  std::int64_t mixed = 0;
+  std::int64_t elections = 0;
+  std::int64_t failovers = 0;
+  std::int64_t step_downs = 0;
+  std::int64_t repairs = 0;
+  std::int64_t cut = 0;
+  std::int64_t stale = 0;
+  std::int64_t log_len = 0;
+  std::int64_t rep_sent = 0;
+  std::int64_t rep_lost = 0;
+  std::int64_t events = 0;
+  int retries = 0;
+  bool deploy_done = false;
+
+  std::string summary() const {
+    char buf[360];
+    std::snprintf(
+        buf, sizeof(buf),
+        "epoch=%llu term=%llu commits=%lld aborts=%lld rollbacks=%lld "
+        "resyncs=%lld rejected=%lld mixed=%lld elections=%lld failovers=%lld "
+        "stepdowns=%lld repairs=%lld cut=%lld stale=%lld log=%lld "
+        "rep=%lld/%lld events=%lld retries=%d done=%d",
+        static_cast<unsigned long long>(epoch),
+        static_cast<unsigned long long>(term),
+        static_cast<long long>(commits), static_cast<long long>(aborts),
+        static_cast<long long>(rollbacks), static_cast<long long>(resyncs),
+        static_cast<long long>(rejected), static_cast<long long>(mixed),
+        static_cast<long long>(elections), static_cast<long long>(failovers),
+        static_cast<long long>(step_downs), static_cast<long long>(repairs),
+        static_cast<long long>(cut), static_cast<long long>(stale),
+        static_cast<long long>(log_len), static_cast<long long>(rep_sent),
+        static_cast<long long>(rep_lost), static_cast<long long>(events),
+        retries, deploy_done ? 1 : 0);
+    return buf;
+  }
+};
+
+QuorumFingerprint run_quorum_scenario(const std::string& trace_path) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.slice = 50_us;
+  p.seed = 7;
+  auto inst = arch::make_rotornet(p, arch::RotorRouting::Direct);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+  if (!trace_path.empty()) net->sim().set_recorder(&recorder);
+
+  core::SouthboundConfig sb;
+  sb.latency = 20_us;
+  ctl->southbound().configure(sb);
+
+  // Three controller replicas over the same modeled channel; replica 0
+  // bootstraps leadership, so the architecture's already-deployed state is
+  // simply inherited by the quorum.
+  core::QuorumConfig qc;
+  qc.replicas = 3;
+  qc.election_timeout = 200_us;
+  qc.heartbeat = 50_us;
+  core::ControllerQuorum quorum(*net, *ctl, qc);
+  quorum.start();
+
+  services::FailureRecovery recovery(
+      *net, *ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/1_ms);
+  recovery.start();
+
+  net->sim().schedule_every(25_us, 100_us, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 900 + src;
+      pkt.dst_host = (src + 3) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  // The quorum-chaos script: port churn so recovery redeploys ride the
+  // quorum, a log divergence that must self-heal, the leader killed
+  // *mid-transaction* (see the scheduled deploy below), and a replica
+  // partition that opens and heals.
+  services::FaultPlan plan(*net, /*seed=*/2024, ctl);
+  plan.load_json(R"({"events": [
+    {"kind": "port_fail", "at_us": 8000, "node": 0, "port": 0},
+    {"kind": "port_repair", "at_us": 16000, "node": 0, "port": 0},
+    {"kind": "log_divergence", "at_us": 12000, "replica": 2},
+    {"kind": "leader_kill", "at_us": 20050, "duration_us": 2000},
+    {"kind": "replica_partition", "at_us": 30000, "replica": 1,
+     "duration_us": 3000},
+    {"kind": "port_fail", "at_us": 34000, "node": 2, "port": 0},
+    {"kind": "port_repair", "at_us": 40000, "node": 2, "port": 0}
+  ]})");
+  plan.arm();
+
+  // A deploy issued 50 us before the leader_kill fires: its prepare is
+  // acked but its commit record is still replicating when the leader dies —
+  // the new leader must finish or presumed-abort it from the log.
+  QuorumFingerprint fp;
+  net->sim().schedule_at(20_ms, [&]() {
+    ctl->deploy_update(net->schedule(), routing::direct_to(net->schedule()),
+                       core::LookupMode::PerHop, core::MultipathMode::None,
+                       1, 1, SimTime::zero(),
+                       [&fp](bool) { fp.deploy_done = true; });
+  });
+
+  inst.run_for(60_ms);
+
+  write_trace(trace_path, recorder);
+
+  fp.epoch = ctl->committed_epoch();
+  fp.term = quorum.term();
+  fp.commits = ctl->txn_commits();
+  fp.aborts = ctl->txn_aborts();
+  fp.rollbacks = ctl->txn_rollbacks();
+  fp.resyncs = ctl->resyncs();
+  fp.rejected = ctl->deploys_rejected();
+  fp.mixed = net->mixed_epoch_slices();
+  fp.elections = quorum.elections();
+  fp.failovers = quorum.failovers();
+  fp.step_downs = quorum.step_downs();
+  fp.repairs = quorum.log_repairs();
+  fp.cut = quorum.msgs_cut();
+  fp.stale = ctl->stale_term_rejections();
+  fp.log_len = quorum.log_length();
+  fp.rep_sent = ctl->southbound().replica_msgs_sent();
+  fp.rep_lost = ctl->southbound().replica_msgs_lost();
+  fp.events = net->sim().events_executed();
+  fp.retries = recovery.retries();
+  return fp;
+}
+
+int run_quorum_drill(const std::string& trace_path) {
+  const QuorumFingerprint first = run_quorum_scenario(trace_path);
+  const QuorumFingerprint replay = run_quorum_scenario("");
+
+  std::printf("=== quorum chaos drill: rotornet-direct, 3 replicas, 60 ms, "
+              "7 scripted events ===\n");
+  std::printf("run:      %s\n", first.summary().c_str());
+  std::printf("replay:   %s\n", replay.summary().c_str());
+
+  const bool deterministic = first.summary() == replay.summary();
+  const bool passed = deterministic &&
+                      first.deploy_done &&       // mid-kill txn resolved
+                      first.failovers >= 1 &&    // leadership moved
+                      first.elections >= 1 &&
+                      first.term >= 2 &&
+                      first.repairs >= 1 &&      // diverged log healed
+                      first.cut >= 1 &&          // partition actually cut
+                      first.resyncs >= 1 &&      // takeover resynced
+                      first.commits >= 2 &&
+                      first.mixed == 0;          // no dead-term leakage
+  if (!deterministic) {
+    std::printf("replay gate FAILED: fingerprints differ\n");
+  }
+  std::printf("%s\n",
+              passed ? "quorum chaos drill passed: leader killed "
+                       "mid-transaction, failover resolved the epoch from "
+                       "the replicated log, partition healed, replay "
+                       "deterministic"
+                     : "quorum chaos drill FAILED");
+  return passed ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   bool clock_chaos = false;
   bool control_chaos = false;
+  bool quorum_chaos = false;
   cli::ArgParser args("chaos_drill",
                       "scripted fault drill against the recovery services");
   args.flag("--clock-chaos", &clock_chaos,
             "clock-drift drill against the sync watchdog")
       .flag("--control-chaos", &control_chaos,
             "southbound transaction drill against the control plane")
+      .flag("--quorum-chaos", &quorum_chaos,
+            "replicated-controller drill: leader kill, partition, failover")
       .option("--trace", &trace_path, "write a Chrome trace_event JSON");
   if (!args.parse(argc, argv)) return 1;
+  if (quorum_chaos) return run_quorum_drill(trace_path);
   if (control_chaos) return run_control_drill(trace_path);
   return clock_chaos ? run_clock_drill(trace_path)
                      : run_fault_drill(trace_path);

@@ -37,6 +37,11 @@ Config Config::from_json(const std::string& text) {
   c.sb_loss_prob = v.get_double("sb_loss_prob", c.sb_loss_prob);
   c.sb_dup_prob = v.get_double("sb_dup_prob", c.sb_dup_prob);
   c.sb_fencing = v.get_bool("sb_fencing", c.sb_fencing);
+  c.controller_replicas = static_cast<int>(
+      v.get_int("controller_replicas", c.controller_replicas));
+  c.election_timeout_us =
+      v.get_double("election_timeout_us", c.election_timeout_us);
+  c.heartbeat_us = v.get_double("heartbeat_us", c.heartbeat_us);
   return c;
 }
 
@@ -116,6 +121,16 @@ bool Net::deploy_topo(const std::vector<optics::Circuit>& circuits,
     ctl_->southbound().configure(sb);
     ctl_->set_fencing(cfg_.sb_fencing);
     if (recorder_) net_->sim().set_recorder(recorder_.get());
+    if (cfg_.controller_replicas > 1) {
+      core::QuorumConfig qc;
+      qc.replicas = cfg_.controller_replicas;
+      qc.election_timeout = SimTime::nanos(
+          static_cast<std::int64_t>(cfg_.election_timeout_us * 1e3));
+      qc.heartbeat =
+          SimTime::nanos(static_cast<std::int64_t>(cfg_.heartbeat_us * 1e3));
+      quorum_ = std::make_unique<core::ControllerQuorum>(*net_, *ctl_, qc);
+      quorum_->start();
+    }
     bw_baseline_.assign(static_cast<std::size_t>(cfg_.node_num), 0);
     net_->start();
     return true;

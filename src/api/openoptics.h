@@ -20,6 +20,7 @@
 #include "common/json.h"
 #include "core/controller.h"
 #include "core/network.h"
+#include "core/quorum.h"
 #include "core/path.h"
 #include "optics/fabric.h"
 #include "optics/schedule.h"
@@ -66,6 +67,13 @@ struct Config {
   double sb_dup_prob = 0.0;
   bool sb_fencing = true;
 
+  // Controller quorum (core/quorum.h). replicas=1 keeps the single
+  // controller, bit-for-bit; >1 runs leader election and majority-gated
+  // commits over the same southbound channel model.
+  int controller_replicas = 1;
+  double election_timeout_us = 500.0;
+  double heartbeat_us = 100.0;
+
   static Config from_json(const std::string& text);
   // Reads the JSON config from disk (the paper's static configuration
   // file); throws on I/O or parse errors.
@@ -84,6 +92,8 @@ class Net {
   bool ready() const { return net_ != nullptr; }
   core::Network& network() { return *net_; }
   core::Controller& controller() { return *ctl_; }
+  // Controller quorum — nullptr unless controller_replicas > 1.
+  core::ControllerQuorum* quorum() { return quorum_.get(); }
   const optics::Schedule& schedule() const { return net_->schedule(); }
   sim::Simulator& sim() { return net_->sim(); }
 
@@ -142,6 +152,7 @@ class Net {
   Config cfg_;
   std::unique_ptr<core::Network> net_;
   std::unique_ptr<core::Controller> ctl_;
+  std::unique_ptr<core::ControllerQuorum> quorum_;  // replicas > 1 only
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::vector<std::int64_t> bw_baseline_;
 };

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/log.h"
+#include "core/quorum.h"
 
 namespace oo::core {
 
@@ -25,6 +26,9 @@ constexpr int kMaxCommitRounds = 8;
 // the next epoch supersedes it) or aborted.
 struct Controller::Txn {
   std::uint64_t epoch = 0;
+  // Quorum term the transaction was issued under (0 = no quorum). A
+  // takeover at a higher term locally aborts any in-flight txn below it.
+  std::uint64_t term = 0;
   SimTime issued_at = SimTime::zero();
 
   bool has_topo = false;
@@ -84,6 +88,40 @@ std::int64_t Controller::fenced_stale_installs() const {
 }
 std::int64_t Controller::resyncs() const { return resyncs_->value(); }
 
+void Controller::attach_quorum(ControllerQuorum* q) {
+  quorum_ = q;
+  if (q != nullptr && stale_term_ == nullptr) {
+    // Registered only when a quorum actually exists, so replicas=1 runs
+    // export exactly the pre-quorum registry.
+    stale_term_ = &net_.sim().metrics().counter(
+        "controller.stale_term_rejections");
+  }
+}
+
+std::uint64_t Controller::current_term() const {
+  return quorum_ != nullptr ? quorum_->term() : 0;
+}
+
+std::int64_t Controller::stale_term_rejections() const {
+  return stale_term_ != nullptr ? stale_term_->value() : 0;
+}
+
+bool Controller::admit_term(NodeId n, std::uint64_t t) {
+  if (quorum_ == nullptr) return true;
+  Agent& ag = agents_[static_cast<std::size_t>(n)];
+  if (t < ag.term_seen) {
+    stale_term_->inc();
+    auto& sim = net_.sim();
+    if (auto* tr = sim.recorder()) {
+      tr->term_fence(sim.now(), n, static_cast<std::int64_t>(t),
+                     static_cast<std::int64_t>(ag.term_seen));
+    }
+    return false;
+  }
+  ag.term_seen = t;
+  return true;
+}
+
 bool Controller::txn_in_flight() const { return txn_ != nullptr && !txn_->done; }
 
 bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
@@ -107,6 +145,13 @@ bool Controller::compile_schedule(const std::vector<optics::Circuit>& circuits,
 bool Controller::control_plane_up() {
   if (crashed_) {
     last_error_ = "control plane unavailable (controller crashed)";
+    deploys_rejected_->inc();
+    return false;
+  }
+  if (quorum_ != nullptr && quorum_->started() && !quorum_->ctl_is_leader()) {
+    // This replica is not (or no longer) the elected leader: a non-leader
+    // accepting a deploy is exactly the split-brain write path.
+    last_error_ = "control plane unavailable (replica is not the leader)";
     deploys_rejected_->inc();
     return false;
   }
@@ -335,12 +380,20 @@ bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
       for (auto& e : node_entries) e.epoch = txn->epoch;
     }
   }
+  txn->term = current_term();
   const std::uint64_t e = txn->epoch;
+  const std::uint64_t tm = txn->term;
   txn_ = std::move(txn);
   txn_prepares_->inc();
   if (auto* tr = sim.recorder()) {
     tr->txn_prepare(sim.now(), static_cast<std::int64_t>(e),
                     net_.num_tors());
+  }
+  if (quorum_ != nullptr) {
+    // Prepare record: lets a failover leader see the epoch was in flight
+    // even if no ToR report survives. Fire-and-forget — prepares need no
+    // majority, only commits do.
+    quorum_->replicate(ControllerQuorum::RecKind::Prepare, e, nullptr);
   }
 
   if (!fencing_) {
@@ -352,6 +405,11 @@ bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
     txn_->committed = true;
     committed_epoch_ = e;
     txn_commits_->inc();
+    if (quorum_ != nullptr) {
+      // Legacy mode skips the majority gate by design (it is the unsafe
+      // baseline), but the decision is still logged.
+      quorum_->replicate(ControllerQuorum::RecKind::Commit, e, nullptr);
+    }
     committed_ = std::move(txn_);
     if (auto* tr = sim.recorder()) {
       tr->txn_commit(sim.now(), static_cast<std::int64_t>(e),
@@ -365,12 +423,14 @@ bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
       if (deploy_delay_ > SimTime::zero()) {
         sim.schedule_in(
             deploy_delay_,
-            [this, e, n]() {
-              sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+            [this, e, tm, n]() {
+              sb_.send(n, [this, e, tm, n]() { on_install(e, tm, n); },
+                       "sb.install");
             },
             "sb.install");
       } else {
-        sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+        sb_.send(n, [this, e, tm, n]() { on_install(e, tm, n); },
+                 "sb.install");
       }
     }
     if (committed_->on_done) committed_->on_done(true);
@@ -384,12 +444,14 @@ bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
     if (deploy_delay_ > SimTime::zero()) {
       sim.schedule_in(
           deploy_delay_,
-          [this, e, n]() {
-            sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+          [this, e, tm, n]() {
+            sb_.send(n, [this, e, tm, n]() { on_install(e, tm, n); },
+                     "sb.install");
           },
           "sb.install");
     } else {
-      sb_.send(n, [this, e, n]() { on_install(e, n); }, "sb.install");
+      sb_.send(n, [this, e, tm, n]() { on_install(e, tm, n); },
+               "sb.install");
     }
   }
   if (committed_ && committed_->epoch == e) return true;  // committed inline
@@ -407,7 +469,8 @@ bool Controller::begin_txn(std::unique_ptr<Txn> txn) {
   return true;
 }
 
-void Controller::on_install(std::uint64_t e, NodeId n) {
+void Controller::on_install(std::uint64_t e, std::uint64_t tm, NodeId n) {
+  if (!admit_term(n, tm)) return;  // deposed leader's install: dead on arrival
   Agent& ag = agents_[static_cast<std::size_t>(n)];
   if (!fencing_) {
     // Unfenced agents trust whatever arrives: a delayed duplicate from a
@@ -457,7 +520,12 @@ void Controller::on_ack(std::uint64_t e, NodeId n, bool ok) {
 
 void Controller::decide_commit() {
   auto& sim = net_.sim();
-  txn_->timeout.cancel();
+  // With a multi-replica quorum, the prepare timeout stays armed until the
+  // commit record majority-replicates: a minority-partitioned leader must
+  // eventually abort, not hang committed-in-name-only.
+  if (quorum_ == nullptr || !quorum_->needs_majority()) {
+    txn_->timeout.cancel();
+  }
   // Commit-time revalidation: the fabric may have changed while installs
   // were in flight (a port failed mid-delay). Committing would swap in a
   // schedule with circuits on dark fiber; abort and let the caller replan.
@@ -473,6 +541,28 @@ void Controller::decide_commit() {
       }
     }
   }
+  if (quorum_ != nullptr && quorum_->needs_majority()) {
+    // The commit decision is durable only once a majority of replicas log
+    // it; the southbound commit fan-out waits for that ack. If leadership
+    // is lost first the callback is dropped and the prepare timeout aborts.
+    const std::uint64_t e = txn_->epoch;
+    quorum_->replicate(ControllerQuorum::RecKind::Commit, e, [this, e]() {
+      if (txn_ != nullptr && !txn_->done && txn_->epoch == e) finish_commit();
+    });
+    return;
+  }
+  // A single-replica quorum still logs the decision (inline, no ack to
+  // wait for) so restart()'s log_commits gate sees it.
+  if (quorum_ != nullptr) {
+    quorum_->replicate(ControllerQuorum::RecKind::Commit, txn_->epoch,
+                       nullptr);
+  }
+  finish_commit();
+}
+
+void Controller::finish_commit() {
+  auto& sim = net_.sim();
+  txn_->timeout.cancel();
   txn_->committed = true;
   txn_->done = true;
   committed_epoch_ = txn_->epoch;
@@ -523,10 +613,14 @@ void Controller::apply_fabric() {
 
 void Controller::send_commit(NodeId n) {
   const std::uint64_t e = committed_->epoch;
-  sb_.send(n, [this, e, n]() { on_commit(e, n); }, "sb.commit");
+  // Stamped with the *current* term, not the issuing one: a failover leader
+  // completing a predecessor's partial commit sends it under its own term.
+  const std::uint64_t tm = current_term();
+  sb_.send(n, [this, e, tm, n]() { on_commit(e, tm, n); }, "sb.commit");
 }
 
-void Controller::on_commit(std::uint64_t e, NodeId n) {
+void Controller::on_commit(std::uint64_t e, std::uint64_t tm, NodeId n) {
+  if (!admit_term(n, tm)) return;
   Agent& ag = agents_[static_cast<std::size_t>(n)];
   if (ag.committed_epoch == e) {
     // Duplicate commit (retransmission overlap): just re-ack.
@@ -605,16 +699,21 @@ void Controller::abort_txn(const std::string& why) {
   if (auto* tr = sim.recorder()) {
     tr->txn_abort(sim.now(), static_cast<std::int64_t>(t->epoch), t->acks);
   }
+  if (quorum_ != nullptr && quorum_->ctl_is_leader()) {
+    quorum_->replicate(ControllerQuorum::RecKind::Abort, t->epoch, nullptr);
+  }
   // Roll every staged agent back to its last committed epoch. The abort
   // travels the same lossy channel; an agent the abort never reaches keeps
   // its staged state until a later install or resync fences it.
   if (!crashed_) {
+    const std::uint64_t tm = current_term();
     for (NodeId n = 0; n < net_.num_tors(); ++n) {
       if (agents_[static_cast<std::size_t>(n)].staged_epoch == t->epoch) {
         const std::uint64_t e = t->epoch;
         sb_.send(
             n,
-            [this, e, n]() {
+            [this, e, tm, n]() {
+              if (!admit_term(n, tm)) return;
               if (agents_[static_cast<std::size_t>(n)].staged_epoch == e) {
                 rollback_agent(n);
               }
@@ -697,6 +796,9 @@ void Controller::restart() {
   }
   committed_epoch_ = max_committed;
   epoch_seq_ = std::max(epoch_seq_, max_seen);
+  if (quorum_ != nullptr) {
+    epoch_seq_ = std::max(epoch_seq_, quorum_->max_logged_epoch());
+  }
   std::int64_t stragglers = 0;
   for (const Agent& ag : agents_) {
     if (max_committed > 0 && ag.committed_epoch < max_committed) {
@@ -707,20 +809,106 @@ void Controller::restart() {
     tr->ctl_resync(net_.sim().now(),
                    static_cast<std::int64_t>(max_committed), stragglers);
   }
+  // Term-aware writer gate: a replica restarting mid-election holds no
+  // lease on the fabric — it recomputes its epoch state read-only and
+  // leaves the resync to the elected leader's takeover. In particular it
+  // must never complete a partial commit its stale-term log remembers but
+  // the quorum never acknowledged.
+  if (quorum_ != nullptr && !quorum_->ctl_is_leader()) return;
+  const std::uint64_t tm = current_term();
   for (NodeId n = 0; n < net_.num_tors(); ++n) {
     Agent& ag = agents_[static_cast<std::size_t>(n)];
     if (ag.staged_epoch == 0) continue;
     if (ag.staged_epoch == max_committed && committed_ != nullptr &&
-        committed_->epoch == max_committed) {
+        committed_->epoch == max_committed &&
+        (quorum_ == nullptr || quorum_->log_commits(max_committed))) {
       // Some nodes committed this epoch before the crash: complete it on
-      // the stragglers rather than leaving the fabric mixed.
+      // the stragglers rather than leaving the fabric mixed. Under a
+      // quorum the completion additionally requires a majority-held Commit
+      // record — a ToR report alone could be the dead leader's partial
+      // fan-out.
       send_commit(n);
     } else {
       // Presumed abort: staged-but-uncommitted state rolls back.
       const std::uint64_t e = ag.staged_epoch;
       sb_.send(
           n,
-          [this, e, n]() {
+          [this, e, tm, n]() {
+            if (!admit_term(n, tm)) return;
+            if (agents_[static_cast<std::size_t>(n)].staged_epoch == e) {
+              rollback_agent(n);
+            }
+          },
+          "sb.abort");
+    }
+  }
+}
+
+void Controller::quorum_takeover(std::uint64_t term) {
+  auto& sim = net_.sim();
+  // An in-flight prepare issued under a lower term dies locally: its
+  // commit record can never majority-replicate now, and the resync below
+  // rolls back whatever it staged.
+  if (txn_ != nullptr && !txn_->done && txn_->term < term) {
+    auto t = std::move(txn_);
+    t->timeout.cancel();
+    t->done = true;
+    last_error_ = "superseded by quorum failover (term " +
+                  std::to_string(term) + ")";
+    txn_aborts_->inc();
+    if (auto* tr = sim.recorder()) {
+      tr->txn_abort(sim.now(), static_cast<std::int64_t>(t->epoch), t->acks);
+    }
+    if (t->on_done) t->on_done(false);
+  }
+  if (committed_ != nullptr) committed_->commit_timer.cancel();
+  crashed_ = false;
+  resyncs_->inc();
+  // Same resync as restart(), but the epoch floor also covers everything
+  // the replicated log ever recorded — the dead leader may have logged an
+  // epoch no surviving ToR report mentions.
+  std::uint64_t max_committed = 0;
+  std::uint64_t max_seen = 0;
+  for (const Agent& ag : agents_) {
+    max_committed = std::max(max_committed, ag.committed_epoch);
+    max_seen = std::max({max_seen, ag.committed_epoch, ag.staged_epoch});
+  }
+  committed_epoch_ = max_committed;
+  epoch_seq_ = std::max({epoch_seq_, max_seen, quorum_->max_logged_epoch()});
+  std::int64_t stragglers = 0;
+  for (const Agent& ag : agents_) {
+    if (max_committed > 0 && ag.committed_epoch < max_committed) {
+      ++stragglers;
+    }
+  }
+  if (auto* tr = sim.recorder()) {
+    tr->ctl_resync(sim.now(), static_cast<std::int64_t>(max_committed),
+                   stragglers);
+  }
+  for (NodeId n = 0; n < net_.num_tors(); ++n) {
+    Agent& ag = agents_[static_cast<std::size_t>(n)];
+    if (ag.staged_epoch == 0) {
+      // Nothing staged, but the term watermark must still rise so the
+      // deposed leader's delayed installs/commits fence on arrival.
+      sb_.send(n, [this, term, n]() { (void)admit_term(n, term); },
+               "sb.term_bump");
+      continue;
+    }
+    if (ag.staged_epoch == max_committed && committed_ != nullptr &&
+        committed_->epoch == max_committed &&
+        quorum_->log_commits(max_committed)) {
+      // The quorum logged the commit decision: every ToR acked the
+      // prepare, so completing it on the stragglers is safe under the new
+      // term.
+      send_commit(n);
+    } else {
+      // Presumed abort: the old leader may have started a commit fan-out
+      // that never reached a majority-logged decision.
+      const std::uint64_t e = ag.staged_epoch;
+      sb_.send(
+          n,
+          [this, e, term, n]() {
+            if (!admit_term(n, term)) return;
             if (agents_[static_cast<std::size_t>(n)].staged_epoch == e) {
               rollback_agent(n);
             }

@@ -44,6 +44,8 @@
 
 namespace oo::core {
 
+class ControllerQuorum;
+
 class Controller {
  public:
   explicit Controller(Network& net);
@@ -150,6 +152,29 @@ class Controller {
   void restart();
   bool crashed() const { return crashed_; }
 
+  // ---- replicated quorum (core/quorum.h) ----
+  // Attaching a quorum makes this controller the engine of its acting
+  // replica: deploys are accepted only while that replica leads, commit
+  // records must majority-replicate before the southbound commit goes out,
+  // and every southbound message is stamped with the leader's term so ToR
+  // agents fence stale-term traffic. Never attached for replicas=1 — the
+  // single-controller path stays bit-identical.
+  void attach_quorum(ControllerQuorum* q);
+  ControllerQuorum* quorum() { return quorum_; }
+  const ControllerQuorum* quorum() const { return quorum_; }
+  // Term every southbound message is currently stamped with (0 = no quorum).
+  std::uint64_t current_term() const;
+  // Highest term ToR n's agent has observed — its term fencing watermark.
+  std::uint64_t node_term(NodeId n) const {
+    return agents_[static_cast<std::size_t>(n)].term_seen;
+  }
+  std::int64_t stale_term_rejections() const;
+  // Called by the quorum when leadership lands on a replica other than the
+  // previous acting one: re-point the engine, resync every in-flight epoch
+  // from the replicated log + per-ToR reports, and raise every agent's term
+  // watermark so the deposed leader's delayed messages fence.
+  void quorum_takeover(std::uint64_t term);
+
   // ---- transaction telemetry (registry-backed cells) ----
   std::int64_t txn_commits() const;
   std::int64_t txn_aborts() const;
@@ -168,6 +193,9 @@ class Controller {
     std::uint64_t committed_epoch = 0;
     bool install_fail = false;   // injected tor_install_fail fault
     bool pending_apply = false;  // committed, waiting for the boundary
+    // Highest quorum term observed (0 until a quorum speaks): messages
+    // stamped with a lower term are a deposed leader's and are rejected.
+    std::uint64_t term_seen = 0;
   };
 
   struct Txn;
@@ -178,11 +206,12 @@ class Controller {
                        int priority,
                        std::vector<std::vector<TftEntry>>& out) const;
   bool begin_txn(std::unique_ptr<Txn> txn);
-  void on_install(std::uint64_t epoch, NodeId n);
+  void on_install(std::uint64_t epoch, std::uint64_t term, NodeId n);
   void on_ack(std::uint64_t epoch, NodeId n, bool ok);
   void decide_commit();
+  void finish_commit();
   void send_commit(NodeId n);
-  void on_commit(std::uint64_t epoch, NodeId n);
+  void on_commit(std::uint64_t epoch, std::uint64_t term, NodeId n);
   void on_commit_ack(std::uint64_t epoch, NodeId n);
   void retransmit_commits();
   void apply_node(NodeId n);
@@ -190,6 +219,10 @@ class Controller {
   void abort_txn(const std::string& why);
   void rollback_agent(NodeId n);
   void fence(NodeId n, std::uint64_t stale_epoch);
+  // Term gate for a ToR-bound message stamped with term t: reject (count +
+  // trace) when t is below node n's watermark, raise the watermark
+  // otherwise. Always admits when no quorum is attached.
+  bool admit_term(NodeId n, std::uint64_t t);
   void on_boundary(NodeId n, std::int64_t abs_slice);
   SimTime prepare_timeout() const;
 
@@ -205,6 +238,8 @@ class Controller {
   std::vector<Agent> agents_;
   std::unique_ptr<Txn> txn_;        // in-flight prepare
   std::unique_ptr<Txn> committed_;  // last committed payload (agents' copy)
+  ControllerQuorum* quorum_ = nullptr;  // attached for replicas > 1 only
+  telemetry::Counter* stale_term_ = nullptr;  // registered on attach
   telemetry::Counter* deploys_rejected_;
   telemetry::Counter* txn_prepares_;
   telemetry::Counter* txn_commits_;

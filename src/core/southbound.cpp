@@ -55,6 +55,77 @@ Rng& SouthboundChannel::rng() {
   return *rng_;
 }
 
+void SouthboundChannel::set_num_replicas(int n) {
+  per_replica_.resize(static_cast<std::size_t>(std::max(n, 0)));
+}
+
+SouthboundChannel::Override& SouthboundChannel::replica_slot(int replica) {
+  if (static_cast<std::size_t>(replica) >= per_replica_.size()) {
+    per_replica_.resize(static_cast<std::size_t>(replica) + 1);
+  }
+  return per_replica_[static_cast<std::size_t>(replica)];
+}
+
+void SouthboundChannel::set_replica_loss(int replica, double prob) {
+  Override& o = replica_slot(replica);
+  const bool had = o.any();
+  o.loss = std::clamp(prob, 0.0, 1.0);
+  if (had && !o.any()) --rep_overrides_active_;
+  if (!had && o.any()) ++rep_overrides_active_;
+}
+
+void SouthboundChannel::set_replica_delay(int replica, SimTime extra) {
+  Override& o = replica_slot(replica);
+  const bool had = o.any();
+  o.delay = extra < SimTime::zero() ? SimTime::zero() : extra;
+  if (had && !o.any()) --rep_overrides_active_;
+  if (!had && o.any()) ++rep_overrides_active_;
+}
+
+void SouthboundChannel::set_replica_dup(int replica, double prob) {
+  Override& o = replica_slot(replica);
+  const bool had = o.any();
+  o.dup = std::clamp(prob, 0.0, 1.0);
+  if (had && !o.any()) --rep_overrides_active_;
+  if (!had && o.any()) ++rep_overrides_active_;
+}
+
+Rng& SouthboundChannel::replica_rng() {
+  if (!rep_rng_) {
+    rep_rng_ = std::make_unique<Rng>(
+        derive_rng(net_.config().seed, 1, "southbound.replica"));
+  }
+  return *rep_rng_;
+}
+
+int SouthboundChannel::send_replica(int to, std::function<void()> deliver,
+                                    const char* tag) {
+  ++rep_sent_;
+  const Override& o = replica_slot(to);
+  const double loss = std::max(cfg_.loss_prob, o.loss);
+  const double dup = std::max(cfg_.dup_prob, o.dup);
+  const SimTime delay = cfg_.latency + o.delay;
+  if (loss <= 0.0 && dup <= 0.0 && delay == SimTime::zero()) {
+    deliver();
+    return 1;
+  }
+  if (loss > 0.0 && replica_rng().uniform01() < loss) {
+    ++rep_lost_;
+    return 0;
+  }
+  int copies = 1;
+  if (dup > 0.0 && replica_rng().uniform01() < dup) {
+    copies = 2;
+    ++rep_duped_;
+  }
+  auto& sim = net_.sim();
+  for (int i = 0; i < copies; ++i) {
+    const SimTime d = delay + (i > 0 ? cfg_.dup_extra : SimTime::zero());
+    sim.schedule_in(d, i + 1 < copies ? deliver : std::move(deliver), tag);
+  }
+  return copies;
+}
+
 int SouthboundChannel::send(NodeId node, std::function<void()> deliver,
                             const char* tag) {
   ++sent_;

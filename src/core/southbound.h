@@ -60,9 +60,24 @@ class SouthboundChannel {
   // copies scheduled (0 = lost). Ideal messages deliver inline.
   int send(NodeId node, std::function<void()> deliver, const char* tag);
 
+  // ---- replica <-> replica leg (controller quorum) ----
+  // Sizes the per-replica override table. Replica links share the base
+  // config (latency/loss/dup) with the ToR leg but have their own override
+  // slots and their own rng stream, so attaching a quorum never perturbs
+  // the ToR leg's draws.
+  void set_num_replicas(int n);
+  void set_replica_loss(int replica, double prob);
+  void set_replica_delay(int replica, SimTime extra);
+  void set_replica_dup(int replica, double prob);
+  // Sends one message on the (replica <-> replica) mesh toward `to`.
+  // Semantics mirror send(): returns copies scheduled, inline when ideal.
+  int send_replica(int to, std::function<void()> deliver, const char* tag);
+
   std::int64_t msgs_sent() const { return sent_; }
   std::int64_t msgs_lost() const { return lost_; }
   std::int64_t msgs_duped() const { return duped_; }
+  std::int64_t replica_msgs_sent() const { return rep_sent_; }
+  std::int64_t replica_msgs_lost() const { return rep_lost_; }
 
  private:
   struct Override {
@@ -75,8 +90,10 @@ class SouthboundChannel {
   };
 
   Override& slot(NodeId node);
+  Override& replica_slot(int replica);
   void note_override_change(bool had, bool has);
   Rng& rng();
+  Rng& replica_rng();
 
   Network& net_;
   SouthboundConfig cfg_;
@@ -88,6 +105,14 @@ class SouthboundChannel {
   std::int64_t sent_ = 0;
   std::int64_t lost_ = 0;
   std::int64_t duped_ = 0;
+  // Replica mesh state: separate override table, activity count, and rng so
+  // the ToR leg's behavior (and stream) is independent of the quorum's.
+  int rep_overrides_active_ = 0;
+  std::vector<Override> per_replica_;
+  std::unique_ptr<Rng> rep_rng_;
+  std::int64_t rep_sent_ = 0;
+  std::int64_t rep_lost_ = 0;
+  std::int64_t rep_duped_ = 0;
 };
 
 }  // namespace oo::core

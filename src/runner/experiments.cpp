@@ -1,9 +1,11 @@
 #include "runner/experiments.h"
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
+#include "core/quorum.h"
 #include "routing/to_routing.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
@@ -253,6 +255,128 @@ json::Object run_control_chaos(RunContext& ctx) {
   return o;
 }
 
+// --- quorum_chaos: deploy latency/availability vs controller replication -
+// Sweeps controller_replicas (1 = the plain single controller, no quorum
+// constructed) x southbound loss, drives periodic deploy_update
+// transactions through the control plane while a scripted leader kill,
+// replica partition, and log divergence play out, and reports per-deploy
+// commit latency percentiles plus the election/failover/replication
+// counters. The quorum fault events are no-ops for replicas=1, so every
+// grid cell runs the identical script.
+json::Object run_quorum_chaos(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "rotornet-direct"), p);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  core::SouthboundConfig sb;
+  sb.latency = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("sb_latency_us", 20.0) * 1e3));
+  sb.loss_prob = ctx.param_double("sb_loss_prob", 0.0);
+  ctl->southbound().configure(sb);
+
+  const int replicas =
+      static_cast<int>(ctx.param_int("controller_replicas", 1));
+  std::unique_ptr<core::ControllerQuorum> quorum;
+  if (replicas > 1) {
+    core::QuorumConfig qc;
+    qc.replicas = replicas;
+    qc.election_timeout = SimTime::nanos(static_cast<std::int64_t>(
+        ctx.param_double("election_timeout_us", 200.0) * 1e3));
+    qc.heartbeat = SimTime::nanos(static_cast<std::int64_t>(
+        ctx.param_double("heartbeat_us", 50.0) * 1e3));
+    quorum = std::make_unique<core::ControllerQuorum>(*net, *ctl, qc);
+    quorum->start();
+  }
+
+  services::FailureRecovery recovery(
+      *net, *ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/1_ms);
+  recovery.start();
+
+  net->sim().schedule_every(50_us, 100_us, [net]() {
+    for (HostId src : {HostId{0}, HostId{1}, HostId{2}}) {
+      core::Packet pkt;
+      pkt.type = core::PacketType::Data;
+      pkt.flow = 100 + src;
+      pkt.dst_host = (src + 4) % net->num_hosts();
+      pkt.size_bytes = 1500;
+      net->host(src).send(std::move(pkt));
+    }
+  });
+
+  services::FaultPlan plan(
+      *net,
+      static_cast<std::uint64_t>(ctx.param_int("fault_seed", 2024)), ctl);
+  plan.fail_port(8_ms, 0, 0);
+  plan.repair_port(16_ms, 0, 0);
+  plan.diverge_log(12_ms, replicas > 2 ? 2 : 1);
+  plan.kill_leader(20_ms, /*restart_after=*/2_ms);
+  plan.partition_replica(30_ms, 1, /*duration=*/3_ms);
+  plan.arm();
+
+  // Periodic identity redeploys: each is a full two-phase (and, with a
+  // quorum, majority-replicated) transaction whose issue->outcome latency
+  // we sample. Deploys racing the leader kill measure failover cost.
+  PercentileSampler deploy_us;
+  std::int64_t issued = 0, refused = 0, committed = 0, aborted = 0;
+  net->sim().schedule_every(4_ms, 2_ms, [&, net, ctl]() {
+    const SimTime t0 = net->sim().now();
+    ++issued;
+    const bool accepted = ctl->deploy_update(
+        net->schedule(), routing::direct_to(net->schedule()),
+        core::LookupMode::PerHop, core::MultipathMode::None, 1, 1,
+        SimTime::zero(),
+        // Capture `net` by value: the controller holds this callback past
+        // the enclosing closure's lifetime, so a `[&]` capture of the outer
+        // lambda's copy would dangle.
+        [&deploy_us, &committed, &aborted, net, t0](bool ok) {
+          deploy_us.add((net->sim().now() - t0).us());
+          if (ok) {
+            ++committed;
+          } else {
+            ++aborted;
+          }
+        });
+    if (!accepted) ++refused;
+  });
+
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 60)));
+
+  json::Object o;
+  o["controller_replicas"] = static_cast<std::int64_t>(replicas);
+  o["deploy"] = percentile_row(deploy_us);
+  o["deploys_issued"] = issued;
+  o["deploys_refused"] = refused;
+  o["deploys_committed"] = committed;
+  o["deploys_aborted"] = aborted;
+  o["mixed_epoch_slices"] = net->mixed_epoch_slices();
+  o["committed_epoch"] =
+      static_cast<std::int64_t>(ctl->committed_epoch());
+  o["txn_commits"] = ctl->txn_commits();
+  o["txn_aborts"] = ctl->txn_aborts();
+  o["txn_rollbacks"] = ctl->txn_rollbacks();
+  o["resyncs"] = ctl->resyncs();
+  o["stale_term_rejections"] = ctl->stale_term_rejections();
+  o["elections"] = quorum ? quorum->elections() : 0;
+  o["failovers"] = quorum ? quorum->failovers() : 0;
+  o["step_downs"] = quorum ? quorum->step_downs() : 0;
+  o["log_repairs"] = quorum ? quorum->log_repairs() : 0;
+  o["term"] =
+      static_cast<std::int64_t>(quorum ? quorum->term() : 0);
+  o["log_length"] = quorum ? quorum->log_length() : 0;
+  o["replica_msgs_sent"] = ctl->southbound().replica_msgs_sent();
+  o["replica_msgs_lost"] = ctl->southbound().replica_msgs_lost();
+  o["sb_sent"] = ctl->southbound().msgs_sent();
+  o["sb_lost"] = ctl->southbound().msgs_lost();
+  o["recoveries"] = recovery.recoveries();
+  o["retries"] = recovery.retries();
+  ctx.sim_events = net->sim().events_executed();
+  return o;
+}
+
 // --- selftest: cheap deterministic arithmetic for machinery drills -------
 json::Object run_selftest(RunContext& ctx) {
   maybe_inject_failure(ctx);
@@ -272,6 +396,7 @@ bool register_builtins() {
   register_experiment("allreduce", run_allreduce);
   register_experiment("sync_resilience", run_sync_resilience);
   register_experiment("control_chaos", run_control_chaos);
+  register_experiment("quorum_chaos", run_quorum_chaos);
   register_experiment("selftest", run_selftest);
   return true;
 }

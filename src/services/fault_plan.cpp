@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/quorum.h"
+
 namespace oo::services {
 
 namespace {
@@ -47,6 +49,12 @@ const char* fault_kind_name(FaultKind k) {
       return "tor_install_fail";
     case FaultKind::ControllerCrash:
       return "controller_crash";
+    case FaultKind::LeaderKill:
+      return "leader_kill";
+    case FaultKind::ReplicaPartition:
+      return "replica_partition";
+    case FaultKind::LogDivergence:
+      return "log_divergence";
   }
   return "?";
 }
@@ -62,7 +70,7 @@ FaultKind fault_kind_from_name(const std::string& name) {
 // Every enumerator must have a name and a round-trip; a new kind that grows
 // the enum without bumping the count trips this at compile time.
 static_assert(kNumFaultKinds ==
-                  static_cast<int>(FaultKind::ControllerCrash) + 1,
+                  static_cast<int>(FaultKind::LogDivergence) + 1,
               "kNumFaultKinds out of sync with the FaultKind enum");
 
 FaultPlan& FaultPlan::add(FaultEvent ev) {
@@ -171,6 +179,24 @@ FaultPlan& FaultPlan::crash_controller(SimTime at, SimTime duration) {
               .duration = duration});
 }
 
+FaultPlan& FaultPlan::kill_leader(SimTime at, SimTime restart_after) {
+  return add({.at = at, .kind = FaultKind::LeaderKill,
+              .duration = restart_after});
+}
+
+FaultPlan& FaultPlan::partition_replica(SimTime at, int replica,
+                                        SimTime duration) {
+  // The replica index rides in the node field (quorum events are not
+  // ToR-scoped).
+  return add({.at = at, .kind = FaultKind::ReplicaPartition,
+              .node = static_cast<NodeId>(replica), .duration = duration});
+}
+
+FaultPlan& FaultPlan::diverge_log(SimTime at, int replica) {
+  return add({.at = at, .kind = FaultKind::LogDivergence,
+              .node = static_cast<NodeId>(replica)});
+}
+
 FaultPlan& FaultPlan::load_json(const std::string& text) {
   return load_events(json::parse(text));
 }
@@ -180,7 +206,9 @@ FaultPlan& FaultPlan::load_events(const json::Value& plan) {
     FaultEvent ev;
     ev.kind = fault_kind_from_name(e.at("kind").as_string());
     ev.at = us_to_time(e.get_double("at_us", 0.0));
-    ev.node = static_cast<NodeId>(e.get_int("node", kInvalidNode));
+    // "replica" is the quorum-fault spelling of the node field.
+    ev.node = static_cast<NodeId>(
+        e.get_int("node", e.get_int("replica", kInvalidNode)));
     ev.port = static_cast<PortId>(e.get_int("port", kInvalidPort));
     ev.duration = us_to_time(e.get_double(
         "duration_us", e.get_double("down_us", 0.0)));
@@ -383,6 +411,47 @@ void FaultPlan::fire(const FaultEvent& ev) {
             },
             "fault"));
       }
+      break;
+    case FaultKind::LeaderKill: {
+      if (ctl_ == nullptr || ctl_->quorum() == nullptr) break;
+      const int victim = ctl_->quorum()->kill_leader();
+      if (victim < 0) break;  // no live leader at fire time
+      count(ev.kind, victim);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, victim]() {
+              ctl_->quorum()->revive_replica(victim);
+              trace_repair(FaultKind::LeaderKill, victim);
+            },
+            "fault"));
+      }
+      break;
+    }
+    case FaultKind::ReplicaPartition:
+      if (ctl_ == nullptr || ctl_->quorum() == nullptr ||
+          ev.node == kInvalidNode) {
+        break;
+      }
+      count(ev.kind, ev.node);
+      ctl_->quorum()->set_partitioned(ev.node, true);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, replica = ev.node]() {
+              ctl_->quorum()->set_partitioned(replica, false);
+              trace_repair(FaultKind::ReplicaPartition, replica);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::LogDivergence:
+      if (ctl_ == nullptr || ctl_->quorum() == nullptr ||
+          ev.node == kInvalidNode) {
+        break;
+      }
+      count(ev.kind, ev.node);
+      ctl_->quorum()->diverge_log(ev.node);
       break;
   }
 }

@@ -36,8 +36,11 @@ enum class FaultKind {
   SbMsgDup,        // southbound messages to `node` duplicated w.p. `ber`/prob
   TorInstallFail,  // node's install agent NACKs every prepare for a window
   ControllerCrash, // controller dies; restarts (with resync) after `duration`
+  LeaderKill,      // kill the quorum leader; revive the replica after `duration`
+  ReplicaPartition,// cut replica `node` off the replica mesh for `duration`
+  LogDivergence,   // corrupt replica `node`'s log tail (sync self-heals it)
 };
-inline constexpr int kNumFaultKinds = 16;
+inline constexpr int kNumFaultKinds = 19;
 
 const char* fault_kind_name(FaultKind k);
 // Inverse of fault_kind_name; throws std::runtime_error on unknown names.
@@ -102,6 +105,16 @@ class FaultPlan {
   // Crash the controller at `at`; restart (with state resync) `duration`
   // later (0 = stays down).
   FaultPlan& crash_controller(SimTime at, SimTime duration);
+  // Quorum faults (no-ops unless a ControllerQuorum is attached to `ctl`).
+  // kill_leader kills whichever replica leads when the event fires and
+  // revives it `restart_after` later (0 = stays dead); partition_replica
+  // cuts `replica` off the replica<->replica mesh (ToR legs unaffected —
+  // the split-brain shape) and heals after `duration`; diverge_log corrupts
+  // `replica`'s log tail.
+  FaultPlan& kill_leader(SimTime at, SimTime restart_after = SimTime::zero());
+  FaultPlan& partition_replica(SimTime at, int replica,
+                               SimTime duration = SimTime::zero());
+  FaultPlan& diverge_log(SimTime at, int replica);
 
   // Append events from a JSON plan: {"events": [{"kind": "port_fail",
   // "at_us": 100, "node": 0, "port": 1}, ...]}. Times are microseconds

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/controller.h"
+#include "core/quorum.h"
+
 namespace oo::services {
 
 SyncWatchdog::SyncWatchdog(core::Network& net, Config cfg)
@@ -17,6 +20,16 @@ SyncWatchdog::SyncWatchdog(core::Network& net, Config cfg)
           &net.sim().metrics().counter("sync.probes", {{"result", "lost"}})),
       wrong_slice_seen_(
           &net.sim().metrics().counter("sync.symptoms_observed")) {}
+
+void SyncWatchdog::set_controller(const core::Controller* ctl) {
+  ctl_ = ctl;
+  if (ctl_ != nullptr && probes_suppressed_ == nullptr) {
+    // Registered only when leader-awareness is actually wired, so unwired
+    // runs export exactly the pre-quorum registry.
+    probes_suppressed_ = &net_.sim().metrics().counter(
+        "watchdog.probes_suppressed_no_leader");
+  }
+}
 
 void SyncWatchdog::start() {
   if (started_) return;
@@ -190,6 +203,25 @@ void SyncWatchdog::probe(NodeId n) {
   // A scheduled beacon may have landed while this probe waited out its
   // backoff; don't spend a probe on a freshly disciplined clock.
   if (now - net_.clock().last_resync(n) <= beacon_timeout_) return;
+  // Probes are answered by the controller; with it crashed — or with a
+  // quorum mid-election — there is no leader to answer. Suppress the probe
+  // and retry after the backoff instead of counting a spurious loss.
+  if (ctl_ != nullptr &&
+      (ctl_->crashed() ||
+       (ctl_->quorum() != nullptr && ctl_->quorum()->started() &&
+        !ctl_->quorum()->has_leader()))) {
+    probes_suppressed_->inc();
+    st.backoff = std::min(st.backoff * 2, cfg_.probe_backoff_cap);
+    st.probe_pending = true;
+    std::weak_ptr<bool> weak = alive_;
+    net_.sim().schedule_at(
+        now + st.backoff,
+        [this, n, weak]() {
+          if (auto a = weak.lock(); a && *a) probe(n);
+        },
+        "sync.probe");
+    return;
+  }
   if (net_.probe_beacon(n)) {
     probes_ok_->inc();
     st.backoff = cfg_.probe_backoff_initial;

@@ -42,6 +42,10 @@
 #include "common/stats.h"
 #include "core/network.h"
 
+namespace oo::core {
+class Controller;
+}
+
 namespace oo::services {
 
 class SyncWatchdog {
@@ -80,6 +84,13 @@ class SyncWatchdog {
   void set_quarantine_hook(QuarantineFn fn) {
     quarantine_hook_ = std::move(fn);
   }
+
+  // Wire the watchdog to the control plane so staleness probes route to the
+  // current quorum leader: while the controller is crashed or no leader is
+  // elected, probes are suppressed (and counted) instead of being burned on
+  // a control plane that cannot answer. Optional — an unwired watchdog (or
+  // a replicas=1 run) behaves exactly as before.
+  void set_controller(const core::Controller* ctl);
 
   // Subscribe to fabric violations + arrival symptoms and start the scan.
   void start();
@@ -136,6 +147,8 @@ class SyncWatchdog {
 
   core::Network& net_;
   Config cfg_;
+  const core::Controller* ctl_ = nullptr;  // optional leader-awareness
+  telemetry::Counter* probes_suppressed_ = nullptr;  // registered on wiring
   std::vector<NodeState> nodes_;
   SimTime widen_step_ = SimTime::zero();
   SimTime beacon_timeout_ = SimTime::zero();

@@ -58,6 +58,18 @@ const char* event_kind_name(EventKind k) {
       return "ctl_crash";
     case EventKind::CtlResync:
       return "ctl_resync";
+    case EventKind::ElectionStart:
+      return "election_start";
+    case EventKind::LeaderElected:
+      return "leader_elected";
+    case EventKind::QuorumReplicate:
+      return "quorum_replicate";
+    case EventKind::QuorumStepDown:
+      return "quorum_step_down";
+    case EventKind::QuorumFailover:
+      return "quorum_failover";
+    case EventKind::TermFence:
+      return "term_fence";
   }
   return "?";
 }

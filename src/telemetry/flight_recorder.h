@@ -155,6 +155,34 @@ class FlightRecorder {
     record({ts, EventKind::CtlResync, DropReason::None, -1, -1,
             committed_epoch, stragglers});
   }
+  // Controller-quorum lifecycle (core::ControllerQuorum). Replica-scoped
+  // events reuse the node field for the replica index.
+  void election_start(SimTime ts, int replica, std::int64_t term) {
+    record({ts, EventKind::ElectionStart, DropReason::None, replica, -1, term,
+            0});
+  }
+  void leader_elected(SimTime ts, int replica, std::int64_t term) {
+    record({ts, EventKind::LeaderElected, DropReason::None, replica, -1, term,
+            0});
+  }
+  void quorum_replicate(SimTime ts, std::int64_t epoch, std::int64_t index) {
+    record({ts, EventKind::QuorumReplicate, DropReason::None, -1, -1, epoch,
+            index});
+  }
+  void quorum_step_down(SimTime ts, int replica, std::int64_t higher_term) {
+    record({ts, EventKind::QuorumStepDown, DropReason::None, replica, -1,
+            higher_term, 0});
+  }
+  void quorum_failover(SimTime ts, std::int64_t term,
+                       std::int64_t max_epoch) {
+    record({ts, EventKind::QuorumFailover, DropReason::None, -1, -1, term,
+            max_epoch});
+  }
+  void term_fence(SimTime ts, NodeId node, std::int64_t stale_term,
+                  std::int64_t term_seen) {
+    record({ts, EventKind::TermFence, DropReason::None, node, -1, stale_term,
+            term_seen});
+  }
 
   // Oldest-to-newest iteration without copying.
   template <typename Fn>

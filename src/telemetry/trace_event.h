@@ -40,8 +40,14 @@ enum class EventKind : std::uint8_t {
   TxnFence,        // node, a = stale epoch fenced, b = node's committed epoch
   CtlCrash,        // controller lost volatile transaction state
   CtlResync,       // a = committed epoch reconstructed from ToR reports
+  ElectionStart,   // node = replica, a = term the candidacy opens
+  LeaderElected,   // node = replica, a = term it leads
+  QuorumReplicate, // a = epoch logged, b = log index
+  QuorumStepDown,  // node = replica, a = higher term observed
+  QuorumFailover,  // a = new leader's term, b = max logged epoch
+  TermFence,       // node, a = stale term rejected, b = node's term watermark
 };
-inline constexpr int kNumEventKinds = 27;
+inline constexpr int kNumEventKinds = 33;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {

@@ -48,10 +48,18 @@ Track track_for(const TraceEvent& ev) {
     case EventKind::TxnAbort:
     case EventKind::CtlCrash:
     case EventKind::CtlResync:
+    // Quorum lifecycle lives on the control track; the replica index is in
+    // the node field and survives in the event args.
+    case EventKind::ElectionStart:
+    case EventKind::LeaderElected:
+    case EventKind::QuorumReplicate:
+    case EventKind::QuorumStepDown:
+    case EventKind::QuorumFailover:
       return {kControlPid, 0};
     case EventKind::TxnAck:
     case EventKind::TxnRollback:
     case EventKind::TxnFence:
+    case EventKind::TermFence:
       // Per-ToR agent events: drawn on the node when one is named, on the
       // control-plane track otherwise.
       return ev.node >= 0 ? Track{ev.node, 0} : Track{kControlPid, 0};
