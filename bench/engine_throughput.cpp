@@ -1,0 +1,157 @@
+// Traffic-engine throughput bench: how fast the streaming engine pushes
+// simulated time, (a) as the fabric grows (events/sec vs. ToR count) and
+// (b) as the hybrid packet/fluid threshold drops and elephants move from
+// per-packet to flow-level fidelity (the speedup knob). Writes the
+// measured rows to BENCH_engine.json so successive PRs can diff engine
+// throughput against the recorded baseline.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "traffic/engine.h"
+
+using namespace oo;
+using namespace oo::literals;
+
+namespace {
+
+struct Row {
+  int tors = 0;
+  std::int64_t threshold = 0;
+  double wall_ms = 0;
+  std::int64_t sim_events = 0;
+  std::int64_t flows = 0;
+  std::int64_t flows_fluid = 0;
+  double events_per_sec = 0;
+  double flows_per_sec = 0;
+};
+
+traffic::TrafficSpec base_spec(std::int64_t sources) {
+  traffic::TrafficSpec spec;
+  spec.sources = sources;
+  spec.load = 0.3;
+  spec.size.base = workload::trace_cdf(workload::TraceKind::KvStore);
+  spec.size.hh_fraction = 0.05;
+  spec.size.hh = workload::trace_cdf(workload::TraceKind::Hadoop);
+  spec.burst.enabled = true;
+  spec.seed = 11;
+  return spec;
+}
+
+Row run_point(int tors, std::int64_t threshold, SimTime horizon) {
+  arch::Params p;
+  p.tors = tors;
+  p.hosts_per_tor = 2;
+  p.uplinks = 2;
+  p.seed = 7;
+  auto inst = runner::make_arch("rotornet-direct", p);
+
+  traffic::TrafficSpec spec =
+      base_spec(static_cast<std::int64_t>(inst.net->num_hosts()) * 64);
+  spec.hybrid_threshold = threshold;
+  traffic::TrafficEngine eng(*inst.net, std::move(spec));
+  eng.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  inst.run_for(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  eng.stop();
+
+  Row r;
+  r.tors = tors;
+  r.threshold = threshold;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.sim_events = inst.net->sim().events_executed();
+  r.flows = eng.flows_emitted();
+  r.flows_fluid = eng.flows_fluid();
+  const double wall_sec = r.wall_ms / 1e3;
+  if (wall_sec > 0) {
+    r.events_per_sec = static_cast<double>(r.sim_events) / wall_sec;
+    r.flows_per_sec = static_cast<double>(r.flows) / wall_sec;
+  }
+  return r;
+}
+
+void print_row(const char* label, const Row& r) {
+  std::printf(
+      "  %-18s wall=%8.1f ms  events=%10lld (%8.2f M/s)  flows=%8lld "
+      "(fluid %lld)\n",
+      label, r.wall_ms, static_cast<long long>(r.sim_events),
+      r.events_per_sec / 1e6, static_cast<long long>(r.flows),
+      static_cast<long long>(r.flows_fluid));
+}
+
+json::Object row_json(const Row& r) {
+  json::Object o;
+  o["tors"] = r.tors;
+  o["hybrid_threshold"] = r.threshold;
+  o["wall_ms"] = r.wall_ms;
+  o["sim_events"] = r.sim_events;
+  o["flows"] = r.flows;
+  o["flows_fluid"] = r.flows_fluid;
+  o["events_per_sec"] = r.events_per_sec;
+  o["flows_per_sec"] = r.flows_per_sec;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  bench::banner("engine_throughput: streaming traffic engine",
+                "events/sec flat-ish in ToR count at fixed per-host load; "
+                "wall-clock drops sharply as the hybrid threshold moves "
+                "elephants to fluid fidelity");
+
+  const std::int64_t kPacketOnly =
+      std::numeric_limits<std::int64_t>::max();
+  json::Array tor_rows, threshold_rows;
+
+  std::printf("\nToR scaling (hybrid threshold 1 MB, 30 ms horizon):\n");
+  for (const int tors : {8, 16, 32}) {
+    const Row r = run_point(tors, 1 << 20, 30_ms);
+    char label[32];
+    std::snprintf(label, sizeof label, "tors=%d", tors);
+    print_row(label, r);
+    tor_rows.push_back(row_json(r));
+  }
+
+  std::printf("\nHybrid threshold sweep (8 ToRs, 30 ms horizon):\n");
+  double packet_wall = 0;
+  for (const std::int64_t thr :
+       {kPacketOnly, std::int64_t{10} << 20, std::int64_t{1} << 20,
+        std::int64_t{100'000}}) {
+    const Row r = run_point(8, thr, 30_ms);
+    char label[32];
+    if (thr == kPacketOnly) {
+      std::snprintf(label, sizeof label, "packet-only");
+      packet_wall = r.wall_ms;
+    } else {
+      std::snprintf(label, sizeof label, "thr=%lldKB",
+                    static_cast<long long>(thr / 1000));
+    }
+    print_row(label, r);
+    if (thr != kPacketOnly && r.wall_ms > 0) {
+      std::printf("  %-18s speedup vs packet-only: %.2fx\n", "",
+                  packet_wall / r.wall_ms);
+    }
+    threshold_rows.push_back(row_json(r));
+  }
+
+  json::Object doc;
+  doc["bench"] = "engine_throughput";
+  doc["tor_scaling"] = std::move(tor_rows);
+  doc["threshold_sweep"] = std::move(threshold_rows);
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  const std::string text = json::Value(std::move(doc)).dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -201,6 +201,18 @@ void Net::write_metrics_csv(const std::string& path) {
   out << telemetry::metrics_csv(net_->sim().metrics());
 }
 
+traffic::TrafficEngine& Net::start_traffic(traffic::TrafficSpec spec) {
+  if (!net_) {
+    throw std::runtime_error(
+        "start_traffic: deploy a topology first (the network materializes "
+        "on the first deploy_topo call)");
+  }
+  if (traffic_) traffic_->stop();
+  traffic_ = std::make_unique<traffic::TrafficEngine>(*net_, std::move(spec));
+  traffic_->start();
+  return *traffic_;
+}
+
 std::int64_t Net::bw_usage(NodeId node) {
   assert(net_);
   std::int64_t total = 0;

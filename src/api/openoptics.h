@@ -28,6 +28,7 @@
 #include "runner/runner.h"
 #include "telemetry/flight_recorder.h"
 #include "topo/traffic_matrix.h"
+#include "traffic/engine.h"
 
 namespace oo::api {
 
@@ -136,6 +137,18 @@ class Net {
   // Dump every registered metric (counters, gauges, histograms) as CSV.
   void write_metrics_csv(const std::string& path);
 
+  // --- Traffic APIs ---
+  // Attaches a streaming production-traffic engine (src/traffic/) to the
+  // materialized network and starts it. The returned engine is owned by
+  // the Net; call again to replace it (the old engine stops first).
+  // Throws std::runtime_error before deploy_topo materializes the network
+  // and std::invalid_argument on a malformed spec.
+  traffic::TrafficEngine& start_traffic(traffic::TrafficSpec spec);
+  traffic::TrafficEngine& start_traffic_json(const std::string& spec_text) {
+    return start_traffic(traffic::spec_from_json_text(spec_text));
+  }
+  traffic::TrafficEngine* traffic() { return traffic_.get(); }
+
   // --- Execution ---
   void run_for(SimTime t) { net_->sim().run_until(net_->sim().now() + t); }
   void start() { net_->start(); }
@@ -154,6 +167,7 @@ class Net {
   std::unique_ptr<core::Controller> ctl_;
   std::unique_ptr<core::ControllerQuorum> quorum_;  // replicas > 1 only
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
+  std::unique_ptr<traffic::TrafficEngine> traffic_;
   std::vector<std::int64_t> bw_baseline_;
 };
 

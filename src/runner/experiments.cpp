@@ -1,5 +1,6 @@
 #include "runner/experiments.h"
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
 #include "services/sync_watchdog.h"
+#include "traffic/engine.h"
 #include "workload/allreduce.h"
 #include "workload/kv.h"
 
@@ -377,6 +379,73 @@ json::Object run_quorum_chaos(RunContext& ctx) {
   return o;
 }
 
+json::Object fct_aggregate_row(const traffic::FctAggregate& a) {
+  json::Object o;
+  o["n"] = a.count();
+  o["mean_us"] = a.mean();
+  o["p50_us"] = a.percentile(50);
+  o["p99_us"] = a.percentile(99);
+  o["max_us"] = a.max();
+  return o;
+}
+
+// --- load_sweep: streaming traffic engine at hybrid fidelity -------------
+// Drives the TrafficEngine against one architecture at one load point;
+// grid "load" (and optionally "hybrid_threshold") across runs to sweep a
+// curve to the FCT knee. A full traffic spec can ride in params under
+// "traffic" (spec.h's JSON shape); flat params override its scalars so
+// grids stay one-dimensional JSON.
+json::Object run_load_sweep(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst = make_arch(ctx.param_string("arch", "rotornet-direct"), p);
+
+  traffic::TrafficSpec spec;
+  const auto it = ctx.spec.params.find("traffic");
+  if (it != ctx.spec.params.end()) {
+    spec = traffic::spec_from_json(it->second);
+  } else {
+    spec.size.base =
+        workload::trace_cdf_by_name(ctx.param_string("cdf", "kv"));
+  }
+  spec.load = ctx.param_double("load", spec.load);
+  spec.sources = ctx.param_int("sources", spec.sources);
+  spec.hybrid_threshold =
+      ctx.param_int("hybrid_threshold", spec.hybrid_threshold);
+  // Per-run derived seed: the flow stream is a pure function of
+  // (campaign seed, run index), so results.jsonl is byte-identical at any
+  // --jobs and under resume.
+  spec.seed = ctx.seed_for("traffic");
+  traffic::validate(spec);
+
+  traffic::TrafficEngine eng(*inst.net, spec);
+  eng.start();
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 200)));
+  eng.stop();
+  // Grace window so in-flight transfers report their FCTs.
+  inst.run_for(SimTime::millis(ctx.param_int("drain_ms", 50)));
+
+  json::Object o;
+  o["flows_emitted"] = eng.flows_emitted();
+  o["flows_packet"] = eng.flows_packet();
+  o["flows_fluid"] = eng.flows_fluid();
+  o["flows_completed"] = eng.flows_completed();
+  o["bytes_offered"] = eng.bytes_offered();
+  char fp[24];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(eng.stream_fingerprint()));
+  o["fingerprint"] = std::string(fp);
+  o["mice"] = fct_aggregate_row(eng.mice_fct_us());
+  o["elephant"] = fct_aggregate_row(eng.elephant_fct_us());
+  o["fluid_recomputes"] = eng.fluid().recomputes();
+  const auto t = inst.net->totals();
+  o["delivered"] = t.delivered;
+  o["fabric_drops"] = t.fabric_drops;
+  o["congestion_drops"] = t.congestion_drops;
+  ctx.sim_events = inst.net->sim().events_executed();
+  return o;
+}
+
 // --- selftest: cheap deterministic arithmetic for machinery drills -------
 json::Object run_selftest(RunContext& ctx) {
   maybe_inject_failure(ctx);
@@ -397,6 +466,7 @@ bool register_builtins() {
   register_experiment("sync_resilience", run_sync_resilience);
   register_experiment("control_chaos", run_control_chaos);
   register_experiment("quorum_chaos", run_quorum_chaos);
+  register_experiment("load_sweep", run_load_sweep);
   register_experiment("selftest", run_selftest);
   return true;
 }

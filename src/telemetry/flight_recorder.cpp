@@ -70,6 +70,12 @@ const char* event_kind_name(EventKind k) {
       return "quorum_failover";
     case EventKind::TermFence:
       return "term_fence";
+    case EventKind::FlowStart:
+      return "flow_start";
+    case EventKind::FlowComplete:
+      return "flow_complete";
+    case EventKind::FluidRecompute:
+      return "fluid_recompute";
   }
   return "?";
 }

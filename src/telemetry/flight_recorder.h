@@ -183,6 +183,24 @@ class FlightRecorder {
     record({ts, EventKind::TermFence, DropReason::None, node, -1, stale_term,
             term_seen});
   }
+  // Traffic-engine flow lifecycle (src/traffic/). `fluid` selects the
+  // fidelity the flow runs at: 0 = packet-level transport, 1 = fluid
+  // flow-level transfer.
+  void flow_start(SimTime ts, NodeId src_tor, bool fluid, std::int64_t flow,
+                  std::int64_t bytes) {
+    record({ts, EventKind::FlowStart, DropReason::None, src_tor,
+            fluid ? 1 : 0, flow, bytes});
+  }
+  void flow_complete(SimTime ts, NodeId src_tor, bool fluid,
+                     std::int64_t flow, std::int64_t fct_ns) {
+    record({ts, EventKind::FlowComplete, DropReason::None, src_tor,
+            fluid ? 1 : 0, flow, fct_ns});
+  }
+  void fluid_recompute(SimTime ts, std::int64_t active,
+                       std::int64_t rate_mbps) {
+    record({ts, EventKind::FluidRecompute, DropReason::None, -1, -1, active,
+            rate_mbps});
+  }
 
   // Oldest-to-newest iteration without copying.
   template <typename Fn>

@@ -46,8 +46,12 @@ enum class EventKind : std::uint8_t {
   QuorumStepDown,  // node = replica, a = higher term observed
   QuorumFailover,  // a = new leader's term, b = max logged epoch
   TermFence,       // node, a = stale term rejected, b = node's term watermark
+  FlowStart,       // node = src ToR, port = fidelity (0 packet / 1 fluid),
+                   // a = flow id, b = flow bytes
+  FlowComplete,    // node = src ToR, port = fidelity, a = flow id, b = fct ns
+  FluidRecompute,  // a = active fluid flows, b = aggregate rate (Mbps)
 };
-inline constexpr int kNumEventKinds = 33;
+inline constexpr int kNumEventKinds = 36;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {

@@ -74,6 +74,14 @@ Track track_for(const TraceEvent& ev) {
     case EventKind::Quarantine:
     case EventKind::Readmit:
       return {ev.node, 0};
+    // Traffic-engine flow lifecycle: drawn on the source ToR's track (the
+    // fidelity marker rides in the port field, kept out of the tid so both
+    // fidelities interleave on one lane).
+    case EventKind::FlowStart:
+    case EventKind::FlowComplete:
+      return {ev.node, 0};
+    case EventKind::FluidRecompute:
+      return {kFabricPid, 0};
   }
   return {kFabricPid, 0};
 }

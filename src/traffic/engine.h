@@ -1,0 +1,148 @@
+// Streaming production-traffic engine. Synthesizes the flow stream of up
+// to millions of independent clients without materializing a flow list:
+// each source is ~64 bytes of state (its derived RNG, its next arrival,
+// its ON-window end), kept in a min-heap keyed by next arrival time, and
+// the engine arms exactly ONE simulator event — at the heap top — per
+// wave of arrivals. Memory is O(sources); the number of flows synthesized
+// is unbounded.
+//
+// Each flow is assigned a fidelity at emission time: sizes below the
+// spec's hybrid_threshold run on the packet-level transport (FlowTransfer
+// via TransferPool — circuit waits, queueing, drops, retransmission);
+// sizes at or above it run on the fluid flow-level solver
+// (transport::FluidSolver — analytic rate shares recomputed at slice
+// boundaries). FCT aggregates are kept per class (mice/elephant, split at
+// 100 KB like TraceReplay) with a running mean plus a bounded
+// deterministic reservoir for percentiles, so long runs stay sublinear in
+// flow count.
+//
+// Determinism: every source draws from derive_rng(spec.seed, source_idx),
+// a pure function of the spec — the synthesized stream is byte-identical
+// across runs, thread counts, and whatever else shares the simulator.
+// stream_fingerprint() folds every emitted flow into an order-independent
+// hash, which the tests (and the CI jobs-N gate) compare across runs.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/network.h"
+#include "traffic/spec.h"
+#include "transport/fluid.h"
+#include "workload/transfer_pool.h"
+
+namespace oo::traffic {
+
+// Bounded-memory FCT aggregate: exact running mean + a deterministic
+// reservoir (algorithm R on a dedicated derived RNG) for percentiles.
+class FctAggregate {
+ public:
+  FctAggregate() : rng_(0, 0) {}
+  void init(std::uint64_t seed, std::uint64_t idx, std::size_t cap) {
+    rng_ = derive_rng(seed, idx, "traffic.reservoir");
+    cap_ = cap;
+    reservoir_.reserve(cap);
+  }
+  void add(double x);
+  std::int64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+  // Percentile over the reservoir (exact until `cap` samples, then a
+  // uniform subsample).
+  double percentile(double p) const;
+
+ private:
+  RunningStats stats_;
+  std::vector<double> reservoir_;
+  std::size_t cap_ = 1 << 16;
+  Rng rng_;
+};
+
+class TrafficEngine {
+ public:
+  TrafficEngine(core::Network& net, TrafficSpec spec);
+
+  // Starts the network (idempotent) and arms every source. Call once.
+  void start();
+  // Stops emitting new flows; in-flight transfers drain on their own.
+  void stop();
+
+  // ---- emission-side telemetry ----
+  std::int64_t flows_emitted() const { return emitted_packet_ + emitted_fluid_; }
+  std::int64_t flows_packet() const { return emitted_packet_; }
+  std::int64_t flows_fluid() const { return emitted_fluid_; }
+  std::int64_t bytes_offered() const { return bytes_offered_; }
+  // Order-independent hash over (src, dst, bytes, t) of every emitted
+  // flow. Equal spec + equal horizon => equal fingerprint, on any machine
+  // and at any campaign --jobs.
+  std::uint64_t stream_fingerprint() const { return fingerprint_; }
+
+  // ---- completion-side telemetry (FCT in microseconds) ----
+  const FctAggregate& mice_fct_us() const { return mice_; }
+  const FctAggregate& elephant_fct_us() const { return elephant_; }
+  std::int64_t flows_completed() const {
+    return mice_.count() + elephant_.count();
+  }
+  const transport::FluidSolver& fluid() const { return fluid_; }
+
+  const TrafficSpec& spec() const { return spec_; }
+
+ private:
+  struct Source {
+    Rng rng;
+    SimTime next = SimTime::zero();      // next flow arrival
+    SimTime on_until = SimTime::zero();  // end of current ON window
+    HostId host = 0;
+  };
+  // (next arrival, source index) min-heap entry.
+  struct HeapItem {
+    std::int64_t at_ns;
+    std::uint32_t idx;
+    bool operator>(const HeapItem& o) const {
+      if (at_ns != o.at_ns) return at_ns > o.at_ns;
+      return idx > o.idx;
+    }
+  };
+
+  void arm();
+  void fire();
+  void emit(Source& s);
+  // Next arrival strictly after `from`, honoring the ON/OFF process and
+  // the piecewise-constant load curve (exact inhomogeneous-Poisson
+  // inversion: draw per constant-rate segment, restart at boundaries).
+  // Returns SimTime::max() when the curve pins the rate to zero forever.
+  SimTime next_arrival(Source& s, SimTime from);
+  HostId pick_dst(NodeId src_tor, Rng& rng);
+  std::int64_t sample_size(Rng& rng);
+  const std::vector<double>& dst_row(NodeId src_tor);
+
+  core::Network& net_;
+  TrafficSpec spec_;
+  transport::FluidSolver fluid_;
+  workload::TransferPool pool_;
+  std::vector<Source> sources_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  sim::EventHandle wake_;
+  bool running_ = false;
+
+  double lambda_on_;   // per-source arrivals/sec inside ON windows, scale 1
+  double duty_ = 1.0;  // ON fraction of the burst process
+  // Cumulative destination-rack weight rows, built lazily per source rack.
+  std::vector<std::vector<double>> dst_rows_;
+
+  std::int64_t emitted_packet_ = 0;
+  std::int64_t emitted_fluid_ = 0;
+  std::int64_t bytes_offered_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  FctAggregate mice_;
+  FctAggregate elephant_;
+  telemetry::Counter* flows_packet_ctr_;
+  telemetry::Counter* flows_fluid_ctr_;
+  telemetry::Counter* bytes_packet_ctr_;
+  telemetry::Counter* bytes_fluid_ctr_;
+};
+
+}  // namespace oo::traffic

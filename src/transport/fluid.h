@@ -1,0 +1,92 @@
+// Fluid (flow-level) transfers: the elephant half of the hybrid-fidelity
+// transport path. Instead of per-packet events, a fluid flow holds a byte
+// counter and a rate; the solver recomputes max-min-ish rate shares at
+// slice boundaries and on membership changes, and schedules each flow's
+// completion analytically. An elephant that would cost tens of thousands
+// of packet events costs O(slices it spans) events instead — the knob that
+// makes production-load campaigns finish in minutes (Mission Apollo-style
+// whole-fabric evaluation).
+//
+// Fidelity contract. The rate model reproduces what the packet path gives
+// a *direct-circuit* flow in steady state: while the (src ToR, dst ToR)
+// pair has a circuit up in the current slice, the pair's flows share
+//   lanes x optical_bw x usable-window fraction x payload efficiency,
+// clamped by their hosts' NIC rates; while the pair is dark the rate is
+// zero (circuit wait). Pairs with no optical slice anywhere in the cycle
+// fall back to an electrical-fabric share when one exists. Deliberately
+// not modeled: queueing interaction with packet-level mice, multi-hop
+// (VLB/UCMP/Opera-expander) routing, and per-packet loss/retransmission —
+// fluid fidelity is for elephants on direct or static circuits, and the
+// hybrid threshold keeps everything else packet-level. Validated against
+// pure packet-level on the Fig. 8 shapes (tests/test_traffic.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "core/network.h"
+
+namespace oo::transport {
+
+class FluidSolver {
+ public:
+  // fct = analytic completion (including the constant delivery + ack tail)
+  // minus launch time.
+  using DoneFn = std::function<void(SimTime fct, std::int64_t bytes)>;
+
+  explicit FluidSolver(core::Network& net, std::int64_t mss = 8900);
+
+  // Starts a fluid transfer of `bytes` payload from src to dst. Returns
+  // the flow id (allocated from the same per-network sequence as packet
+  // flows, so ids stay unique across fidelities).
+  FlowId launch(HostId src, HostId dst, std::int64_t bytes, DoneFn done);
+
+  std::int64_t active() const { return static_cast<std::int64_t>(flows_.size()); }
+  std::int64_t launched() const { return launched_->value(); }
+  std::int64_t completed() const { return completed_->value(); }
+  std::int64_t recomputes() const { return recomputes_->value(); }
+
+ private:
+  struct Flow {
+    FlowId id;
+    HostId src;
+    HostId dst;
+    NodeId src_tor;
+    NodeId dst_tor;
+    double remaining;   // payload bytes left
+    std::int64_t total;  // payload bytes at launch
+    double rate = 0.0;   // granted payload bytes/sec
+    bool elec = false;   // riding the electrical fabric (no optical pair)
+    SimTime start;
+    DoneFn done;
+  };
+
+  void wake();
+  void advance(SimTime now);
+  void recompute(SimTime now);
+  void schedule_wake(SimTime now);
+  // Payload capacity (bytes/sec, averaged over the slice) of the optical
+  // lanes connecting the pair in `slice`; 0 when dark.
+  double pair_capacity(NodeId src_tor, NodeId dst_tor, SliceId slice) const;
+  bool pair_has_optical(NodeId src_tor, NodeId dst_tor) const;
+
+  core::Network& net_;
+  std::int64_t mss_;
+  // Fraction of line rate a direct-circuit sender achieves inside its
+  // slice: (slice - guard margins - one final-packet serialization) /
+  // slice, times payload/(payload+header).
+  double usable_frac_;
+  double payload_frac_;
+  SimTime tail_latency_;  // last-byte delivery + ack return
+  std::vector<Flow> flows_;
+  SimTime last_advance_ = SimTime::zero();
+  sim::EventHandle wake_;
+  telemetry::Counter* launched_;
+  telemetry::Counter* completed_;
+  telemetry::Counter* recomputes_;
+};
+
+}  // namespace oo::transport

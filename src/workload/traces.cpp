@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace oo::workload {
 
@@ -40,6 +41,51 @@ const std::vector<CdfPoint>& trace_cdf(TraceKind k) {
   return rpc;
 }
 
+const std::vector<CdfPoint>& trace_cdf_by_name(const std::string& name) {
+  if (name == "rpc") return trace_cdf(TraceKind::Rpc);
+  if (name == "hadoop") return trace_cdf(TraceKind::Hadoop);
+  if (name == "kv" || name == "kvstore") return trace_cdf(TraceKind::KvStore);
+  throw std::invalid_argument("unknown flow-size CDF '" + name +
+                              "' (known: rpc, hadoop, kv)");
+}
+
+void validate_cdf(const std::vector<CdfPoint>& cdf) {
+  if (cdf.empty()) {
+    throw std::invalid_argument("flow-size CDF: no points");
+  }
+  double prev_b = 0.0, prev_c = 0.0;
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    const auto& pt = cdf[i];
+    if (!(pt.bytes > prev_b)) {
+      throw std::invalid_argument(
+          "flow-size CDF: bytes must be positive and strictly increasing "
+          "(point " + std::to_string(i) + ": " + std::to_string(pt.bytes) +
+          " after " + std::to_string(prev_b) + ")");
+    }
+    if (!(pt.cum > 0.0) || pt.cum > 1.0 || pt.cum < prev_c) {
+      throw std::invalid_argument(
+          "flow-size CDF: cumulative probability must be non-decreasing in "
+          "(0, 1] (point " + std::to_string(i) + ": " +
+          std::to_string(pt.cum) + " after " + std::to_string(prev_c) + ")");
+    }
+    prev_b = pt.bytes;
+    prev_c = pt.cum;
+  }
+  if (cdf.back().cum != 1.0) {
+    throw std::invalid_argument(
+        "flow-size CDF: last point must close the distribution at 1.0 (got " +
+        std::to_string(cdf.back().cum) + ")");
+  }
+}
+
+void validate_load(double load, const char* what) {
+  if (!(load > 0.0) || load > 1.0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": load must be in (0, 1], got " +
+                                std::to_string(load));
+  }
+}
+
 double sample_flow_size(const std::vector<CdfPoint>& cdf, Rng& rng) {
   const double u = rng.uniform01();
   double prev_b = 1.0, prev_c = 0.0;
@@ -71,6 +117,48 @@ double mean_flow_size(const std::vector<CdfPoint>& cdf) {
   return mean;
 }
 
+double cdf_fraction_above(const std::vector<CdfPoint>& cdf, double bytes) {
+  // CDF(x) within a log-linear segment [a, b] carrying mass (c_lo, c_hi]:
+  // c_lo + (c_hi - c_lo) * ln(x/a) / ln(b/a) — the inverse of
+  // sample_flow_size's interpolation.
+  double prev_b = 1.0, prev_c = 0.0;
+  for (const auto& pt : cdf) {
+    if (bytes <= pt.bytes) {
+      if (bytes <= prev_b || pt.bytes <= prev_b) return 1.0 - prev_c;
+      const double frac =
+          std::log(bytes / prev_b) / std::log(pt.bytes / prev_b);
+      return 1.0 - (prev_c + (pt.cum - prev_c) * frac);
+    }
+    prev_b = pt.bytes;
+    prev_c = pt.cum;
+  }
+  return 0.0;
+}
+
+double cdf_byte_fraction_above(const std::vector<CdfPoint>& cdf,
+                               double bytes) {
+  // Per log-linear segment [a, b] with probability mass p, the size is
+  // log-uniform, so E[S · 1{S > x}] over the segment is p * (b - x) /
+  // ln(b / a) for x in [a, b] (and the full p * (b - a) / ln(b / a) when
+  // the segment lies entirely above x).
+  double tail = 0.0, prev_b = 1.0, prev_c = 0.0;
+  for (const auto& pt : cdf) {
+    const double a = prev_b, b = pt.bytes, p = pt.cum - prev_c;
+    if (b > a && p > 0.0) {
+      const double x = std::min(std::max(bytes, a), b);
+      tail += p * (b - x) / std::log(b / a);
+    } else if (b <= bytes && b == a) {
+      // Degenerate point mass below the threshold contributes nothing.
+    } else if (b > bytes && b == a) {
+      tail += p * a;
+    }
+    prev_b = pt.bytes;
+    prev_c = pt.cum;
+  }
+  const double mean = mean_flow_size(cdf);
+  return mean > 0.0 ? tail / mean : 0.0;
+}
+
 TraceReplay::TraceReplay(core::Network& net, TraceKind kind, double load,
                          transport::FlowTransferConfig transfer)
     : net_(net),
@@ -78,7 +166,8 @@ TraceReplay::TraceReplay(core::Network& net, TraceKind kind, double load,
       kind_(kind),
       transfer_(transfer),
       rng_(net.fork_rng()) {
-  assert(load > 0.0 && load <= 1.0);
+  validate_load(load, "TraceReplay");
+  validate_cdf(trace_cdf(kind_));
   const double mean = mean_flow_size(trace_cdf(kind_));
   // Offered bits/s = load x aggregate host bandwidth; arrivals are Poisson
   // with rate lambda = offered / (8 x mean flow size).
@@ -137,7 +226,15 @@ OpenLoopReplay::OpenLoopReplay(core::Network& net, TraceKind kind,
       mss_(mss),
       flow_pace_bps_(flow_pace_bps),
       rng_(net.fork_rng()) {
-  assert(load > 0.0 && load <= 1.0);
+  validate_load(load, "OpenLoopReplay");
+  validate_cdf(trace_cdf(kind_));
+  if (mss <= 0) {
+    throw std::invalid_argument("OpenLoopReplay: mss must be positive");
+  }
+  if (flow_pace_bps < 0) {
+    throw std::invalid_argument(
+        "OpenLoopReplay: flow_pace_bps must be non-negative");
+  }
   const double mean = mean_flow_size(trace_cdf(kind_));
   const double offered_bps = load * net_.config().host_bw *
                              static_cast<double>(net_.num_hosts());
