@@ -140,7 +140,9 @@ class Net {
   // --- Traffic APIs ---
   // Attaches a streaming production-traffic engine (src/traffic/) to the
   // materialized network and starts it. The returned engine is owned by
-  // the Net; call again to replace it (the old engine stops first).
+  // the Net; call again to replace it — the old engine stops, cancels its
+  // queued events, and completions of transfers it leaves in flight are
+  // dropped (not recorded anywhere), so replacement is safe mid-run.
   // Throws std::runtime_error before deploy_topo materializes the network
   // and std::invalid_argument on a malformed spec.
   traffic::TrafficEngine& start_traffic(traffic::TrafficSpec spec);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/log.h"
+
 namespace oo::traffic {
 
 namespace {
@@ -76,10 +78,27 @@ TrafficEngine::TrafficEngine(core::Network& net, TrafficSpec spec)
   flows_fluid_ctr_ = &m.counter("traffic.flows", {{"fidelity", "fluid"}});
   bytes_packet_ctr_ = &m.counter("traffic.bytes", {{"fidelity", "packet"}});
   bytes_fluid_ctr_ = &m.counter("traffic.bytes", {{"fidelity", "fluid"}});
+  arrival_probes_ctr_ = &m.counter("traffic.arrival_probes");
+}
+
+TrafficEngine::~TrafficEngine() {
+  stop();
+  // Transfers launched through fluid_/pool_ may have completion events
+  // already queued past this engine's lifetime; their callbacks check this
+  // flag before touching the (now destroyed) aggregates.
+  *alive_ = false;
 }
 
 void TrafficEngine::start() {
   if (running_) return;
+  if (started_) {
+    // Restarting after stop() would re-seed sources_ while heap_ still
+    // holds the old entries, double-arming every source.
+    throw std::logic_error(
+        "TrafficEngine::start: engine already ran; construct a new engine "
+        "instead of restarting");
+  }
+  started_ = true;
   running_ = true;
   net_.start();
   const SimTime now = net_.sim().now();
@@ -130,7 +149,7 @@ void TrafficEngine::fire() {
     const std::uint32_t idx = heap_.top().idx;
     heap_.pop();
     Source& s = sources_[idx];
-    emit(s);
+    if (!s.probe) emit(s);  // a probe resumes the search without an arrival
     s.next = next_arrival(s, now);
     if (s.next != SimTime::max()) heap_.push({s.next.ns(), idx});
   }
@@ -157,7 +176,12 @@ void TrafficEngine::emit(Source& s) {
   if (auto* rec = net_.sim().recorder()) {
     rec->flow_start(now, src_tor, fluid, ordinal, bytes);
   }
-  auto record = [this, mouse, fluid, src_tor, ordinal](SimTime fct) {
+  // `alive` outlives the engine: completions from transfers still in
+  // flight when the engine is destroyed (owner swapped in a new one) must
+  // not touch the freed aggregates/recorder.
+  auto record = [this, alive = alive_, mouse, fluid, src_tor,
+                 ordinal](SimTime fct) {
+    if (!*alive) return;
     if (mouse) {
       mice_.add(fct.us());
     } else {
@@ -187,6 +211,7 @@ void TrafficEngine::emit(Source& s) {
 SimTime TrafficEngine::next_arrival(Source& s, SimTime from) {
   const bool burst = spec_.burst.enabled;
   SimTime t = from;
+  s.probe = false;
   // Exact inhomogeneous-Poisson inversion over piecewise-constant rate:
   // draw an exponential gap at the current rate; an arrival past the next
   // rate boundary is discarded and redrawn from the boundary (valid by
@@ -218,7 +243,20 @@ SimTime TrafficEngine::next_arrival(Source& s, SimTime from) {
     if (cand <= limit) return cand;
     t = limit;
   }
-  return SimTime::max();
+  // Budget exhausted (legitimate with many low-rate sources and short
+  // ON/OFF cycles). Retiring the source here would silently shed offered
+  // load; instead park a resume probe at the reached time so the search
+  // continues on the next wave, and make the event cost visible.
+  s.probe = true;
+  arrival_probes_ctr_->inc();
+  if (!probe_warned_) {
+    probe_warned_ = true;
+    OO_WARN("traffic",
+            "arrival search exceeded its per-wave budget; resuming via "
+            "probe events (see traffic.arrival_probes). Consider fewer "
+            "sources or longer burst cycles.");
+  }
+  return t > from ? t : from + SimTime::nanos(1);
 }
 
 const std::vector<double>& TrafficEngine::dst_row(NodeId src_tor) {
@@ -253,6 +291,17 @@ const std::vector<double>& TrafficEngine::dst_row(NodeId src_tor) {
     }
     cum += w;
     row[static_cast<std::size_t>(d)] = cum;
+  }
+  if (cum <= 0.0) {
+    // Degenerate skew — e.g. this source's own rack is the only hot rack
+    // at hot_weight 1.0 — leaves every weight zero, which upper_bound
+    // would misroute to the last rack. Fall back to uniform over the
+    // other racks.
+    cum = 0.0;
+    for (NodeId d = 0; d < tors; ++d) {
+      if (d != src_tor) cum += 1.0;
+      row[static_cast<std::size_t>(d)] = cum;
+    }
   }
   return row;
 }

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -64,8 +65,16 @@ class FctAggregate {
 class TrafficEngine {
  public:
   TrafficEngine(core::Network& net, TrafficSpec spec);
+  // Safe to destroy with flows in flight (e.g. when the owner swaps in a
+  // new engine): the wave timer is cancelled and completion callbacks from
+  // transfers that outlive the engine become no-ops via `alive_`.
+  ~TrafficEngine();
+  TrafficEngine(const TrafficEngine&) = delete;
+  TrafficEngine& operator=(const TrafficEngine&) = delete;
 
-  // Starts the network (idempotent) and arms every source. Call once.
+  // Starts the network (idempotent) and arms every source. Call once; a
+  // stopped engine cannot be restarted (throws std::logic_error — build a
+  // new engine instead, so sources re-arm from a clean heap).
   void start();
   // Stops emitting new flows; in-flight transfers drain on their own.
   void stop();
@@ -96,6 +105,10 @@ class TrafficEngine {
     SimTime next = SimTime::zero();      // next flow arrival
     SimTime on_until = SimTime::zero();  // end of current ON window
     HostId host = 0;
+    // True when `next` is a search resume point (the inversion loop ran out
+    // of budget), not an arrival: fire() re-enters next_arrival instead of
+    // emitting.
+    bool probe = false;
   };
   // (next arrival, source index) min-heap entry.
   struct HeapItem {
@@ -127,6 +140,11 @@ class TrafficEngine {
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
   sim::EventHandle wake_;
   bool running_ = false;
+  bool started_ = false;
+  // Shared liveness flag captured by completion callbacks handed to the
+  // fluid solver / transfer pool; flipped false in the destructor so
+  // callbacks from transfers that outlive the engine become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   double lambda_on_;   // per-source arrivals/sec inside ON windows, scale 1
   double duty_ = 1.0;  // ON fraction of the burst process
@@ -143,6 +161,8 @@ class TrafficEngine {
   telemetry::Counter* flows_fluid_ctr_;
   telemetry::Counter* bytes_packet_ctr_;
   telemetry::Counter* bytes_fluid_ctr_;
+  telemetry::Counter* arrival_probes_ctr_;
+  bool probe_warned_ = false;
 };
 
 }  // namespace oo::traffic

@@ -30,6 +30,12 @@ void validate(const TrafficSpec& spec) {
   if (spec.sources <= 0) {
     throw std::invalid_argument("traffic spec: sources must be positive");
   }
+  if (spec.sources >
+      static_cast<std::int64_t>(std::numeric_limits<std::uint32_t>::max())) {
+    // Engine heap entries index sources with 32 bits.
+    throw std::invalid_argument(
+        "traffic spec: sources must fit in 32 bits");
+  }
   workload::validate_load(spec.load, "traffic spec");
   workload::validate_cdf(spec.size.base);
   if (spec.size.hh_fraction < 0.0 || spec.size.hh_fraction > 1.0) {
@@ -72,6 +78,13 @@ void validate(const TrafficSpec& spec) {
   if (spec.hybrid_threshold <= 0) {
     throw std::invalid_argument(
         "traffic spec: hybrid_threshold must be positive");
+  }
+  if (spec.transfer.mss <= 0) {
+    throw std::invalid_argument("traffic spec: transfer.mss must be positive");
+  }
+  if (spec.transfer.window <= 0) {
+    throw std::invalid_argument(
+        "traffic spec: transfer.window must be positive");
   }
 }
 

@@ -50,6 +50,8 @@ FluidSolver::FluidSolver(core::Network& net, std::int64_t mss)
   recomputes_ = &m.counter("fluid.recomputes");
 }
 
+FluidSolver::~FluidSolver() { wake_.cancel(); }
+
 FlowId FluidSolver::launch(HostId src, HostId dst, std::int64_t bytes,
                            DoneFn done) {
   const SimTime now = net_.sim().now();

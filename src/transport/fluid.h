@@ -38,6 +38,12 @@ class FluidSolver {
   using DoneFn = std::function<void(SimTime fct, std::int64_t bytes)>;
 
   explicit FluidSolver(core::Network& net, std::int64_t mss = 8900);
+  // Cancels the pending wake so a queued "fluid.wake" event never fires on
+  // a destroyed solver (the solver may die mid-run when its owner is
+  // replaced). In-flight flows are dropped without completing.
+  ~FluidSolver();
+  FluidSolver(const FluidSolver&) = delete;
+  FluidSolver& operator=(const FluidSolver&) = delete;
 
   // Starts a fluid transfer of `bytes` payload from src to dst. Returns
   // the flow id (allocated from the same per-network sequence as packet

@@ -12,9 +12,12 @@ void TransferPool::launch(HostId src, HostId dst, std::int64_t bytes,
                                           std::int64_t retrans) {
         ++completed_;
         if (done) done(fct, retrans);
-        // Reclaim after the callback stack unwinds.
+        // Reclaim after the callback stack unwinds. The event may outlive
+        // the pool (owner torn down mid-run), hence the liveness guard.
         net_.sim().schedule_at(net_.sim().now(),
-                               [this, key]() { live_.erase(key); });
+                               [this, key, alive = alive_]() {
+                                 if (*alive) live_.erase(key);
+                               });
       });
   transfer->start();
   live_.emplace(key, std::move(transfer));

@@ -18,6 +18,12 @@ class TransferPool {
   using DoneFn = std::function<void(SimTime fct, std::int64_t retrans)>;
 
   explicit TransferPool(core::Network& net) : net_(net) {}
+  // The deferred reclaim events queued by completions capture this pool;
+  // flipping the flag makes any still-pending ones no-ops so the pool can
+  // die with reclaims (or transfers) outstanding.
+  ~TransferPool() { *alive_ = false; }
+  TransferPool(const TransferPool&) = delete;
+  TransferPool& operator=(const TransferPool&) = delete;
 
   void launch(HostId src, HostId dst, std::int64_t bytes,
               transport::FlowTransferConfig cfg, DoneFn done);
@@ -28,6 +34,7 @@ class TransferPool {
 
  private:
   core::Network& net_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unordered_map<std::int64_t, std::unique_ptr<transport::FlowTransfer>>
       live_;
   std::int64_t next_key_ = 0;

@@ -58,6 +58,28 @@ TEST(MiscApi, PerPortBufferTelemetry) {
   EXPECT_EQ(total, port0 + port1);
 }
 
+// Replacing the traffic engine mid-run (flows of both fidelities still in
+// flight) must not leave queued simulator events pointing at the old
+// engine — the asan CI job is the real assertion.
+TEST(MiscApi, StartTrafficReplacementMidRunIsSafe) {
+  auto net = api::Net::from_json(R"({"node_num": 4, "uplink": 1})");
+  ASSERT_TRUE(net.deploy_topo(topo::round_robin_1d(4, 1),
+                              topo::round_robin_period(4)));
+  ASSERT_TRUE(net.deploy_routing(routing::direct_to(net.schedule())));
+  const char* spec = R"({
+    "sources": 1000, "load": 0.2, "seed": 11,
+    "size": {"cdf": "kv", "hh_fraction": 0.2, "hh_cdf": "hadoop"},
+    "hybrid_threshold": 100000
+  })";
+  auto& first = net.start_traffic_json(spec);
+  net.run_for(5_ms);
+  ASSERT_GT(first.flows_emitted(), 0);
+  auto& second = net.start_traffic_json(spec);  // destroys `first` mid-run
+  net.run_for(10_ms);
+  EXPECT_GT(second.flows_emitted(), 0);
+  EXPECT_GT(second.flows_completed(), 0);
+}
+
 TEST(MiscApi, ElectricalBacklogQuery) {
   sim::Simulator s;
   net::ElectricalFabric fab(s, 2, 10e9, 1_us, 16 << 20);
