@@ -213,6 +213,29 @@ traffic::TrafficEngine& Net::start_traffic(traffic::TrafficSpec spec) {
   return *traffic_;
 }
 
+chaos::InvariantMonitor& Net::enable_invariants(SimTime poll) {
+  if (!net_) {
+    throw std::runtime_error(
+        "enable_invariants: deploy a topology first (the network "
+        "materializes on the first deploy_topo call)");
+  }
+  if (!monitor_) {
+    monitor_ = std::make_unique<chaos::InvariantMonitor>(*net_);
+    monitor_->attach_controller(ctl_.get());
+    if (quorum_) monitor_->attach_quorum(quorum_.get());
+    monitor_->start(poll);
+  }
+  return *monitor_;
+}
+
+std::string Net::check_invariants() {
+  if (!monitor_) {
+    throw std::runtime_error("check_invariants: call enable_invariants first");
+  }
+  monitor_->check_at_drain();
+  return monitor_->report();
+}
+
 std::int64_t Net::bw_usage(NodeId node) {
   assert(net_);
   std::int64_t total = 0;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/invariants.h"
 #include "common/json.h"
 #include "core/controller.h"
 #include "core/network.h"
@@ -151,6 +152,22 @@ class Net {
   }
   traffic::TrafficEngine* traffic() { return traffic_.get(); }
 
+  // --- Invariants (src/chaos) ---
+  // Attach the always-on invariant monitor to the materialized network,
+  // controller, and quorum (when one exists) and arm its periodic poll.
+  // Throws before deploy_topo materializes the network. Violations surface
+  // through the returned monitor, check_invariants(), and the
+  // "chaos.violations" metric cell.
+  chaos::InvariantMonitor& enable_invariants(
+      SimTime poll = SimTime::micros(100));
+  chaos::InvariantMonitor* invariants() { return monitor_.get(); }
+  // Run every polled check plus the packet-conservation ledger and return
+  // the violation report ("" = all invariants hold). The conservation
+  // equality is exact only at quiescence — call after traffic has stopped
+  // and drained, or expect in-flight packets to show as a transient leak.
+  // Throws if enable_invariants was never called.
+  std::string check_invariants();
+
   // --- Execution ---
   void run_for(SimTime t) { net_->sim().run_until(net_->sim().now() + t); }
   void start() { net_->start(); }
@@ -170,6 +187,7 @@ class Net {
   std::unique_ptr<core::ControllerQuorum> quorum_;  // replicas > 1 only
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<traffic::TrafficEngine> traffic_;
+  std::unique_ptr<chaos::InvariantMonitor> monitor_;
   std::vector<std::int64_t> bw_baseline_;
 };
 

@@ -1,0 +1,114 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace oo::chaos {
+
+namespace {
+
+using services::FaultEvent;
+
+// One ddmin pass: try removing chunks of `events` at the current
+// granularity; restart at granularity 2 whenever a removal sticks.
+std::vector<FaultEvent> ddmin(std::vector<FaultEvent> events,
+                              const RunPredicate& still_fails, int& probes,
+                              int max_probes) {
+  std::size_t chunks = 2;
+  while (events.size() >= 2 && probes < max_probes) {
+    chunks = std::min(chunks, events.size());
+    const std::size_t chunk_len =
+        (events.size() + chunks - 1) / chunks;  // ceil
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < events.size() && probes < max_probes;
+         start += chunk_len) {
+      // Candidate = events with [start, start+chunk_len) removed.
+      std::vector<FaultEvent> candidate;
+      candidate.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i < start || i >= start + chunk_len) candidate.push_back(events[i]);
+      }
+      if (candidate.empty()) continue;
+      ++probes;
+      if (still_fails(candidate)) {
+        events = std::move(candidate);
+        chunks = 2;  // restart coarse: the failure lives in fewer events
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= events.size()) break;  // 1-minimal at subset level
+      chunks = std::min(events.size(), chunks * 2);
+    }
+  }
+  return events;
+}
+
+// Field-level shrinking: for each surviving event, try the simplest value
+// of every scalar field (zero duration/period/extra, one cycle, no jitter,
+// time zero). Accepted only when the failure survives, so the final plan's
+// remaining complexity is all load-bearing.
+std::vector<FaultEvent> shrink_fields(std::vector<FaultEvent> events,
+                                      const RunPredicate& still_fails,
+                                      int& probes, int max_probes) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto try_field = [&](auto mutate) {
+      if (probes >= max_probes) return;
+      FaultEvent saved = events[i];
+      mutate(events[i]);
+      if (events[i] == saved) return;  // already minimal
+      ++probes;
+      if (!still_fails(events)) events[i] = saved;
+    };
+    try_field([](FaultEvent& e) { e.at = SimTime::zero(); });
+    try_field([](FaultEvent& e) { e.duration = SimTime::zero(); });
+    try_field([](FaultEvent& e) { e.period = SimTime::zero(); });
+    try_field([](FaultEvent& e) { e.cycles = 1; });
+    try_field([](FaultEvent& e) { e.jitter = 0.0; });
+    try_field([](FaultEvent& e) { e.extra = SimTime::zero(); });
+    try_field([](FaultEvent& e) { e.ber = 0.0; });
+    try_field([](FaultEvent& e) { e.ppm = 0.0; });
+  }
+  return events;
+}
+
+}  // namespace
+
+ShrinkResult shrink_events(const std::vector<FaultEvent>& failing,
+                           const RunPredicate& still_fails, int max_probes) {
+  ShrinkResult res;
+  res.minimal = failing;
+  if (failing.empty()) return res;
+
+  res.minimal = ddmin(res.minimal, still_fails, res.probes, max_probes);
+  res.minimal =
+      shrink_fields(std::move(res.minimal), still_fails, res.probes,
+                    max_probes);
+  // Final sanity re-run: the artifact we hand the user must reproduce.
+  ++res.probes;
+  res.reproduced = still_fails(res.minimal);
+  return res;
+}
+
+void write_reproducer(const std::string& path,
+                      const std::vector<FaultEvent>& events,
+                      std::uint64_t seed, const std::string& violation,
+                      const std::string& replay_cmd) {
+  json::Value plan = services::fault_events_to_json(events);
+  json::Object root = plan.as_object();  // {"events": [...]}
+  root["seed"] = static_cast<std::int64_t>(seed);
+  root["violation"] = violation;
+  root["replay"] = replay_cmd;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write reproducer: " + path);
+  }
+  out << json::Value(std::move(root)).dump(2) << "\n";
+}
+
+}  // namespace oo::chaos

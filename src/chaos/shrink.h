@@ -1,0 +1,47 @@
+// Automatic fault-plan shrinking: given a plan that makes a run violate an
+// invariant (or crash), find a minimal sub-plan that still does, by classic
+// delta debugging (ddmin) over event subsets followed by per-event field
+// shrinking. Every probe is a full deterministic re-run through the
+// caller-supplied predicate, so the minimized plan is guaranteed to still
+// reproduce — "minimal" means 1-minimal: removing any single remaining
+// event (or simplifying any remaining field) makes the failure disappear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "services/fault_plan.h"
+
+namespace oo::chaos {
+
+// Re-runs the scenario with `events` and reports whether the failure still
+// occurs. Must be deterministic: same events -> same verdict. The shrinker
+// treats the plan as an ordered list; predicates normally arm the events
+// as-is (FaultPlan::arm handles out-of-order times).
+using RunPredicate =
+    std::function<bool(const std::vector<services::FaultEvent>&)>;
+
+struct ShrinkResult {
+  std::vector<services::FaultEvent> minimal;
+  int probes = 0;        // predicate invocations spent
+  bool reproduced = false;  // the minimal plan still fails (sanity re-check)
+};
+
+// Delta-debug `failing` down to a 1-minimal sub-plan. `max_probes` caps the
+// re-run budget; when it runs out the best plan found so far is returned
+// (still failing, just maybe not 1-minimal).
+ShrinkResult shrink_events(const std::vector<services::FaultEvent>& failing,
+                           const RunPredicate& still_fails,
+                           int max_probes = 400);
+
+// Write a reproducer JSON next to the campaign artifacts:
+//   {"seed": ..., "violation": "...", "replay": "...", "events": [...]}
+// `replay` is the exact command line that re-runs the minimal plan.
+void write_reproducer(const std::string& path,
+                      const std::vector<services::FaultEvent>& events,
+                      std::uint64_t seed, const std::string& violation,
+                      const std::string& replay_cmd);
+
+}  // namespace oo::chaos

@@ -30,4 +30,18 @@ std::string format_log(const char* fmt, ...)
 #define OO_WARN(tag, ...) OO_LOG(::oo::LogLevel::Warn, tag, __VA_ARGS__)
 #define OO_ERROR(tag, ...) OO_LOG(::oo::LogLevel::Error, tag, __VA_ARGS__)
 
+// Warn exactly once per call site: the first hit logs, later hits are
+// silent (the condition usually repeats thousands of times per run — the
+// repeat count belongs in a metric, not the log). The flag is per-process,
+// matching the logger itself; campaign workers share one warning, which is
+// the desired dedup.
+#define OO_WARN_ONCE(tag, ...)                  \
+  do {                                          \
+    static bool oo_warned_once_ = false;        \
+    if (!oo_warned_once_) {                     \
+      oo_warned_once_ = true;                   \
+      OO_WARN(tag, __VA_ARGS__);                \
+    }                                           \
+  } while (0)
+
 }  // namespace oo

@@ -98,4 +98,10 @@ std::int64_t CalendarQueuePort::total_bytes() const {
   return b;
 }
 
+std::int64_t CalendarQueuePort::total_packets() const {
+  std::int64_t n = 0;
+  for (const auto& q : queues_) n += static_cast<std::int64_t>(q.size());
+  return n;
+}
+
 }  // namespace oo::core

@@ -54,6 +54,7 @@ class CalendarQueuePort {
   std::vector<net::Packet> drain_all();
 
   std::int64_t total_bytes() const;
+  std::int64_t total_packets() const;
   std::int64_t peak_total_bytes() const { return peak_total_; }
   std::int64_t rank_overflows() const { return rank_overflows_; }
   std::int64_t full_rejects() const { return full_rejects_; }

@@ -84,6 +84,10 @@ bool Host::would_block(NodeId dst) const {
 }
 
 void Host::stack_delay_send(Packet&& p) {
+  // Single injection funnel: every host-originated packet (fast path and
+  // segq drain alike) passes here exactly once, so this counter is the
+  // "injected" side of the packet-conservation invariant.
+  ++net_.packets_injected_;
   // The stack adds per-packet latency but never reorders a host's own
   // submissions (it is a FIFO pipeline): releases are monotonic.
   SimTime release = net_.sim().now() + stack_delay();
@@ -188,6 +192,7 @@ void Host::deliver(Packet&& p) {
     // just before its slice. The dedicated vma app isolates this from the
     // main data path; it still shares the physical host links.
     offload_stored_bytes_ += p.size_bytes;
+    ++offload_stored_packets_;
     const SimTime slice_begin =
         net_.schedule().slice_start(p.offload_abs_slice);
     const SimTime lead = net_.config().offload_lead +
@@ -198,6 +203,7 @@ void Host::deliver(Packet&& p) {
         return_at,
         [this, pkt = std::move(p)]() mutable {
           offload_stored_bytes_ -= pkt.size_bytes;
+          --offload_stored_packets_;
           up_link_->transmit(std::move(pkt));
         },
         "host.offload");
@@ -838,6 +844,15 @@ std::int64_t TorSwitch::buffer_bytes() const {
   return b;
 }
 
+std::int64_t TorSwitch::queued_packets() const {
+  std::int64_t n = 0;
+  for (const auto& u : uplinks_) {
+    n += static_cast<std::int64_t>(u.fifo.size());
+    if (u.cal) n += u.cal->total_packets();
+  }
+  return n;
+}
+
 std::int64_t TorSwitch::port_buffer_bytes(PortId port) const {
   const auto& u = uplinks_[static_cast<std::size_t>(port)];
   std::int64_t b = u.fifo.bytes();
@@ -1058,6 +1073,13 @@ Network::Totals Network::totals() const {
     t.no_route_drops += tor->drops_no_route();
   }
   return t;
+}
+
+std::int64_t Network::queued_packets() const {
+  std::int64_t n = 0;
+  for (const auto& tor : tors_) n += tor->queued_packets();
+  for (const auto& host : hosts_) n += host->offload_stored_packets();
+  return n;
 }
 
 std::vector<std::vector<std::int64_t>> Network::collect_tm() {

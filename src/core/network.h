@@ -166,6 +166,12 @@ class Host {
   // Fabric-side delivery (from the ToR downlink).
   void deliver(Packet&& p);
 
+  // Packets currently parked in offload storage awaiting their return slice
+  // (census side of the packet-conservation invariant).
+  std::int64_t offload_stored_packets() const {
+    return offload_stored_packets_;
+  }
+
  private:
   friend class Network;
   struct DstState {
@@ -200,6 +206,7 @@ class Host {
   Rng rng_;
   // Offload storage: packets parked for the ToR, keyed by return time.
   std::int64_t offload_stored_bytes_ = 0;
+  std::int64_t offload_stored_packets_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -228,6 +235,9 @@ class TorSwitch {
 
   // Telemetry (§4.2 monitoring APIs).
   std::int64_t buffer_bytes() const;
+  // Packets parked in this switch's uplink queues (calendar days + FIFO) —
+  // the census side of the packet-conservation invariant.
+  std::int64_t queued_packets() const;
   std::int64_t peak_buffer_bytes() const { return peak_buffer_; }
   std::int64_t port_buffer_bytes(PortId port) const;
   std::int64_t uplink_tx_bytes(PortId port) const {
@@ -423,6 +433,18 @@ class Network {
   };
   Totals totals() const;
 
+  // ---- packet-conservation taps (chaos::InvariantMonitor) ----
+  // Every packet that entered the fabric through a host stack. Fabricated
+  // control packets (push-back broadcasts) bypass this tap and are consumed
+  // before the delivery counters, so they cancel out of the conservation
+  // ledger entirely.
+  std::int64_t packets_injected() const { return packets_injected_; }
+  // Census of packets parked somewhere in the fabric right now: ToR uplink
+  // queues (calendar days + FIFOs) plus host offload storage. At quiescence
+  //   injected == delivered + drops + queued_packets()
+  // must hold exactly.
+  std::int64_t queued_packets() const;
+
   // Traffic collection (§5.2): per-(src ToR, dst ToR) bytes since last call.
   std::vector<std::vector<std::int64_t>> collect_tm();
 
@@ -455,6 +477,7 @@ class Network {
   std::vector<std::unique_ptr<TorSwitch>> tors_;
   std::vector<std::unique_ptr<Host>> hosts_;
   PacketId packet_seq_ = 0;
+  std::int64_t packets_injected_ = 0;
   FlowId flow_seq_ = 0;
   bool started_ = false;
   DeliveryProbe delivery_probe_;

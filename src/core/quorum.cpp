@@ -21,6 +21,7 @@ ControllerQuorum::ControllerQuorum(Network& net, Controller& ctl,
   step_downs_ = &m.counter("quorum.step_downs");
   log_repairs_ = &m.counter("quorum.log_repairs");
   msgs_cut_ = &m.counter("quorum.msgs_cut");
+  log_scrubs_ = &m.counter("quorum.log_scrubs");
   ctl_.southbound().set_num_replicas(cfg_.replicas);
   ctl_.attach_quorum(this);
 }
@@ -37,6 +38,10 @@ std::int64_t ControllerQuorum::elections() const { return elections_->value(); }
 std::int64_t ControllerQuorum::failovers() const { return failovers_->value(); }
 std::int64_t ControllerQuorum::step_downs() const {
   return step_downs_->value();
+}
+
+std::int64_t ControllerQuorum::log_scrubs() const {
+  return log_scrubs_->value();
 }
 std::int64_t ControllerQuorum::log_repairs() const {
   return log_repairs_->value();
@@ -120,6 +125,7 @@ void ControllerQuorum::reset_election_timer(int r) {
 void ControllerQuorum::begin_election(int r) {
   Replica& rep = reps_[static_cast<std::size_t>(r)];
   if (rep.dead || rep.role == Role::Leader) return;
+  scrub(r);  // never stand for election on a checksum-flagged record
   rep.role = Role::Candidate;
   ++rep.term;
   rep.voted_for = r;
@@ -152,6 +158,7 @@ void ControllerQuorum::on_request_vote(int r, int from, std::uint64_t term,
                                        std::int64_t len) {
   Replica& rep = reps_[static_cast<std::size_t>(r)];
   if (rep.dead) return;
+  scrub(r);  // compare up-to-dateness against the scrubbed log
   if (term < rep.term) {
     // The candidate is behind: tell it so it steps back to follower.
     const std::uint64_t my_term = rep.term;
@@ -267,6 +274,8 @@ void ControllerQuorum::note_higher_term(int r, std::uint64_t term) {
 void ControllerQuorum::heartbeat_tick(int r) {
   Replica& rep = reps_[static_cast<std::size_t>(r)];
   if (rep.dead || rep.role != Role::Leader) return;
+  scrub(r);  // a leader shipping a flagged record steps down instead
+  if (rep.role != Role::Leader) return;
   for (int p = 0; p < cfg_.replicas; ++p) {
     if (p != r) send_sync(r, p);
   }
@@ -316,6 +325,7 @@ void ControllerQuorum::on_sync(int r, int from, std::uint64_t term,
       std::equal(rep.log.begin(), rep.log.end(), log.begin());
   if (!prefix) log_repairs_->inc();  // divergent tail overwritten
   if (rep.log != log) rep.log = std::move(log);
+  rep.corrupt_idx = -1;  // full-log rewrite: the flagged record is gone
   rep.commit_index = std::min(
       commit_index, static_cast<std::int64_t>(rep.log.size()) - 1);
   const auto len = static_cast<std::int64_t>(rep.log.size());
@@ -370,6 +380,8 @@ void ControllerQuorum::replicate(RecKind kind, std::uint64_t epoch,
                                  std::function<void()> on_majority) {
   Replica& rep = reps_[static_cast<std::size_t>(acting_)];
   if (rep.dead || rep.role != Role::Leader) return;  // callback dropped
+  scrub(acting_);
+  if (rep.role != Role::Leader) return;  // scrub demoted it: dropped
   rep.log.push_back({rep.term, epoch, kind});
   const auto idx = static_cast<std::int64_t>(rep.log.size()) - 1;
   log_length_->set(static_cast<std::int64_t>(rep.log.size()));
@@ -452,8 +464,30 @@ void ControllerQuorum::diverge_log(int r) {
   } else {
     rep.log.back().epoch += 1u << 20;  // corrupt the tail record
   }
-  rep.commit_index =
-      std::min(rep.commit_index, static_cast<std::int64_t>(rep.log.size()) - 2);
+  const auto idx = static_cast<std::int64_t>(rep.log.size()) - 1;
+  rep.commit_index = std::min(rep.commit_index, idx - 1);
+  // Checksum model: the record is flagged, and scrub() truncates it before
+  // this replica can ship its log or stand for election on it. Until then
+  // a leader's full-log sync may overwrite it in place (the follower
+  // repair path the chaos drills count via log_repairs).
+  if (rep.corrupt_idx < 0) rep.corrupt_idx = idx;
+  else rep.corrupt_idx = std::min(rep.corrupt_idx, idx);
+}
+
+void ControllerQuorum::scrub(int r) {
+  Replica& rep = reps_[static_cast<std::size_t>(r)];
+  if (rep.corrupt_idx < 0) return;
+  rep.log.resize(static_cast<std::size_t>(rep.corrupt_idx));
+  rep.commit_index = std::min(
+      rep.commit_index, static_cast<std::int64_t>(rep.log.size()) - 1);
+  rep.corrupt_idx = -1;
+  log_scrubs_->inc();
+  if (rep.role == Role::Leader) {
+    // A leader that cannot trust its own store must not lead: step down at
+    // the same term and let a replica holding a clean copy win the next
+    // election (committed records live on the majority by definition).
+    step_down(r, rep.term);
+  }
 }
 
 void ControllerQuorum::force_log(int r, std::vector<LogRec> log) {

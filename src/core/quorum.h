@@ -104,6 +104,10 @@ class ControllerQuorum {
   bool replica_dead(int r) const { return reps_[r].dead; }
   bool replica_partitioned(int r) const { return reps_[r].cut; }
   const std::vector<LogRec>& log(int r) const { return reps_[r].log; }
+  // Highest log index replica r knows to be majority-held (-1 = none).
+  // Committed prefixes must agree across replicas — the safety property
+  // the invariant monitor checks every round.
+  std::int64_t commit_index(int r) const { return reps_[r].commit_index; }
   std::int64_t log_length() const {
     return static_cast<std::int64_t>(reps_[acting_].log.size());
   }
@@ -149,6 +153,9 @@ class ControllerQuorum {
   std::int64_t step_downs() const;
   std::int64_t log_repairs() const;
   std::int64_t msgs_cut() const;
+  // Corrupted-tail records detected (checksum model) and truncated before
+  // the replica could ship or stand for election on them.
+  std::int64_t log_scrubs() const;
 
  private:
   struct Replica {
@@ -160,6 +167,11 @@ class ControllerQuorum {
     std::int64_t commit_index = -1;  // highest majority-held log index
     bool dead = false;
     bool cut = false;  // partitioned off the replica mesh
+    // First checksum-flagged log index (diverge_log fault), -1 = clean.
+    // Scrubbed (truncated) before the replica ships its log or stands for
+    // election, so silent corruption never propagates into a committed
+    // prefix; a full-log sync from the leader also clears it.
+    std::int64_t corrupt_idx = -1;
     sim::EventHandle election_timer;
     sim::EventHandle heartbeat_timer;
     std::unique_ptr<Rng> rng;  // election-timeout randomization
@@ -178,6 +190,10 @@ class ControllerQuorum {
                 const char* tag);
   void reset_election_timer(int r);
   void begin_election(int r);
+  // Checksum scan before the log leaves the replica: truncate at
+  // corrupt_idx (a leader caught shipping a flagged record steps down so a
+  // clean replica can lead; committed records survive on the majority).
+  void scrub(int r);
   void become_leader(int r);
   void step_down(int r, std::uint64_t higher_term);
   void heartbeat_tick(int r);
@@ -207,6 +223,7 @@ class ControllerQuorum {
   telemetry::Counter* step_downs_;
   telemetry::Counter* log_repairs_;
   telemetry::Counter* msgs_cut_;
+  telemetry::Counter* log_scrubs_;
 };
 
 }  // namespace oo::core

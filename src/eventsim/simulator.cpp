@@ -39,7 +39,16 @@ void Simulator::maybe_compact() {
 }
 
 EventHandle Simulator::schedule_at(SimTime when, EventFn fn, const char* tag) {
-  assert(when >= now_ && "cannot schedule into the past");
+  if (when < now_) {
+    // Scheduling into the past would make virtual time run backwards when
+    // the event pops (the run loop sets now_ = ev.when). Clamp to now so
+    // behaviour stays defined, count it, and tell the invariant monitor —
+    // a legal program never takes this branch, so the clamp cannot change
+    // any correct run.
+    ++past_schedules_;
+    if (invariants_ != nullptr) invariants_->on_past_schedule(when, now_, tag);
+    when = now_;
+  }
   auto flag = std::make_shared<bool>(false);
   push_event(Event{when, next_seq_++, std::move(fn), flag, tag});
   maybe_compact();

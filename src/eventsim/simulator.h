@@ -47,6 +47,63 @@ class EventHandle {
   std::shared_ptr<std::int64_t> pending_;
 };
 
+// RAII wrapper over EventHandle: cancels on destruction and on
+// reassignment. The root cause of a recurring lifetime-bug class — timers
+// whose owner dies while the event is queued — is an owner that forgets the
+// destructor cancel; holding the timer as a ScopedEventHandle makes the
+// cancel structural. Assigning a fresh handle (the re-arm idiom
+// `wake_ = sim.schedule_at(...)`) cancels the previous event first, so
+// owners also can't double-arm.
+class ScopedEventHandle {
+ public:
+  ScopedEventHandle() = default;
+  ScopedEventHandle(EventHandle h) : h_(std::move(h)) {}
+  ScopedEventHandle(const ScopedEventHandle&) = delete;
+  ScopedEventHandle& operator=(const ScopedEventHandle&) = delete;
+  ScopedEventHandle(ScopedEventHandle&& o) noexcept : h_(std::move(o.h_)) {
+    o.h_ = EventHandle{};
+  }
+  ScopedEventHandle& operator=(ScopedEventHandle&& o) noexcept {
+    if (this != &o) {
+      h_.cancel();
+      h_ = std::move(o.h_);
+      o.h_ = EventHandle{};
+    }
+    return *this;
+  }
+  ScopedEventHandle& operator=(EventHandle h) {
+    h_.cancel();
+    h_ = std::move(h);
+    return *this;
+  }
+  ~ScopedEventHandle() { h_.cancel(); }
+
+  bool valid() const { return h_.valid(); }
+  void cancel() { h_.cancel(); }
+  // Detach: the caller takes over cancellation responsibility.
+  EventHandle release() {
+    EventHandle out = std::move(h_);
+    h_ = EventHandle{};
+    return out;
+  }
+
+ private:
+  EventHandle h_;
+};
+
+// Invariant tap: a sink the chaos monitor (src/chaos/invariants.h) attaches
+// to be told about scheduling-contract violations the simulator can detect
+// itself. Detached (the default) the check is a null-pointer test, the same
+// zero-overhead bar as the flight recorder.
+class InvariantSink {
+ public:
+  virtual ~InvariantSink() = default;
+  // `when` < now() was requested for an event; the simulator clamps it to
+  // now() so virtual time can never run backwards.
+  virtual void on_past_schedule(SimTime when, SimTime now,
+                                const char* tag) = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -93,6 +150,13 @@ class Simulator {
   void set_profiler(telemetry::EventProfiler* prof) { profiler_ = prof; }
   telemetry::EventProfiler* profiler() const { return profiler_; }
 
+  // Attach/detach the invariant sink (non-owning; nullptr detaches).
+  void set_invariant_sink(InvariantSink* sink) { invariants_ = sink; }
+  InvariantSink* invariant_sink() const { return invariants_; }
+  // Times schedule_at was asked for a time in the past (always counted;
+  // the sink only adds reporting).
+  std::int64_t past_schedules() const { return past_schedules_; }
+
  private:
   struct Event {
     SimTime when;
@@ -126,10 +190,12 @@ class Simulator {
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   telemetry::EventProfiler* profiler_ = nullptr;
+  InvariantSink* invariants_ = nullptr;
   SimTime now_ = SimTime::zero();
   std::int64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
   std::int64_t compactions_ = 0;
+  std::int64_t past_schedules_ = 0;
   bool stopped_ = false;
 };
 

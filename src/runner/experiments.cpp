@@ -6,7 +6,11 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "chaos/fuzz.h"
+#include "chaos/invariants.h"
+#include "chaos/shrink.h"
 #include "core/quorum.h"
+#include "transport/fluid.h"
 #include "routing/to_routing.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
@@ -379,6 +383,182 @@ json::Object run_quorum_chaos(RunContext& ctx) {
   return o;
 }
 
+// --- chaos_fuzz: seeded random fault plans under the invariant monitor.
+// Each run fuzzes a FaultPlan from its seed, drives it against a live
+// fabric (recovery + watchdog + optional quorum + background traffic +
+// a couple of fluid elephants), and asks the monitor whether every
+// invariant survived. On violation the plan is delta-debugged down to a
+// minimal reproducer, embedded in the result row. "plant_bug" wires a
+// deliberately broken invariant (trips when a clock_step and a port_fail
+// are armed in the same plan) so the fuzz -> catch -> shrink -> replay
+// loop itself stays tested. ----------------------------------------------
+
+// One full deterministic scenario run; the shrinker re-enters this for
+// every probe, so everything inside must derive from (ctx, events) alone.
+std::int64_t chaos_run_once(RunContext& ctx,
+                            const std::vector<services::FaultEvent>& events,
+                            bool plant_bug, std::string* report,
+                            json::Object* counters) {
+  arch::Params p = arch_params_from(ctx);
+  auto inst =
+      make_arch(ctx.param_string("arch", "rotornet-direct-hybrid"), p);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  chaos::InvariantMonitor monitor(*net);
+  monitor.attach_controller(ctl);
+
+  const int replicas =
+      static_cast<int>(ctx.param_int("controller_replicas", 1));
+  std::unique_ptr<core::ControllerQuorum> quorum;
+  if (replicas > 1) {
+    core::QuorumConfig qc;
+    qc.replicas = replicas;
+    quorum = std::make_unique<core::ControllerQuorum>(*net, *ctl, qc);
+    quorum->start();
+    monitor.attach_quorum(quorum.get());
+  }
+
+  services::FailureRecovery recovery(
+      *net, *ctl,
+      [](const optics::Schedule& s) { return routing::direct_to(s); },
+      /*scrub=*/1_ms);
+  recovery.start();
+
+  services::SyncWatchdog watchdog(*net);
+  monitor.attach_watchdog(&watchdog);
+  watchdog.start();
+
+  transport::FluidSolver fluid(*net);
+  monitor.attach_fluid(&fluid);
+
+  monitor.start(SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("poll_us", 50.0) * 1e3)));
+
+  if (plant_bug) {
+    bool has_step = false, has_fail = false;
+    for (const auto& e : events) {
+      if (e.kind == services::FaultKind::ClockStep) has_step = true;
+      if (e.kind == services::FaultKind::PortFail) has_fail = true;
+    }
+    if (has_step && has_fail) {
+      monitor.add_check("planted_bug", [] {
+        return std::string(
+            "planted: clock_step and port_fail armed in the same plan");
+      });
+    }
+  }
+
+  services::FaultPlan plan(*net, ctx.seed_for("chaos.faults"), ctl);
+  for (const auto& e : events) plan.add(e);
+  plan.arm();
+
+  // Background packet traffic, cut off early enough that every in-flight
+  // packet lands (or parks somewhere the census sees) before the drain
+  // check — the conservation ledger is only exact at quiescence.
+  const SimTime duration = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("duration_us", 3000.0) * 1e3));
+  const SimTime cutoff = SimTime::nanos(duration.ns() * 2 / 3);
+  for (SimTime t = 20_us; t < cutoff; t = t + 100_us) {
+    net->sim().schedule_at(t, [net]() {
+      for (HostId src : {HostId{0}, HostId{1}, HostId{2}}) {
+        core::Packet pkt;
+        pkt.type = core::PacketType::Data;
+        pkt.flow = 700 + src;
+        pkt.dst_host = (src + 5) % net->num_hosts();
+        pkt.size_bytes = 1500;
+        net->host(src % net->num_hosts()).send(std::move(pkt));
+      }
+    });
+  }
+  // Two fluid elephants keep the solver's conservation check non-trivial.
+  net->sim().schedule_at(50_us, [net, &fluid]() {
+    fluid.launch(0, net->num_hosts() / 2, 2'000'000, nullptr);
+    fluid.launch(1, net->num_hosts() - 1, 1'000'000, nullptr);
+  });
+
+  inst.run_for(duration);
+  monitor.check_at_drain();
+
+  if (report != nullptr) *report = monitor.report();
+  if (counters != nullptr) {
+    const auto t = net->totals();
+    (*counters)["delivered"] = t.delivered;
+    (*counters)["fabric_drops"] = t.fabric_drops;
+    (*counters)["congestion_drops"] = t.congestion_drops;
+    (*counters)["electrical_drops"] = t.electrical_drops;
+    (*counters)["packets_injected"] = net->packets_injected();
+    (*counters)["queued_at_drain"] = net->queued_packets();
+    (*counters)["faults_injected"] = plan.injected_total();
+    (*counters)["fault_summary"] = plan.summary();
+    (*counters)["recoveries"] = recovery.recoveries();
+    (*counters)["quarantines"] = watchdog.quarantines();
+    (*counters)["elections"] = quorum ? quorum->elections() : 0;
+  }
+  ctx.sim_events = net->sim().events_executed();
+  return monitor.total_violations();
+}
+
+json::Object run_chaos_fuzz(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+
+  const bool plant_bug = ctx.param_bool("plant_bug", false);
+  const bool minimize = ctx.param_bool("minimize", true);
+
+  // Replay mode: an explicit plan (the reproducer artifact) instead of a
+  // fuzzed one. Everything else — fabric, seeds, traffic — is identical,
+  // which is what makes the reproducer deterministic.
+  std::vector<services::FaultEvent> events;
+  const std::string plan_json = ctx.param_string("plan_json", "");
+  std::uint64_t fuzz_seed = 0;
+  if (!plan_json.empty()) {
+    events = services::parse_fault_events(json::parse(plan_json));
+  } else {
+    chaos::FuzzSpec fs;
+    fs.events = static_cast<int>(ctx.param_int("events", 12));
+    fs.intensity = ctx.param_double("intensity", 1.0);
+    fs.num_tors = static_cast<int>(ctx.param_int("tors", 4));
+    fs.ports_per_tor = static_cast<int>(ctx.param_int("uplinks", 1));
+    fs.replicas = static_cast<int>(ctx.param_int("controller_replicas", 1));
+    // Faults land in the first half of the run: the tail is the recovery
+    // and drain window.
+    fs.horizon = SimTime::nanos(static_cast<std::int64_t>(
+        ctx.param_double("duration_us", 3000.0) * 1e3) / 2);
+    const std::int64_t seed_param = ctx.param_int("fuzz_seed", -1);
+    fuzz_seed = seed_param >= 0
+                    ? static_cast<std::uint64_t>(seed_param)
+                    : ctx.seed_for("chaos.fuzz");
+    events = chaos::fuzz_plan(fuzz_seed, fs);
+  }
+
+  std::string report;
+  json::Object counters;
+  const std::int64_t violations =
+      chaos_run_once(ctx, events, plant_bug, &report, &counters);
+
+  json::Object o = std::move(counters);
+  o["fuzz_seed"] = static_cast<std::int64_t>(fuzz_seed);
+  o["plan_events"] = static_cast<std::int64_t>(events.size());
+  o["violations"] = violations;
+  o["report"] = report;
+
+  if (violations > 0 && minimize) {
+    const int max_probes =
+        static_cast<int>(ctx.param_int("shrink_probes", 200));
+    auto res = chaos::shrink_events(
+        events,
+        [&ctx, plant_bug](const std::vector<services::FaultEvent>& evs) {
+          return chaos_run_once(ctx, evs, plant_bug, nullptr, nullptr) > 0;
+        },
+        max_probes);
+    o["minimal_events"] = static_cast<std::int64_t>(res.minimal.size());
+    o["shrink_probes"] = res.probes;
+    o["shrink_reproduced"] = res.reproduced;
+    o["reproducer"] = services::fault_events_to_json(res.minimal);
+  }
+  return o;
+}
+
 json::Object fct_aggregate_row(const traffic::FctAggregate& a) {
   json::Object o;
   o["n"] = a.count();
@@ -466,6 +646,7 @@ bool register_builtins() {
   register_experiment("sync_resilience", run_sync_resilience);
   register_experiment("control_chaos", run_control_chaos);
   register_experiment("quorum_chaos", run_quorum_chaos);
+  register_experiment("chaos_fuzz", run_chaos_fuzz);
   register_experiment("load_sweep", run_load_sweep);
   register_experiment("selftest", run_selftest);
   return true;

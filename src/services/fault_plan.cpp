@@ -64,7 +64,13 @@ FaultKind fault_kind_from_name(const std::string& name) {
     const auto kind = static_cast<FaultKind>(k);
     if (name == fault_kind_name(kind)) return kind;
   }
-  throw std::runtime_error("unknown fault kind: " + name);
+  std::string valid;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    if (k > 0) valid += ", ";
+    valid += fault_kind_name(static_cast<FaultKind>(k));
+  }
+  throw std::runtime_error("unknown fault kind: \"" + name +
+                           "\" (valid kinds: " + valid + ")");
 }
 
 // Every enumerator must have a name and a round-trip; a new kind that grows
@@ -201,12 +207,36 @@ FaultPlan& FaultPlan::load_json(const std::string& text) {
   return load_events(json::parse(text));
 }
 
-FaultPlan& FaultPlan::load_events(const json::Value& plan) {
+std::vector<FaultEvent> parse_fault_events(const json::Value& plan) {
+  // The full key vocabulary across every fault kind. Aliases: "replica" is
+  // the quorum-fault spelling of "node", "down_us" the flap spelling of
+  // "duration_us", "prob" the sb-message spelling of "ber", "delay_us" the
+  // control-delay spelling of "extra_us".
+  static constexpr const char* kKeys[] = {
+      "kind",   "at_us",  "node",     "replica", "port",
+      "duration_us", "down_us", "period_us", "cycles", "jitter",
+      "ber",    "prob",   "ppm",      "extra_us", "delay_us"};
+  std::vector<FaultEvent> out;
   for (const auto& e : plan.at("events").as_array()) {
+    for (const auto& [key, value] : e.as_object()) {
+      const bool known =
+          std::any_of(std::begin(kKeys), std::end(kKeys),
+                      [&key](const char* k) { return key == k; });
+      if (!known) {
+        std::string valid;
+        for (const char* k : kKeys) {
+          if (!valid.empty()) valid += ", ";
+          valid += k;
+        }
+        throw std::runtime_error("fault event " +
+                                 std::to_string(out.size()) +
+                                 ": unknown key \"" + key +
+                                 "\" (valid keys: " + valid + ")");
+      }
+    }
     FaultEvent ev;
     ev.kind = fault_kind_from_name(e.at("kind").as_string());
     ev.at = us_to_time(e.get_double("at_us", 0.0));
-    // "replica" is the quorum-fault spelling of the node field.
     ev.node = static_cast<NodeId>(
         e.get_int("node", e.get_int("replica", kInvalidNode)));
     ev.port = static_cast<PortId>(e.get_int("port", kInvalidPort));
@@ -215,13 +245,46 @@ FaultPlan& FaultPlan::load_events(const json::Value& plan) {
     ev.period = us_to_time(e.get_double("period_us", 0.0));
     ev.cycles = static_cast<int>(e.get_int("cycles", 1));
     ev.jitter = e.get_double("jitter", 0.0);
-    // "prob" is the sb_msg_loss/sb_msg_dup spelling of the same field.
     ev.ber = e.get_double("ber", e.get_double("prob", 0.0));
     ev.ppm = e.get_double("ppm", 0.0);
     ev.extra = us_to_time(e.get_double(
         "extra_us", e.get_double("delay_us", 0.0)));
-    add(ev);
+    out.push_back(ev);
   }
+  return out;
+}
+
+json::Value fault_events_to_json(const std::vector<FaultEvent>& events) {
+  json::Array arr;
+  for (const FaultEvent& ev : events) {
+    json::Object o;
+    o["kind"] = std::string(fault_kind_name(ev.kind));
+    o["at_us"] = static_cast<double>(ev.at.ns()) / 1e3;
+    // Defaulted fields are omitted: parse_fault_events fills the same
+    // defaults back in, so the round-trip stays exact and plans stay small.
+    if (ev.node != kInvalidNode)
+      o["node"] = static_cast<std::int64_t>(ev.node);
+    if (ev.port != kInvalidPort)
+      o["port"] = static_cast<std::int64_t>(ev.port);
+    if (ev.duration != SimTime::zero())
+      o["duration_us"] = static_cast<double>(ev.duration.ns()) / 1e3;
+    if (ev.period != SimTime::zero())
+      o["period_us"] = static_cast<double>(ev.period.ns()) / 1e3;
+    if (ev.cycles != 1) o["cycles"] = static_cast<std::int64_t>(ev.cycles);
+    if (ev.jitter != 0) o["jitter"] = ev.jitter;
+    if (ev.ber != 0) o["ber"] = ev.ber;
+    if (ev.ppm != 0) o["ppm"] = ev.ppm;
+    if (ev.extra != SimTime::zero())
+      o["extra_us"] = static_cast<double>(ev.extra.ns()) / 1e3;
+    arr.emplace_back(std::move(o));
+  }
+  json::Object plan;
+  plan["events"] = std::move(arr);
+  return json::Value(std::move(plan));
+}
+
+FaultPlan& FaultPlan::load_events(const json::Value& plan) {
+  for (FaultEvent& ev : parse_fault_events(plan)) add(ev);
   return *this;
 }
 

@@ -61,7 +61,22 @@ struct FaultEvent {
   double ppm = 0;     // clock drift rate for ClockDriftRamp events
   // Stall extension / injected deploy delay / clock step size.
   SimTime extra = SimTime::zero();
+
+  bool operator==(const FaultEvent&) const = default;
 };
+
+// Parse the {"events": [...]} body shared by FaultPlan::load_events and the
+// chaos tooling (src/chaos). Every event object must carry a known "kind";
+// any key outside the documented vocabulary is an error that names the
+// offending key and lists the valid ones — a typoed "durtion_us" must fail
+// loudly, not silently leave the fault at its default. Throws
+// json::ParseError / std::runtime_error on bad input.
+std::vector<FaultEvent> parse_fault_events(const json::Value& plan);
+// Inverse: serialize events back to the same {"events": [...]} shape.
+// parse_fault_events(fault_events_to_json(evs)) == evs whenever every time
+// field is a whole microsecond (the chaos fuzzer quantizes accordingly;
+// JSON times are microsecond doubles).
+json::Value fault_events_to_json(const std::vector<FaultEvent>& events);
 
 class FaultPlan {
  public:

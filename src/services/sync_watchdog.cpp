@@ -135,11 +135,13 @@ void SyncWatchdog::escalate(NodeId n) {
     if (auto* tr = net_.sim().recorder()) {
       tr->guard_widen(now, n, net_.node_guard_extra(n).ns(), st.widenings);
     }
+    note_transition(n, st.state, TorState::Widened);
     st.state = TorState::Widened;
   } else if (st.sender_evidence && net_.electrical() != nullptr) {
     net_.set_node_quarantined(n, true);
     quarantines_->inc();
     if (auto* tr = net_.sim().recorder()) tr->quarantine(now, n, symptoms);
+    note_transition(n, st.state, TorState::Quarantined);
     st.state = TorState::Quarantined;
     st.quarantined_at = now;
     if (quarantine_hook_) quarantine_hook_(n, true);
@@ -251,6 +253,7 @@ void SyncWatchdog::readmit(NodeId n) {
     if (quarantine_hook_) quarantine_hook_(n, false);
   }
   net_.set_node_guard_extra(n, SimTime::zero());
+  note_transition(n, st.state, TorState::Healthy);
   st.state = TorState::Healthy;
   st.widenings = 0;
   st.detected = false;

@@ -85,6 +85,15 @@ class SyncWatchdog {
     quarantine_hook_ = std::move(fn);
   }
 
+  // Invoked on every ladder transition (from != to) — the invariant
+  // monitor's tap for checking ladder legality (a node may only move
+  // Healthy->Widened, Widened->Quarantined, or {Widened,Quarantined}->
+  // Healthy via re-admission). Null (the default) costs one branch.
+  using TransitionFn = std::function<void(NodeId, TorState from, TorState to)>;
+  void set_transition_hook(TransitionFn fn) {
+    transition_hook_ = std::move(fn);
+  }
+
   // Wire the watchdog to the control plane so staleness probes route to the
   // current quorum leader: while the controller is crashed or no leader is
   // elected, probes are suppressed (and counted) instead of being burned on
@@ -144,6 +153,9 @@ class SyncWatchdog {
   void check_round();
   void probe(NodeId n);
   void readmit(NodeId n);
+  void note_transition(NodeId n, TorState from, TorState to) {
+    if (transition_hook_ && from != to) transition_hook_(n, from, to);
+  }
 
   core::Network& net_;
   Config cfg_;
@@ -155,6 +167,7 @@ class SyncWatchdog {
   std::shared_ptr<bool> alive_;  // gates the fabric/network subscriptions
   sim::EventHandle check_handle_;
   QuarantineFn quarantine_hook_;
+  TransitionFn transition_hook_;
   bool started_ = false;
   telemetry::Counter* desyncs_;
   telemetry::Counter* widenings_;

@@ -76,6 +76,8 @@ const char* event_kind_name(EventKind k) {
       return "flow_complete";
     case EventKind::FluidRecompute:
       return "fluid_recompute";
+    case EventKind::InvariantViolation:
+      return "invariant_violation";
   }
   return "?";
 }

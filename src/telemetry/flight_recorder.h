@@ -196,6 +196,13 @@ class FlightRecorder {
     record({ts, EventKind::FlowComplete, DropReason::None, src_tor,
             fluid ? 1 : 0, flow, fct_ns});
   }
+  // Chaos invariant monitor tripped (src/chaos/invariants.h); `ordinal`
+  // indexes the monitor's violation list holding the full description.
+  void invariant_violation(SimTime ts, NodeId node, std::int64_t ordinal) {
+    record({ts, EventKind::InvariantViolation, DropReason::None,
+            node, -1, ordinal, 0});
+  }
+
   void fluid_recompute(SimTime ts, std::int64_t active,
                        std::int64_t rate_mbps) {
     record({ts, EventKind::FluidRecompute, DropReason::None, -1, -1, active,

@@ -50,8 +50,9 @@ enum class EventKind : std::uint8_t {
                    // a = flow id, b = flow bytes
   FlowComplete,    // node = src ToR, port = fidelity, a = flow id, b = fct ns
   FluidRecompute,  // a = active fluid flows, b = aggregate rate (Mbps)
+  InvariantViolation,  // chaos monitor tripped; a = violation ordinal
 };
-inline constexpr int kNumEventKinds = 36;
+inline constexpr int kNumEventKinds = 37;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {

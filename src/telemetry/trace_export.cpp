@@ -82,6 +82,10 @@ Track track_for(const TraceEvent& ev) {
       return {ev.node, 0};
     case EventKind::FluidRecompute:
       return {kFabricPid, 0};
+    case EventKind::InvariantViolation:
+      // Violations draw on the fault track: they are almost always the
+      // direct consequence of a nearby injection.
+      return {kFaultPid, 0};
   }
   return {kFabricPid, 0};
 }

@@ -136,7 +136,7 @@ void TrafficEngine::stop() {
 
 void TrafficEngine::arm() {
   if (!running_ || heap_.empty()) return;
-  wake_.cancel();
+  // Scoped-handle assignment cancels the previous wave timer.
   wake_ = net_.sim().schedule_at(SimTime::nanos(heap_.top().at_ns),
                                  [this] { fire(); }, "traffic.wave");
 }
@@ -249,13 +249,10 @@ SimTime TrafficEngine::next_arrival(Source& s, SimTime from) {
   // continues on the next wave, and make the event cost visible.
   s.probe = true;
   arrival_probes_ctr_->inc();
-  if (!probe_warned_) {
-    probe_warned_ = true;
-    OO_WARN("traffic",
-            "arrival search exceeded its per-wave budget; resuming via "
-            "probe events (see traffic.arrival_probes). Consider fewer "
-            "sources or longer burst cycles.");
-  }
+  OO_WARN_ONCE("traffic",
+               "arrival search exceeded its per-wave budget; resuming via "
+               "probe events (see traffic.arrival_probes). Consider fewer "
+               "sources or longer burst cycles.");
   return t > from ? t : from + SimTime::nanos(1);
 }
 

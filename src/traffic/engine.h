@@ -138,7 +138,7 @@ class TrafficEngine {
   workload::TransferPool pool_;
   std::vector<Source> sources_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
-  sim::EventHandle wake_;
+  sim::ScopedEventHandle wake_;  // wave timer, cancelled on destruction
   bool running_ = false;
   bool started_ = false;
   // Shared liveness flag captured by completion callbacks handed to the
@@ -162,7 +162,6 @@ class TrafficEngine {
   telemetry::Counter* bytes_packet_ctr_;
   telemetry::Counter* bytes_fluid_ctr_;
   telemetry::Counter* arrival_probes_ctr_;
-  bool probe_warned_ = false;
 };
 
 }  // namespace oo::traffic

@@ -50,7 +50,7 @@ FluidSolver::FluidSolver(core::Network& net, std::int64_t mss)
   recomputes_ = &m.counter("fluid.recomputes");
 }
 
-FluidSolver::~FluidSolver() { wake_.cancel(); }
+FluidSolver::~FluidSolver() = default;  // ScopedEventHandle cancels wake_
 
 FlowId FluidSolver::launch(HostId src, HostId dst, std::int64_t bytes,
                            DoneFn done) {
@@ -204,8 +204,26 @@ void FluidSolver::schedule_wake(SimTime now) {
     if (done < next) next = done;
   }
   if (next <= now) next = now + SimTime::nanos(1);
-  wake_.cancel();
+  // Assigning through the scoped handle cancels any previously armed wake.
   wake_ = net_.sim().schedule_at(next, [this] { wake(); }, "fluid.wake");
+}
+
+std::string FluidSolver::conservation_check() const {
+  const double host_cap = net_.config().host_bw / 8.0 * payload_frac_;
+  for (const Flow& f : flows_) {
+    if (f.remaining < 0.0 || f.remaining > static_cast<double>(f.total)) {
+      return "fluid flow " + std::to_string(f.id) + ": remaining " +
+             std::to_string(f.remaining) + " outside [0, " +
+             std::to_string(f.total) + "]";
+    }
+    // 0.1% slack covers the proportional-clamp rounding in recompute().
+    if (f.rate < 0.0 || f.rate > host_cap * 1.001) {
+      return "fluid flow " + std::to_string(f.id) + ": rate " +
+             std::to_string(f.rate) + " outside [0, " +
+             std::to_string(host_cap) + "]";
+    }
+  }
+  return {};
 }
 
 double FluidSolver::pair_capacity(NodeId src_tor, NodeId dst_tor,

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -38,9 +39,9 @@ class FluidSolver {
   using DoneFn = std::function<void(SimTime fct, std::int64_t bytes)>;
 
   explicit FluidSolver(core::Network& net, std::int64_t mss = 8900);
-  // Cancels the pending wake so a queued "fluid.wake" event never fires on
-  // a destroyed solver (the solver may die mid-run when its owner is
-  // replaced). In-flight flows are dropped without completing.
+  // The wake handle is RAII-scoped, so a queued "fluid.wake" event never
+  // fires on a destroyed solver (the solver may die mid-run when its owner
+  // is replaced). In-flight flows are dropped without completing.
   ~FluidSolver();
   FluidSolver(const FluidSolver&) = delete;
   FluidSolver& operator=(const FluidSolver&) = delete;
@@ -54,6 +55,12 @@ class FluidSolver {
   std::int64_t launched() const { return launched_->value(); }
   std::int64_t completed() const { return completed_->value(); }
   std::int64_t recomputes() const { return recomputes_->value(); }
+
+  // Invariant tap (chaos::InvariantMonitor): per-flow byte conservation.
+  // Empty when every active flow satisfies 0 <= remaining <= total with a
+  // non-negative rate no larger than the NIC line rate; otherwise a
+  // description of the first violating flow.
+  std::string conservation_check() const;
 
  private:
   struct Flow {
@@ -89,7 +96,7 @@ class FluidSolver {
   SimTime tail_latency_;  // last-byte delivery + ack return
   std::vector<Flow> flows_;
   SimTime last_advance_ = SimTime::zero();
-  sim::EventHandle wake_;
+  sim::ScopedEventHandle wake_;  // cancelled on destruction / re-arm
   telemetry::Counter* launched_;
   telemetry::Counter* completed_;
   telemetry::Counter* recomputes_;

@@ -12,12 +12,15 @@ void TransferPool::launch(HostId src, HostId dst, std::int64_t bytes,
                                           std::int64_t retrans) {
         ++completed_;
         if (done) done(fct, retrans);
-        // Reclaim after the callback stack unwinds. The event may outlive
-        // the pool (owner torn down mid-run), hence the liveness guard.
-        net_.sim().schedule_at(net_.sim().now(),
-                               [this, key, alive = alive_]() {
-                                 if (*alive) live_.erase(key);
-                               });
+        // Reclaim after the callback stack unwinds. The scoped handle is
+        // cancelled if the pool dies first, so the event can never touch a
+        // destroyed pool. Erasing the handle of the event currently firing
+        // is safe: cancel() on a fired event is a no-op.
+        reclaims_[key] = net_.sim().schedule_at(net_.sim().now(),
+                                                [this, key]() {
+                                                  live_.erase(key);
+                                                  reclaims_.erase(key);
+                                                });
       });
   transfer->start();
   live_.emplace(key, std::move(transfer));

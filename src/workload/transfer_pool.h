@@ -18,10 +18,10 @@ class TransferPool {
   using DoneFn = std::function<void(SimTime fct, std::int64_t retrans)>;
 
   explicit TransferPool(core::Network& net) : net_(net) {}
-  // The deferred reclaim events queued by completions capture this pool;
-  // flipping the flag makes any still-pending ones no-ops so the pool can
-  // die with reclaims (or transfers) outstanding.
-  ~TransferPool() { *alive_ = false; }
+  // Deferred reclaim events are held as scoped handles: destroying the
+  // pool cancels any still-pending ones, so the pool can die with reclaims
+  // (or transfers) outstanding and nothing dangles.
+  ~TransferPool() = default;
   TransferPool(const TransferPool&) = delete;
   TransferPool& operator=(const TransferPool&) = delete;
 
@@ -34,9 +34,10 @@ class TransferPool {
 
  private:
   core::Network& net_;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unordered_map<std::int64_t, std::unique_ptr<transport::FlowTransfer>>
       live_;
+  // Pending deferred-reclaim events, keyed like live_; RAII-cancelled.
+  std::unordered_map<std::int64_t, sim::ScopedEventHandle> reclaims_;
   std::int64_t next_key_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t launched_ = 0;

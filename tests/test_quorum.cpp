@@ -421,6 +421,46 @@ TEST_F(QuorumTest, DivergedFollowerLogRepairsOnNextSync) {
   EXPECT_EQ(q->log(1), q->log(0));
 }
 
+// Regression for a chaos-fuzzer find: a replica with a silently corrupted
+// log tail must not win an election and propagate the corruption into the
+// cluster's committed prefix. The checksum scrub truncates the flagged
+// record before the replica stands, so the up-to-dateness gate routes
+// leadership to a clean copy and every live replica keeps the committed
+// records intact.
+TEST_F(QuorumTest, CorruptedReplicaCannotPropagateIntoCommittedPrefix) {
+  make(3);
+  net->sim().schedule_at(1_ms, [&]() { EXPECT_TRUE(deploy_b()); });
+  net->sim().run_until(1500_us);
+  const auto committed = q->log(0);  // fully replicated by now
+  ASSERT_FALSE(committed.empty());
+  EXPECT_EQ(q->log(1), committed);
+  EXPECT_EQ(q->log(2), committed);
+
+  // Kill the leader, then corrupt replica 1's tail once the dead leader's
+  // in-flight syncs have drained (they would repair it), so the election
+  // runs while the corruption is live.
+  const int victim = q->kill_leader();
+  EXPECT_EQ(victim, 0);
+  net->sim().schedule_at(1550_us, [&]() { q->diverge_log(1); });
+  net->sim().run_until(3_ms);  // election + heartbeat resync settle
+
+  EXPECT_GE(q->log_scrubs(), 1);
+  const int leader = q->acting();
+  EXPECT_NE(leader, victim);
+  // Every live replica's committed prefix still matches the original.
+  for (int r = 1; r <= 2; ++r) {
+    const auto& log = q->log(r);
+    const auto upto = std::min(q->commit_index(r),
+                               static_cast<std::int64_t>(committed.size()) - 1);
+    ASSERT_GE(static_cast<std::int64_t>(log.size()), upto + 1);
+    for (std::int64_t i = 0; i <= upto; ++i) {
+      EXPECT_EQ(log[static_cast<std::size_t>(i)],
+                committed[static_cast<std::size_t>(i)])
+          << "replica " << r << " lost committed record " << i;
+    }
+  }
+}
+
 // One full leader-kill chaos scenario — deploys racing a scripted
 // leader_kill, replica_partition, and log_divergence plan — must replay
 // byte-identically from the same seed.
