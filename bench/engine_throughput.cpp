@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/json.h"
@@ -19,6 +20,7 @@ namespace {
 
 struct Row {
   int tors = 0;
+  int shards = 0;
   std::int64_t threshold = 0;
   double wall_ms = 0;
   std::int64_t sim_events = 0;
@@ -40,16 +42,18 @@ traffic::TrafficSpec base_spec(std::int64_t sources) {
   return spec;
 }
 
-Row run_point(int tors, std::int64_t threshold, SimTime horizon) {
+Row run_point(int tors, std::int64_t threshold, SimTime horizon,
+              int shards = 0, std::int64_t sources_per_host = 64) {
   arch::Params p;
   p.tors = tors;
   p.hosts_per_tor = 2;
   p.uplinks = 2;
   p.seed = 7;
+  p.shards = shards;
   auto inst = runner::make_arch("rotornet-direct", p);
 
-  traffic::TrafficSpec spec =
-      base_spec(static_cast<std::int64_t>(inst.net->num_hosts()) * 64);
+  traffic::TrafficSpec spec = base_spec(
+      static_cast<std::int64_t>(inst.net->num_hosts()) * sources_per_host);
   spec.hybrid_threshold = threshold;
   traffic::TrafficEngine eng(*inst.net, std::move(spec));
   eng.start();
@@ -61,6 +65,7 @@ Row run_point(int tors, std::int64_t threshold, SimTime horizon) {
 
   Row r;
   r.tors = tors;
+  r.shards = shards;
   r.threshold = threshold;
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.sim_events = inst.net->sim().events_executed();
@@ -86,6 +91,7 @@ void print_row(const char* label, const Row& r) {
 json::Object row_json(const Row& r) {
   json::Object o;
   o["tors"] = r.tors;
+  o["shards"] = r.shards;
   o["hybrid_threshold"] = r.threshold;
   o["wall_ms"] = r.wall_ms;
   o["sim_events"] = r.sim_events;
@@ -140,10 +146,47 @@ int main(int argc, char** argv) {
     threshold_rows.push_back(row_json(r));
   }
 
+  // Sharded engine sweep: ToR count x worker count. shards=1 is the
+  // windowed lane engine run inline (the parallelism baseline — it pays
+  // window bookkeeping but no threads); shards>1 adds worker threads.
+  // Horizons shrink with fabric size to keep the sweep affordable; the
+  // per-row events/sec is the comparable figure.
+  std::printf("\nShard sweep (hybrid threshold 1 MB):\n");
+  json::Array shard_rows;
+  for (const int tors : {8, 64, 256}) {
+    const SimTime horizon = tors >= 256 ? 3_ms : tors >= 64 ? 10_ms : 30_ms;
+    double base_eps = 0;
+    for (const int shards : {1, 2, 4, 8}) {
+      const Row r = run_point(tors, 1 << 20, horizon, shards,
+                              /*sources_per_host=*/16);
+      char label[48];
+      std::snprintf(label, sizeof label, "tors=%d shards=%d", tors, shards);
+      print_row(label, r);
+      if (shards == 1) {
+        base_eps = r.events_per_sec;
+      } else if (base_eps > 0) {
+        std::printf("  %-18s speedup vs shards=1: %.2fx\n", "",
+                    r.events_per_sec / base_eps);
+      }
+      shard_rows.push_back(row_json(r));
+    }
+  }
+
   json::Object doc;
   doc["bench"] = "engine_throughput";
+  doc["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  // Shard speedups only materialize with real cores: on a 1-vCPU
+  // container the workers time-slice one core and the sweep measures
+  // barrier overhead, not parallelism. The recorded rows are honest for
+  // the host they ran on; compare like with like.
+  doc["host_note"] =
+      "shard_sweep speedup requires >= `shards` physical cores; on a "
+      "single-vCPU host shards>1 rows measure synchronization overhead "
+      "only";
   doc["tor_scaling"] = std::move(tor_rows);
   doc["threshold_sweep"] = std::move(threshold_rows);
+  doc["shard_sweep"] = std::move(shard_rows);
   FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out.c_str());

@@ -1,7 +1,7 @@
 // chaos_fuzz — seeded chaos fuzzing with automatic fault-plan shrinking:
 //
 //   chaos_fuzz [--seed N] [--runs N] [--events N] [--intensity X]
-//              [--tors N] [--replicas N] [--duration-us N]
+//              [--tors N] [--replicas N] [--duration-us N] [--shards N]
 //              [--plant-bug] [--no-minimize] [--replay FILE]
 //              [--out DIR] [--trace FILE]
 //
@@ -44,7 +44,7 @@ std::string read_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
-  int runs = 1, events = 12, tors = 4, replicas = 1;
+  int runs = 1, events = 12, tors = 4, replicas = 1, shards = 0;
   std::int64_t duration_us = 3000;
   double intensity = 1.0;
   bool plant_bug = false, no_minimize = false;
@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
               "controller replicas; >1 unlocks quorum faults (default 1)")
       .option("--duration-us", &duration_us,
               "run length in simulated microseconds (default 3000)")
+      .option("--shards", &shards,
+              "worker shards for the parallel engine (default 0 = legacy "
+              "single-heap engine)")
       .flag("--plant-bug", &plant_bug,
             "register a deliberately broken invariant (demo/CI)")
       .flag("--no-minimize", &no_minimize,
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
     spec.params["controller_replicas"] =
         static_cast<std::int64_t>(replicas);
     spec.params["duration_us"] = static_cast<double>(duration_us);
+    spec.params["shards"] = static_cast<std::int64_t>(shards);
     spec.params["plant_bug"] = plant_bug;
     spec.params["minimize"] = !no_minimize;
     if (!replay_path.empty()) {

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parallel/sharded.h"
 #include "runner/experiments.h"
 #include "telemetry/trace_export.h"
 
@@ -42,6 +43,7 @@ Config Config::from_json(const std::string& text) {
   c.election_timeout_us =
       v.get_double("election_timeout_us", c.election_timeout_us);
   c.heartbeat_us = v.get_double("heartbeat_us", c.heartbeat_us);
+  c.shards = static_cast<int>(v.get_int("shards", c.shards));
   return c;
 }
 
@@ -84,6 +86,7 @@ core::NetworkConfig Config::to_network_config() const {
   } else {
     throw std::runtime_error("unknown host_stack: " + host_stack);
   }
+  n.shards = shards;
   return n;
 }
 
@@ -140,6 +143,15 @@ bool Net::deploy_topo(const std::vector<optics::Circuit>& circuits,
 
 optics::OcsProfile Net::profile_cached() const { return cfg_.profile(); }
 
+void Net::set_shards(int workers) {
+  if (net_) {
+    throw std::runtime_error(
+        "set_shards: the network already materialized (and started) on "
+        "deploy_topo; select the engine before the first deploy");
+  }
+  cfg_.shards = workers;
+}
+
 bool Net::deploy_routing(const std::vector<core::Path>& paths, Lookup lookup,
                          Multipath multipath, int priority) {
   assert(net_ && "deploy_topo must run before deploy_routing");
@@ -191,6 +203,18 @@ void Net::write_chrome_trace(const std::string& path) const {
   }
   std::ofstream out(path);
   if (!out) throw std::runtime_error("trace: cannot open " + path);
+  // Sharded runs record worker-lane events into per-shard rings; stitch
+  // them into one trace with shard-labelled node tracks.
+  parallel::ShardedEngine* engine =
+      net_ && net_->sharded() ? net_->sharded_engine() : nullptr;
+  if (engine && !engine->worker_recorders().empty()) {
+    std::vector<const telemetry::FlightRecorder*> shards;
+    for (const auto& r : engine->worker_recorders()) {
+      shards.push_back(r.get());
+    }
+    out << telemetry::chrome_trace_json(*recorder_, shards);
+    return;
+  }
   out << telemetry::chrome_trace_json(*recorder_);
 }
 
@@ -223,6 +247,7 @@ chaos::InvariantMonitor& Net::enable_invariants(SimTime poll) {
     monitor_ = std::make_unique<chaos::InvariantMonitor>(*net_);
     monitor_->attach_controller(ctl_.get());
     if (quorum_) monitor_->attach_quorum(quorum_.get());
+    if (net_->sharded()) monitor_->attach_parallel(net_->sharded_engine());
     monitor_->start(poll);
   }
   return *monitor_;

@@ -76,6 +76,11 @@ struct Config {
   double election_timeout_us = 500.0;
   double heartbeat_us = 100.0;
 
+  // Sharded parallel engine workers (src/parallel/). 0 keeps the legacy
+  // single-heap engine bit-for-bit; >= 1 runs the windowed lane engine,
+  // whose results are byte-identical at any worker count.
+  int shards = 0;
+
   static Config from_json(const std::string& text);
   // Reads the JSON config from disk (the paper's static configuration
   // file); throws on I/O or parse errors.
@@ -169,6 +174,11 @@ class Net {
   std::string check_invariants();
 
   // --- Execution ---
+  // Select the sharded parallel engine (0 = legacy single-heap engine).
+  // Must precede the first deploy_topo(), which materializes AND starts
+  // the network; throws std::runtime_error afterwards.
+  void set_shards(int workers);
+  int shards() const { return cfg_.shards; }
   void run_for(SimTime t) { net_->sim().run_until(net_->sim().now() + t); }
   void start() { net_->start(); }
 

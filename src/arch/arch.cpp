@@ -83,6 +83,7 @@ NetworkConfig base_config(const Params& p) {
   cfg.calendar_queues = p.calendar_queues;
   if (p.guardband > SimTime::zero()) cfg.guardband = p.guardband;
   if (p.queue_capacity > 0) cfg.queue_capacity = p.queue_capacity;
+  cfg.shards = p.shards;
   return cfg;
 }
 
@@ -260,7 +261,10 @@ Instance make_rotornet(const Params& p, RotorRouting routing_kind,
       break;
     case RotorRouting::Direct:
       name += "-direct";
-      paths = routing::direct_to(sched);
+      // Hybrid merges per-slice electrical alternatives into the optical
+      // entries by TFT key below — that needs the expanded per-slice form.
+      paths = hybrid_electrical ? routing::direct_to_expanded(sched)
+                                : routing::direct_to(sched);
       cfg.congestion_response = core::CongestionResponse::Drop;
       break;
     case RotorRouting::Ucmp:

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "core/controller.h"
 #include "core/quorum.h"
+#include "parallel/sharded.h"
 #include "services/sync_watchdog.h"
 #include "transport/fluid.h"
 
@@ -76,6 +77,14 @@ void InvariantMonitor::check_watchdog_transition(NodeId node, int from_i,
 
 void InvariantMonitor::attach_fluid(const transport::FluidSolver* fluid) {
   fluid_ = fluid;
+}
+
+void InvariantMonitor::attach_parallel(parallel::ShardedEngine* engine) {
+  if (!engine) return;
+  engine->set_violation_handler(
+      [this](const char* invariant, const std::string& detail) {
+        violate(invariant, detail);
+      });
 }
 
 void InvariantMonitor::add_check(std::string name, CheckFn fn) {

@@ -50,6 +50,9 @@ class SyncWatchdog;
 namespace oo::transport {
 class FluidSolver;
 }
+namespace oo::parallel {
+class ShardedEngine;
+}
 
 namespace oo::chaos {
 
@@ -75,6 +78,12 @@ class InvariantMonitor : public sim::InvariantSink {
   void attach_quorum(const core::ControllerQuorum* quorum);
   void attach_watchdog(services::SyncWatchdog* wd);  // installs its hook
   void attach_fluid(const transport::FluidSolver* fluid);
+  // Sharded engine: routes its barrier-time violations (cross-shard packet
+  // conservation, lane past-schedule reports, custom barrier checks) into
+  // this monitor's violation list instead of the warn-once fallback. The
+  // handler fires in the engine's serial barrier phase, so no locking is
+  // needed here.
+  void attach_parallel(parallel::ShardedEngine* engine);
 
   // The ladder-legality check behind attach_watchdog's hook, public so the
   // legality table itself is unit-testable without staging a real

@@ -2,6 +2,7 @@
 // examples bump it to Info for narrative output.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -33,15 +34,14 @@ std::string format_log(const char* fmt, ...)
 // Warn exactly once per call site: the first hit logs, later hits are
 // silent (the condition usually repeats thousands of times per run — the
 // repeat count belongs in a metric, not the log). The flag is per-process,
-// matching the logger itself; campaign workers share one warning, which is
-// the desired dedup.
-#define OO_WARN_ONCE(tag, ...)                  \
-  do {                                          \
-    static bool oo_warned_once_ = false;        \
-    if (!oo_warned_once_) {                     \
-      oo_warned_once_ = true;                   \
-      OO_WARN(tag, __VA_ARGS__);                \
-    }                                           \
+// matching the logger itself; campaign workers and engine shard lanes
+// share one warning, which is the desired dedup (atomic exchange keeps the
+// first-hit race benign under TSan).
+#define OO_WARN_ONCE(tag, ...)                                        \
+  do {                                                                \
+    static std::atomic<bool> oo_warned_once_{false};                  \
+    if (!oo_warned_once_.exchange(true, std::memory_order_relaxed))   \
+      OO_WARN(tag, __VA_ARGS__);                                      \
   } while (0)
 
 }  // namespace oo

@@ -27,10 +27,32 @@ Host::DstState& Host::dst_state(NodeId dst) {
 }
 
 void Host::bind_flow(FlowId flow, ReceiveFn sink) {
+  // flows_ is read by deliver() on this host's ToR lane. A bind issued from
+  // another context (transports launch from the control queue) crosses onto
+  // that lane; control-phase pushes land before the current window's lane
+  // events run, and the first data packet trails the bind by at least the
+  // fabric latency (>= one window), so the sink is always installed in time.
+  if (net_.sim().cross_lane(tor_)) {
+    net_.sim().schedule_at_lane(
+        tor_, net_.sim().now(),
+        [this, flow, s = std::move(sink)]() mutable {
+          flows_[flow] = std::move(s);
+        },
+        "host.bind");
+    return;
+  }
   flows_[flow] = std::move(sink);
 }
 
-void Host::unbind_flow(FlowId flow) { flows_.erase(flow); }
+void Host::unbind_flow(FlowId flow) {
+  if (net_.sim().cross_lane(tor_)) {
+    net_.sim().schedule_at_lane(
+        tor_, net_.sim().now(), [this, flow]() { flows_.erase(flow); },
+        "host.unbind");
+    return;
+  }
+  flows_.erase(flow);
+}
 
 SimTime Host::stack_delay() {
   // libvma userspace path: low, tight latency; kernel path: higher base with
@@ -86,8 +108,10 @@ bool Host::would_block(NodeId dst) const {
 void Host::stack_delay_send(Packet&& p) {
   // Single injection funnel: every host-originated packet (fast path and
   // segq drain alike) passes here exactly once, so this counter is the
-  // "injected" side of the packet-conservation invariant.
-  ++net_.packets_injected_;
+  // "injected" side of the packet-conservation invariant. Relaxed atomic:
+  // host stacks run on per-ToR worker lanes when sharded, and the exact
+  // value is only read from serial phases (ordered by the engine barrier).
+  net_.packets_injected_.fetch_add(1, std::memory_order_relaxed);
   // The stack adds per-packet latency but never reorders a host's own
   // submissions (it is a FIFO pipeline): releases are monotonic.
   SimTime release = net_.sim().now() + stack_delay();
@@ -301,7 +325,7 @@ void TorSwitch::from_optical(Packet&& p, PortId in_port) {
         tr->wrong_slice(net_.sim().now(), id_, in_port, p.id,
                         p.intended_slice);
       }
-      if (net_.arrival_hook_) net_.arrival_hook_(id_, net_.sim().now());
+      net_.notify_wrong_slice(id_, net_.sim().now());
     }
   }
   route(std::move(p));
@@ -611,8 +635,10 @@ void TorSwitch::send_pushback(const Packet& p, SliceId dep) {
   const NodeId congested_dst = p.dst_node;
   const NodeId src_tor = p.src_node;
   // Control-plane broadcast to every host under the sender ToR (§5.2).
-  net_.sim().schedule_in(
-      net_.config().pushback_delay,
+  // The hosts live on src_tor's lane; pushback_delay participates in the
+  // engine's sync-window minimum, so the hop never needs clamping.
+  net_.sim().schedule_at_lane(
+      src_tor, net_.sim().now() + net_.config().pushback_delay,
       [this, congested_dst, src_tor, abs_dep]() {
         for (int i = 0; i < net_.config().hosts_per_tor; ++i) {
           Packet msg;
@@ -923,9 +949,51 @@ Network::Network(NetworkConfig cfg, optics::Schedule schedule,
           [host](Packet&& p) { host->deliver(std::move(p)); }));
     }
   }
+
+  if (cfg_.shards > 0) enable_sharding(cfg_.shards);
 }
 
 Network::~Network() = default;
+
+void Network::enable_sharding(int workers) {
+  if (workers <= 0 || sim_.sharded()) return;
+  assert(!started_ && "enable_sharding must precede start()");
+  // Sync window: the smallest latency on any cross-ToR interaction. Every
+  // event one lane schedules onto another lies at least this far in the
+  // future, so lanes executing a window [T, T+W) in parallel can never
+  // affect each other inside it — the conservative-sync lookahead.
+  SimTime window = optical_->profile().latency_min;
+  if (cfg_.electrical_bw > 0) {
+    window = std::min(window, cfg_.electrical_transit);
+  }
+  if (cfg_.pushback) window = std::min(window, cfg_.pushback_delay);
+  assert(window > SimTime::zero() && "zero-lookahead topology can't shard");
+  sim_.configure_lanes(cfg_.num_tors);
+  lane_packet_seq_.assign(static_cast<std::size_t>(cfg_.num_tors) + 1, 0);
+  lane_flow_seq_.assign(static_cast<std::size_t>(cfg_.num_tors) + 1, 0);
+  optical_->enable_sharding();
+  if (electrical_) electrical_->set_sharded(true);
+  engine_ = std::make_unique<parallel::ShardedEngine>(sim_, cfg_.num_tors,
+                                                      workers, window);
+  sim_.set_parallel_runner(engine_.get());
+}
+
+void Network::notify_wrong_slice(NodeId n, SimTime at) {
+  if (!arrival_hook_) return;
+  if (sim_.sharded() &&
+      sim_.current_lane() != sim::Simulator::kControlLane) {
+    // The hook holds control-plane state (the sync watchdog); a worker-lane
+    // symptom crosses to the control queue through the barrier.
+    sim_.schedule_at_lane(
+        sim::Simulator::kControlLane, at,
+        [this, n, at]() {
+          if (arrival_hook_) arrival_hook_(n, at);
+        },
+        "net.wrong_slice");
+    return;
+  }
+  arrival_hook_(n, at);
+}
 
 void Network::start() {
   if (started_) return;
@@ -950,6 +1018,25 @@ void Network::arm_rotation(NodeId n, std::int64_t k) {
   // schedule into the past; clamping keeps per-node rotations ordered.
   if (when < sim_.now()) when = sim_.now();
   auto* tor = tors_[static_cast<std::size_t>(n)].get();
+  if (sim_.sharded()) {
+    // Two same-instant events: the rotation's queue work runs on the ToR's
+    // own lane (so the egress drain chains it kicks off inherit that lane),
+    // while the controller hook, epoch bookkeeping, and the re-arm stay on
+    // the control queue. The control phase runs first within each window,
+    // so a committed transaction's staged state still activates before the
+    // node processes the slice — the same ordering the serial closure had.
+    sim_.schedule_at_lane(
+        n, when, [tor, k]() { tor->on_rotation(k); }, "rotation");
+    sim_.schedule_at(
+        when,
+        [this, n, k]() {
+          if (rotation_hook_) rotation_hook_(n, k);
+          note_rotation_epoch(n, k);
+          arm_rotation(n, k + 1);
+        },
+        "rotation.ctl");
+    return;
+  }
   sim_.schedule_at(
       when,
       [this, tor, n, k]() {

@@ -6,6 +6,7 @@
 // and buffer offloading (§5.2) — wired together under one event simulator.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "net/packet.h"
 #include "optics/fabric.h"
 #include "optics/schedule.h"
+#include "parallel/sharded.h"
 
 namespace oo::core {
 
@@ -101,6 +103,13 @@ struct NetworkConfig {
   // Per-destination segment queue capacity in the host stack (libvma
   // segment queue; applications block when it fills).
   std::int64_t host_segment_queue = 8 << 20;
+
+  // Sharded parallel engine (src/parallel/): number of worker shards the
+  // per-ToR event lanes are spread across. 0 = the legacy single-queue
+  // engine, bit-for-bit unchanged. Any value >= 1 runs the windowed lane
+  // engine; results are byte-identical for every shard count (shards=1 is
+  // the zero-thread baseline the tests pin against).
+  int shards = 0;
 
   std::uint64_t seed = 42;
 };
@@ -356,6 +365,16 @@ class Network {
   void start();
   bool started() const { return started_; }
 
+  // ---- sharded parallel engine ----
+  // Partition the per-ToR event streams into lanes (lane id == ToR id) and
+  // install a ShardedEngine with `workers` threads of execution (worker 0
+  // is the coordinating thread). Called by the constructor when
+  // cfg.shards > 0; may also be called explicitly (api::Net::set_shards)
+  // any time before start(). No-op for workers <= 0 or if already sharded.
+  void enable_sharding(int workers);
+  bool sharded() const { return sim_.sharded(); }
+  parallel::ShardedEngine* sharded_engine() { return engine_.get(); }
+
   // ---- per-node safe-mode controls (driven by services::SyncWatchdog) ----
   // Extra guard margin applied to *both* ends of this node's drain window on
   // top of the global head_guard_/tail_margin_ — widening trades duty cycle
@@ -415,12 +434,25 @@ class Network {
   // retargeting time. Rotation timers adapt to the new period.
   void reconfigure(optics::Schedule next, SimTime delay);
 
-  PacketId next_packet_id() { return ++packet_seq_; }
+  // Per-lane id allocation in sharded mode: each lane (and the control
+  // queue, slot 0) owns a disjoint id space, so allocation is a pure
+  // function of the calling lane's own history — no shared counter, no
+  // dependence on cross-lane execution order. The high bits carry the lane
+  // slot; 2^40 ids per lane is far beyond any run.
+  PacketId next_packet_id() {
+    if (!sim_.sharded()) return ++packet_seq_;
+    const auto idx = static_cast<std::size_t>(sim_.current_lane() + 1);
+    return ((static_cast<PacketId>(idx) + 1) << 40) | ++lane_packet_seq_[idx];
+  }
   // Per-network flow-id allocation. Flow ids seed multipath hashing, so they
   // must be a function of this network's history alone — a process-global
   // allocator would make results depend on whatever other simulations ran
   // (or run concurrently on other campaign worker threads) in the process.
-  FlowId alloc_flow_id() { return ++flow_seq_; }
+  FlowId alloc_flow_id() {
+    if (!sim_.sharded()) return ++flow_seq_;
+    const auto idx = static_cast<std::size_t>(sim_.current_lane() + 1);
+    return ((static_cast<FlowId>(idx) + 1) << 40) | ++lane_flow_seq_[idx];
+  }
   Rng fork_rng() { return master_rng_.fork(); }
 
   // Aggregate drop/delivery counters across all components.
@@ -437,8 +469,10 @@ class Network {
   // Every packet that entered the fabric through a host stack. Fabricated
   // control packets (push-back broadcasts) bypass this tap and are consumed
   // before the delivery counters, so they cancel out of the conservation
-  // ledger entirely.
-  std::int64_t packets_injected() const { return packets_injected_; }
+  // ledger entirely. Atomic: host stacks run on worker lanes when sharded.
+  std::int64_t packets_injected() const {
+    return packets_injected_.load(std::memory_order_relaxed);
+  }
   // Census of packets parked somewhere in the fabric right now: ToR uplink
   // queues (calendar days + FIFOs) plus host offload storage. At quiescence
   //   injected == delivered + drops + queued_packets()
@@ -450,6 +484,8 @@ class Network {
 
   // Telemetry tap: invoked for every Data packet as it reaches its
   // destination host (per-packet delay studies; Appx. B's delay columns).
+  // Sharded: fires on the destination ToR's worker lane — the callback must
+  // tolerate concurrent invocation (atomics or per-lane accumulation).
   using DeliveryProbe = std::function<void(const Packet&)>;
   void set_delivery_probe(DeliveryProbe probe) {
     delivery_probe_ = std::move(probe);
@@ -466,6 +502,10 @@ class Network {
   void arm_rotation(NodeId n, std::int64_t k);
   void beacon_round();
   bool beacon_exchange(NodeId n, bool probe);
+  // Deliver a wrong-slice-arrival symptom to arrival_hook_. The hook (the
+  // sync watchdog) is control-plane state; when the symptom fires on a
+  // worker lane it crosses to the control queue through the barrier.
+  void notify_wrong_slice(NodeId n, SimTime at);
 
   NetworkConfig cfg_;
   optics::Schedule schedule_;
@@ -476,9 +516,13 @@ class Network {
   std::unique_ptr<net::ElectricalFabric> electrical_;
   std::vector<std::unique_ptr<TorSwitch>> tors_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::unique_ptr<parallel::ShardedEngine> engine_;
   PacketId packet_seq_ = 0;
-  std::int64_t packets_injected_ = 0;
+  std::atomic<std::int64_t> packets_injected_{0};
   FlowId flow_seq_ = 0;
+  // Per-lane id counters (slot 0 = control queue, slot n+1 = lane n).
+  std::vector<std::int64_t> lane_packet_seq_;
+  std::vector<std::int64_t> lane_flow_seq_;
   bool started_ = false;
   DeliveryProbe delivery_probe_;
   // Derived slice-window margins (see network.cpp).

@@ -8,7 +8,21 @@
 namespace oo::sim {
 
 namespace {
+
 constexpr std::size_t kCompactMinQueue = 64;
+
+// Worker-thread context: which simulator/lane the current thread is
+// executing, and the per-shard flight recorder (if the engine installed
+// one). Default-initialized on every thread — the main thread and campaign
+// pool threads always read {nullptr, control}, so legacy simulators never
+// see a stale lane from an unrelated sharded run.
+struct LaneContext {
+  const Simulator* sim = nullptr;
+  int lane = Simulator::kControlLane;
+  telemetry::FlightRecorder* recorder = nullptr;
+};
+thread_local LaneContext t_lane_ctx;
+
 }  // namespace
 
 void Simulator::push_event(Event ev) {
@@ -29,16 +43,84 @@ void Simulator::maybe_compact() {
   // non-trivial queue: filter them out and re-heapify. O(n), amortised by
   // the >=50% trigger.
   if (heap_.size() < kCompactMinQueue ||
-      *cancelled_pending_ * 2 <= static_cast<std::int64_t>(heap_.size())) {
+      cancelled_pending_->load(std::memory_order_relaxed) * 2 <=
+          static_cast<std::int64_t>(heap_.size())) {
     return;
   }
   std::erase_if(heap_, [](const Event& ev) { return *ev.cancelled; });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  *cancelled_pending_ = 0;
+  cancelled_pending_->store(0, std::memory_order_relaxed);
   ++compactions_;
 }
 
+SimTime Simulator::now_sharded() const {
+  const Lane* ln = current_lane_ptr();
+  return ln ? ln->now : now_;
+}
+
+telemetry::FlightRecorder* Simulator::recorder_sharded() const {
+  if (t_lane_ctx.sim == this && t_lane_ctx.recorder != nullptr) {
+    return t_lane_ctx.recorder;
+  }
+  return recorder_;
+}
+
+Simulator::Lane* Simulator::current_lane_ptr() {
+  if (t_lane_ctx.sim == this && t_lane_ctx.lane >= 0) {
+    return &lanes_[static_cast<std::size_t>(t_lane_ctx.lane)];
+  }
+  return nullptr;
+}
+
+const Simulator::Lane* Simulator::current_lane_ptr() const {
+  if (t_lane_ctx.sim == this && t_lane_ctx.lane >= 0) {
+    return &lanes_[static_cast<std::size_t>(t_lane_ctx.lane)];
+  }
+  return nullptr;
+}
+
+int Simulator::current_lane() const {
+  return t_lane_ctx.sim == this ? t_lane_ctx.lane : kControlLane;
+}
+
+bool Simulator::cross_lane(int lane) const {
+  if (lanes_.empty() || !in_parallel_) return false;
+  const int cur = current_lane();
+  return cur != kControlLane && cur != lane;
+}
+
+void Simulator::lane_maybe_compact(Lane& ln) {
+  if (ln.heap.size() < kCompactMinQueue ||
+      ln.cancelled_pending->load(std::memory_order_relaxed) * 2 <=
+          static_cast<std::int64_t>(ln.heap.size())) {
+    return;
+  }
+  std::erase_if(ln.heap, [](const Event& ev) { return *ev.cancelled; });
+  std::make_heap(ln.heap.begin(), ln.heap.end(), std::greater<>{});
+  ln.cancelled_pending->store(0, std::memory_order_relaxed);
+  ++ln.compactions;
+}
+
+EventHandle Simulator::lane_push(Lane& ln, SimTime when, EventFn fn,
+                                 const char* tag) {
+  if (when < ln.now) {
+    ++ln.past_schedules;
+    ln.past_log.push_back({when, ln.now, tag});
+    when = ln.now;
+  }
+  auto flag = std::make_shared<bool>(false);
+  ln.heap.push_back(Event{when, ln.next_seq++, std::move(fn), flag, tag});
+  std::push_heap(ln.heap.begin(), ln.heap.end(), std::greater<>{});
+  lane_maybe_compact(ln);
+  return EventHandle{std::move(flag), ln.cancelled_pending};
+}
+
 EventHandle Simulator::schedule_at(SimTime when, EventFn fn, const char* tag) {
+  if (!lanes_.empty()) {
+    if (Lane* ln = current_lane_ptr()) {
+      return lane_push(*ln, when, std::move(fn), tag);
+    }
+  }
   if (when < now_) {
     // Scheduling into the past would make virtual time run backwards when
     // the event pops (the run loop sets now_ = ev.when). Clamp to now so
@@ -55,9 +137,50 @@ EventHandle Simulator::schedule_at(SimTime when, EventFn fn, const char* tag) {
   return EventHandle{std::move(flag), cancelled_pending_};
 }
 
+EventHandle Simulator::schedule_at_lane(int lane, SimTime when, EventFn fn,
+                                        const char* tag) {
+  if (lanes_.empty()) return schedule_at(when, std::move(fn), tag);
+  assert(lane == kControlLane ||
+         (lane >= 0 && lane < static_cast<int>(lanes_.size())));
+  const int cur = current_lane();
+  if (lane == cur) return schedule_at(when, std::move(fn), tag);
+  if (in_parallel_ && cur != kControlLane) {
+    // Worker-to-elsewhere during a parallel phase: stage in the source
+    // lane's outbox; the barrier merges it in canonical order. The handle
+    // is intentionally invalid — the event doesn't exist yet.
+    Lane& src = lanes_[static_cast<std::size_t>(cur)];
+    src.outbox.push_back(
+        CrossLaneMsg{lane, when, std::move(fn), tag, cur, src.out_seq++});
+    ++src.staged;
+    return EventHandle{};
+  }
+  // Serial context (control phase, barrier, setup): push straight into the
+  // target queue with the target's own clock/sequence.
+  if (lane == kControlLane) {
+    if (when < now_) {
+      ++past_schedules_;
+      if (invariants_ != nullptr) {
+        invariants_->on_past_schedule(when, now_, tag);
+      }
+      when = now_;
+    }
+    auto flag = std::make_shared<bool>(false);
+    push_event(Event{when, next_seq_++, std::move(fn), flag, tag});
+    maybe_compact();
+    return EventHandle{std::move(flag), cancelled_pending_};
+  }
+  return lane_push(lanes_[static_cast<std::size_t>(lane)], when,
+                   std::move(fn), tag);
+}
+
 EventHandle Simulator::schedule_every(SimTime start, SimTime period,
                                       EventFn fn, const char* tag) {
   assert(period > SimTime::zero());
+  // Sharded discipline: the rearm chain pushes with the control sequence
+  // counter, so periodic timers must be armed (and fire) on the control
+  // queue. Every in-tree user arms them from setup or control events.
+  assert(current_lane_ptr() == nullptr &&
+         "schedule_every must be called from the control context");
   auto flag = std::make_shared<bool>(false);
   // The periodic wrapper reschedules itself; the shared cancellation flag
   // covers every future firing.
@@ -84,7 +207,9 @@ EventHandle Simulator::schedule_every(SimTime start, SimTime period,
 void Simulator::dispatch(Event& ev) {
   now_ = ev.when;
   if (*ev.cancelled) {
-    if (*cancelled_pending_ > 0) --*cancelled_pending_;
+    if (cancelled_pending_->load(std::memory_order_relaxed) > 0) {
+      cancelled_pending_->fetch_sub(1, std::memory_order_relaxed);
+    }
     return;
   }
   if (profiler_) {
@@ -101,8 +226,12 @@ void Simulator::dispatch(Event& ev) {
 }
 
 void Simulator::run_until(SimTime until) {
-  stopped_ = false;
-  while (!heap_.empty() && !stopped_) {
+  if (runner_ != nullptr) {
+    runner_->run_until(until);
+    return;
+  }
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!heap_.empty() && !stopped_.load(std::memory_order_relaxed)) {
     if (heap_.front().when > until) {
       now_ = until;
       return;
@@ -114,11 +243,154 @@ void Simulator::run_until(SimTime until) {
 }
 
 void Simulator::run() {
-  stopped_ = false;
-  while (!heap_.empty() && !stopped_) {
+  if (runner_ != nullptr) {
+    runner_->run_all();
+    return;
+  }
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!heap_.empty() && !stopped_.load(std::memory_order_relaxed)) {
     Event ev = pop_event();
     dispatch(ev);
   }
+}
+
+// ---- sharded-lane engine ----
+
+void Simulator::configure_lanes(int num_lanes) {
+  assert(lanes_.empty() && "configure_lanes is one-shot");
+  assert(num_lanes > 0);
+  lanes_.resize(static_cast<std::size_t>(num_lanes));
+  for (Lane& ln : lanes_) ln.now = now_;
+}
+
+void Simulator::run_control_until_exclusive(SimTime end) {
+  while (!heap_.empty() && !stopped_.load(std::memory_order_relaxed) &&
+         heap_.front().when < end) {
+    Event ev = pop_event();
+    dispatch(ev);
+  }
+}
+
+void Simulator::run_lane_until_exclusive(int lane, SimTime end,
+                                         telemetry::FlightRecorder* rec) {
+  Lane& ln = lanes_[static_cast<std::size_t>(lane)];
+  const LaneContext saved = t_lane_ctx;
+  t_lane_ctx = LaneContext{this, lane, rec};
+  while (!ln.heap.empty() && ln.heap.front().when < end) {
+    std::pop_heap(ln.heap.begin(), ln.heap.end(), std::greater<>{});
+    Event ev = std::move(ln.heap.back());
+    ln.heap.pop_back();
+    ln.now = ev.when;
+    if (*ev.cancelled) {
+      if (ln.cancelled_pending->load(std::memory_order_relaxed) > 0) {
+        ln.cancelled_pending->fetch_sub(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    ev.fn();
+    ++ln.executed;
+  }
+  t_lane_ctx = saved;
+}
+
+SimTime Simulator::min_pending_time() const {
+  SimTime m = heap_.empty() ? SimTime::max() : heap_.front().when;
+  for (const Lane& ln : lanes_) {
+    if (!ln.heap.empty() && ln.heap.front().when < m) {
+      m = ln.heap.front().when;
+    }
+  }
+  return m;
+}
+
+void Simulator::advance_all_to(SimTime t) {
+  if (now_ < t) now_ = t;
+  for (Lane& ln : lanes_) {
+    if (ln.now < t) ln.now = t;
+  }
+}
+
+Simulator::MergeStats Simulator::merge_outboxes(SimTime next_start) {
+  MergeStats stats;
+  std::vector<CrossLaneMsg> msgs;
+  for (Lane& ln : lanes_) {
+    if (ln.outbox.empty()) continue;
+    msgs.insert(msgs.end(), std::make_move_iterator(ln.outbox.begin()),
+                std::make_move_iterator(ln.outbox.end()));
+    ln.outbox.clear();
+    ln.out_seq = 0;
+  }
+  if (msgs.empty()) return stats;
+  // Canonical exchange order: (when, src_lane, src_seq) is a total order
+  // (src_seq is unique per src_lane), so the target-side sequence numbers
+  // assigned below are independent of worker count and scheduling jitter.
+  std::sort(msgs.begin(), msgs.end(),
+            [](const CrossLaneMsg& a, const CrossLaneMsg& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src_lane != b.src_lane) return a.src_lane < b.src_lane;
+              return a.src_seq < b.src_seq;
+            });
+  for (CrossLaneMsg& m : msgs) {
+    SimTime when = m.when;
+    if (when < next_start) {
+      // A cross-lane hop shorter than the sync window (control mailboxes,
+      // bind messages). Deterministic: every shard count clamps the same
+      // message to the same instant.
+      when = next_start;
+      ++stats.clamped;
+    }
+    auto flag = std::make_shared<bool>(false);
+    if (m.target == kControlLane) {
+      push_event(Event{when, next_seq_++, std::move(m.fn), flag, m.tag});
+    } else {
+      Lane& tgt = lanes_[static_cast<std::size_t>(m.target)];
+      tgt.heap.push_back(
+          Event{when, tgt.next_seq++, std::move(m.fn), flag, m.tag});
+      std::push_heap(tgt.heap.begin(), tgt.heap.end(), std::greater<>{});
+    }
+    ++stats.delivered;
+  }
+  return stats;
+}
+
+std::vector<Simulator::PastScheduleRecord>
+Simulator::take_lane_past_schedules() {
+  std::vector<PastScheduleRecord> out;
+  for (Lane& ln : lanes_) {
+    out.insert(out.end(), ln.past_log.begin(), ln.past_log.end());
+    ln.past_log.clear();
+  }
+  return out;
+}
+
+std::int64_t Simulator::events_executed() const {
+  std::int64_t n = executed_;
+  for (const Lane& ln : lanes_) n += ln.executed;
+  return n;
+}
+
+std::size_t Simulator::events_pending() const {
+  std::size_t n = heap_.size();
+  for (const Lane& ln : lanes_) n += ln.heap.size();
+  return n;
+}
+
+std::int64_t Simulator::compactions() const {
+  std::int64_t n = compactions_;
+  for (const Lane& ln : lanes_) n += ln.compactions;
+  return n;
+}
+
+std::int64_t Simulator::cross_staged() const {
+  std::int64_t n = 0;
+  for (const Lane& ln : lanes_) n += ln.staged;
+  return n;
+}
+
+std::int64_t Simulator::past_schedules() const {
+  std::int64_t n = past_schedules_;
+  for (const Lane& ln : lanes_) n += ln.past_schedules;
+  return n;
 }
 
 }  // namespace oo::sim

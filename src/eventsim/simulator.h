@@ -7,8 +7,22 @@
 // pointers to a FlightRecorder (event tracing) and EventProfiler (wall-clock
 // per dispatched event, bucketed by the tag given at scheduling time). All
 // three are off by default and cost a null-check when unused.
+//
+// Sharded mode (src/parallel/sharded.h): configure_lanes(N) splits the
+// single event queue into N per-lane queues (one lane per ToR) plus the
+// original "control" queue. Each lane carries its own clock, sequence
+// counter, and cancelled-event accounting, so a lane's execution order is a
+// pure function of the events delivered to it — independent of how many
+// worker threads drive the lanes. Cross-lane scheduling goes through
+// schedule_at_lane(): same-lane and serial-context calls push directly;
+// calls from a worker during the parallel phase are staged in the source
+// lane's outbox and merged at the next window barrier in canonical
+// (when, src_lane, src_seq) order, which is what makes results byte-
+// identical at any shard count. When no lanes are configured every public
+// entry point takes its original single-queue path, bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,17 +48,21 @@ class EventHandle {
   void cancel() {
     if (cancelled_ && !*cancelled_) {
       *cancelled_ = true;
-      if (pending_) ++*pending_;
+      // The pending counter is queue-wide, so in sharded mode two lanes
+      // cancelling events of the same queue (control-armed timers) can
+      // race on it — hence the relaxed atomic. It is bookkeeping for the
+      // compaction heuristic only and self-heals at compaction.
+      if (pending_) pending_->fetch_add(1, std::memory_order_relaxed);
     }
   }
 
  private:
   friend class Simulator;
   EventHandle(std::shared_ptr<bool> flag,
-              std::shared_ptr<std::int64_t> pending)
+              std::shared_ptr<std::atomic<std::int64_t>> pending)
       : cancelled_(std::move(flag)), pending_(std::move(pending)) {}
   std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<std::int64_t> pending_;
+  std::shared_ptr<std::atomic<std::int64_t>> pending_;
 };
 
 // RAII wrapper over EventHandle: cancels on destruction and on
@@ -104,49 +122,87 @@ class InvariantSink {
                                 const char* tag) = 0;
 };
 
+// Window-cycle driver installed by core::Network::enable_sharding().
+// run_until/run delegate here when set, so existing call sites drive the
+// sharded engine without knowing it exists.
+class ParallelRunner {
+ public:
+  virtual ~ParallelRunner() = default;
+  virtual void run_until(SimTime until) = 0;
+  virtual void run_all() = 0;
+};
+
 class Simulator {
  public:
+  // Lane id of the control queue (the original single-threaded queue) in
+  // schedule_at_lane() and current_lane().
+  static constexpr int kControlLane = -1;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const { return now_; }
+  // Virtual time of the calling context: the executing lane's clock from a
+  // worker, the control clock everywhere else (and always in legacy mode).
+  SimTime now() const {
+    if (lanes_.empty()) return now_;
+    return now_sharded();
+  }
 
   // Schedule `fn` at absolute time `when` (must be >= now()). `tag` labels
-  // the event for the profiler (static string; not copied).
+  // the event for the profiler (static string; not copied). In sharded mode
+  // the event lands on the calling context's lane.
   EventHandle schedule_at(SimTime when, EventFn fn, const char* tag = nullptr);
   // Schedule `fn` `delay` from now.
   EventHandle schedule_in(SimTime delay, EventFn fn,
                           const char* tag = nullptr) {
-    return schedule_at(now_ + delay, std::move(fn), tag);
+    return schedule_at(now() + delay, std::move(fn), tag);
   }
   // Periodic timer starting at `start`, repeating every `period` until
   // cancelled or the run ends. Models the on-chip packet generator that
-  // drives queue rotation and EQO updates (§5.1, Appx A).
+  // drives queue rotation and EQO updates (§5.1, Appx A). Sharded: control
+  // context only (the rearm chain stays on the arming queue).
   EventHandle schedule_every(SimTime start, SimTime period, EventFn fn,
                              const char* tag = nullptr);
+
+  // Schedule onto an explicit lane (kControlLane or [0, num_lanes())).
+  // Legacy mode: identical to schedule_at. Same-lane or serial-context
+  // calls push directly and return a real handle; a cross-lane call from a
+  // worker during the parallel phase is staged in the source lane's outbox
+  // — delivered at the next barrier, never before the next window starts —
+  // and returns an *invalid* handle (cross-lane events can't be cancelled).
+  EventHandle schedule_at_lane(int lane, SimTime when, EventFn fn,
+                               const char* tag = nullptr);
 
   // Run until the queue drains or `until` is reached, whichever first.
   void run_until(SimTime until);
   // Run until the event queue drains completely.
   void run();
-  // Stop the current run loop after the in-flight event returns.
-  void stop() { stopped_ = true; }
+  // Stop the current run loop after the in-flight event returns. Sharded:
+  // takes effect at the next window barrier.
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
-  std::int64_t events_executed() const { return executed_; }
-  std::size_t events_pending() const { return heap_.size(); }
+  std::int64_t events_executed() const;
+  std::size_t events_pending() const;
   // Times the queue was compacted to shed lazily-cancelled events.
-  std::int64_t compactions() const { return compactions_; }
+  std::int64_t compactions() const;
 
   // ---- telemetry ----
   telemetry::MetricsRegistry& metrics() { return metrics_; }
   const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
   // Attach/detach a flight recorder (non-owning; nullptr disables tracing).
+  // Sharded: workers see their per-shard recorder (if the engine installed
+  // one) so the hot path never shares a ring buffer across threads.
   void set_recorder(telemetry::FlightRecorder* rec) { recorder_ = rec; }
-  telemetry::FlightRecorder* recorder() const { return recorder_; }
+  telemetry::FlightRecorder* recorder() const {
+    if (lanes_.empty()) return recorder_;
+    return recorder_sharded();
+  }
 
   // Attach/detach an event profiler (non-owning; nullptr disables timing).
+  // Sharded: only control-queue events are timed (steady_clock reads from
+  // worker threads would race on the shared buckets).
   void set_profiler(telemetry::EventProfiler* prof) { profiler_ = prof; }
   telemetry::EventProfiler* profiler() const { return profiler_; }
 
@@ -155,7 +211,67 @@ class Simulator {
   InvariantSink* invariant_sink() const { return invariants_; }
   // Times schedule_at was asked for a time in the past (always counted;
   // the sink only adds reporting).
-  std::int64_t past_schedules() const { return past_schedules_; }
+  std::int64_t past_schedules() const;
+
+  // ---- sharded-lane engine (driven by parallel::ShardedEngine) ----
+  // Split the queue into `num_lanes` lanes (lane i owns ToR i's events)
+  // plus the control queue. One-shot; call before any events exist on the
+  // future lanes (i.e. before Network::start()).
+  void configure_lanes(int num_lanes);
+  bool sharded() const { return !lanes_.empty(); }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  // Lane of the calling context: kControlLane unless called from a worker
+  // executing a lane of *this* simulator.
+  int current_lane() const;
+  // True when a direct touch of `lane`-owned state from the calling
+  // context would race (worker on a different lane, parallel phase live).
+  bool cross_lane(int lane) const;
+  bool in_parallel_phase() const { return in_parallel_; }
+
+  void set_parallel_runner(ParallelRunner* r) { runner_ = r; }
+  ParallelRunner* parallel_runner() const { return runner_; }
+  bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+  void clear_stop() { stopped_.store(false, std::memory_order_relaxed); }
+
+  // Engine-side window primitives. `end` is exclusive: events with
+  // when < end run; the clock is then advanced to `end` by the barrier
+  // (advance_all_to). Must only be called by the installed runner.
+  void run_control_until_exclusive(SimTime end);
+  void run_lane_until_exclusive(int lane, SimTime end,
+                                telemetry::FlightRecorder* rec);
+  void begin_parallel_phase() { in_parallel_ = true; }
+  void end_parallel_phase() { in_parallel_ = false; }
+  // Earliest pending event across the control queue and every lane
+  // (SimTime::max() when fully drained).
+  SimTime min_pending_time() const;
+  void advance_all_to(SimTime t);
+
+  struct MergeStats {
+    std::int64_t delivered = 0;
+    std::int64_t clamped = 0;
+  };
+  // Barrier exchange: drain every lane's outbox, sort canonically by
+  // (when, src_lane, src_seq), deliver into the target queues assigning
+  // target-lane sequence numbers in that order. Entries aimed before
+  // `next_start` (the new window's start) are clamped up to it — counted,
+  // never reordered, so clamping can't break shard-count identity.
+  MergeStats merge_outboxes(SimTime next_start);
+
+  struct PastScheduleRecord {
+    SimTime when;
+    SimTime now;
+    const char* tag;
+  };
+  // Past-schedule reports captured on worker lanes since the last call, in
+  // lane order (workers can't call the invariant sink directly; the engine
+  // forwards these from the barrier).
+  std::vector<PastScheduleRecord> take_lane_past_schedules();
+  // Cumulative count of cross-lane messages ever staged in lane outboxes.
+  // The engine's conservation ledger: staged must equal the cumulative
+  // merge-delivered count at every barrier (no message lost or duplicated).
+  std::int64_t cross_staged() const;
 
  private:
   struct Event {
@@ -170,10 +286,43 @@ class Simulator {
     }
   };
 
+  // One cross-lane message staged during a parallel phase, exchanged at
+  // the window barrier. (src_lane, src_seq) gives the canonical merge
+  // order; `target` is a lane index or kControlLane.
+  struct CrossLaneMsg {
+    int target;
+    SimTime when;
+    EventFn fn;
+    const char* tag;
+    int src_lane;
+    std::int64_t src_seq;
+  };
+
+  struct Lane {
+    std::vector<Event> heap;
+    SimTime now = SimTime::zero();
+    std::int64_t next_seq = 0;
+    std::int64_t executed = 0;
+    std::int64_t compactions = 0;
+    std::int64_t past_schedules = 0;
+    std::shared_ptr<std::atomic<std::int64_t>> cancelled_pending =
+        std::make_shared<std::atomic<std::int64_t>>(0);
+    std::vector<CrossLaneMsg> outbox;
+    std::int64_t out_seq = 0;
+    std::int64_t staged = 0;
+    std::vector<PastScheduleRecord> past_log;
+  };
+
   void push_event(Event ev);
   Event pop_event();
   void maybe_compact();
   void dispatch(Event& ev);
+  SimTime now_sharded() const;
+  telemetry::FlightRecorder* recorder_sharded() const;
+  Lane* current_lane_ptr();
+  const Lane* current_lane_ptr() const;
+  EventHandle lane_push(Lane& ln, SimTime when, EventFn fn, const char* tag);
+  void lane_maybe_compact(Lane& ln);
 
   // Min-heap over `heap_` (std::push_heap/pop_heap with operator>), kept as
   // a plain vector so compaction can filter cancelled events in place —
@@ -185,8 +334,8 @@ class Simulator {
   // Shared with every EventHandle: count of cancelled events still queued.
   // May over-count when an already-fired event is cancelled; compaction
   // resets it, so drift self-heals.
-  std::shared_ptr<std::int64_t> cancelled_pending_ =
-      std::make_shared<std::int64_t>(0);
+  std::shared_ptr<std::atomic<std::int64_t>> cancelled_pending_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   telemetry::EventProfiler* profiler_ = nullptr;
@@ -196,7 +345,11 @@ class Simulator {
   std::int64_t executed_ = 0;
   std::int64_t compactions_ = 0;
   std::int64_t past_schedules_ = 0;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
+
+  std::vector<Lane> lanes_;
+  bool in_parallel_ = false;
+  ParallelRunner* runner_ = nullptr;
 };
 
 }  // namespace oo::sim

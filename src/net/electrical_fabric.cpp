@@ -38,11 +38,48 @@ void ElectricalFabric::attach(NodeId node, DeliverFn deliver) {
   sinks_.at(static_cast<std::size_t>(node)) = std::move(deliver);
 }
 
+void ElectricalFabric::set_sharded(bool on) {
+  sharded_ = on;
+  if (on) ingress_busy_.assign(ingress_.size(), SimTime::zero());
+}
+
+// Destination-lane half of the sharded path: tail-drop admission against
+// the egress backlog, then the egress Link (whose busy horizon, backlog
+// bookkeeping, and sink callback are all dst-lane state).
+void ElectricalFabric::admit_and_egress(NodeId from, Packet&& p) {
+  const auto dst = static_cast<std::size_t>(p.dst_node);
+  if (egress_backlog_bytes_[dst] + p.size_bytes > max_backlog_) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* tr = sim_.recorder()) {
+      tr->drop(sim_.now(), telemetry::DropReason::Electrical, from, -1, p.id,
+               p.size_bytes);
+    }
+    return;
+  }
+  egress_backlog_bytes_[dst] += p.size_bytes;
+  egress_[dst]->transmit(std::move(p));
+}
+
 bool ElectricalFabric::transmit(NodeId from, Packet&& p) {
   const auto dst = static_cast<std::size_t>(p.dst_node);
   assert(dst < egress_.size());
+  if (sharded_) {
+    // Serialize on the source's fabric port (source-lane state), then hop
+    // to the destination lane at serialization-end + core transit.
+    SimTime& busy = ingress_busy_[static_cast<std::size_t>(from)];
+    const SimTime start = std::max(sim_.now(), busy);
+    busy = start + SimTime::nanos(serialization_ns(p.size_bytes, port_bw_));
+    const NodeId dst_node = p.dst_node;
+    sim_.schedule_at_lane(
+        dst_node, busy + transit_,
+        [this, from, pkt = std::move(p)]() mutable {
+          admit_and_egress(from, std::move(pkt));
+        },
+        "elec.transit");
+    return true;
+  }
   if (egress_backlog_bytes_[dst] + p.size_bytes > max_backlog_) {
-    ++drops_;
+    drops_.fetch_add(1, std::memory_order_relaxed);
     if (auto* tr = sim_.recorder()) {
       tr->drop(sim_.now(), telemetry::DropReason::Electrical, from, -1, p.id,
                p.size_bytes);

@@ -132,10 +132,11 @@ bool OpticalFabric::reconfiguring() const {
   return switching_ && sim_.now() < switch_done_;
 }
 
-std::optional<Endpoint> OpticalFabric::live_peer(NodeId from, PortId port,
+std::optional<Endpoint> OpticalFabric::live_peer(const Schedule& sched,
+                                                 NodeId from, PortId port,
                                                  SliceId slice,
                                                  SimTime at) const {
-  auto cur = schedule_.peer(from, port, slice);
+  auto cur = sched.peer(from, port, slice);
   if (switching_ && at < switch_done_) {
     // Mid-reconfiguration: a circuit is up only if the old and new schedule
     // agree on it (unchanged circuits keep carrying light).
@@ -146,7 +147,29 @@ std::optional<Endpoint> OpticalFabric::live_peer(NodeId from, PortId port,
   return cur;
 }
 
+void OpticalFabric::enable_sharding() {
+  if (sharded_) return;
+  sharded_ = true;
+  src_rngs_.reserve(static_cast<std::size_t>(schedule_.num_nodes()));
+  for (int n = 0; n < schedule_.num_nodes(); ++n) {
+    src_rngs_.push_back(rng_.fork());
+  }
+}
+
 void OpticalFabric::notify_violation(NodeId from, SimTime at) {
+  if (violation_listeners_.empty()) return;
+  if (sharded_ &&
+      sim_.current_lane() != sim::Simulator::kControlLane) {
+    // Listeners (the sync watchdog) live on the control queue; a worker
+    // lane posts the symptom through the barrier instead of calling in.
+    sim_.schedule_at_lane(
+        sim::Simulator::kControlLane, sim_.now(),
+        [this, from, at]() {
+          for (const auto& fn : violation_listeners_) fn(from, at);
+        },
+        "fabric.violation");
+    return;
+  }
   for (const auto& fn : violation_listeners_) fn(from, at);
 }
 
@@ -157,44 +180,49 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
     c->inc();
     if (tr) tr->drop(sim_.now(), why, from, port, p.id, p.size_bytes);
   };
-  // Commit a pending reconfiguration once its window has elapsed.
-  if (switching_ && sim_.now() >= switch_done_) {
+  // Commit a pending reconfiguration once its window has elapsed. Sharded
+  // mode must not write shared fabric state from a worker lane, so it reads
+  // the effective schedule instead — the control-queue commit event
+  // scheduled by reconfigure() does the actual write.
+  if (switching_ && sim_.now() >= switch_done_ && !sharded_) {
     schedule_ = next_schedule_;
     switching_ = false;
   }
-  const std::int64_t abs_a = schedule_.abs_slice_at(tx_start);
+  const Schedule& sched = (sharded_ && switching_ && sim_.now() >= switch_done_)
+                              ? next_schedule_
+                              : schedule_;
+  const std::int64_t abs_a = sched.abs_slice_at(tx_start);
   // Slice-boundary and per-slice retargeting constraints only exist on
   // rotating (multi-slice) schedules; a TA topology instance holds its
   // circuits continuously and reconfigures only via reconfigure().
-  if (schedule_.period() > 1) {
-    const std::int64_t abs_b =
-        schedule_.abs_slice_at(tx_end - SimTime::nanos(1));
+  if (sched.period() > 1) {
+    const std::int64_t abs_b = sched.abs_slice_at(tx_end - SimTime::nanos(1));
     if (abs_a != abs_b) {
       dropped(drops_boundary_, telemetry::DropReason::Boundary);
       notify_violation(from, tx_start);
       return;
     }
-    const SimTime slice_begin = schedule_.slice_start(abs_a);
+    const SimTime slice_begin = sched.slice_start(abs_a);
     if (tx_start < slice_begin + profile_.reconfig_delay) {
       dropped(drops_guard_, telemetry::DropReason::Guard);
       notify_violation(from, tx_start);
       return;
     }
   }
-  const SliceId slice = schedule_.slice_of(abs_a);
+  const SliceId slice = sched.slice_of(abs_a);
   // Wrong-slice launch: the sender's calendar stamped this packet for a
   // specific cycle slice, but its (drifted) clock opened the window inside a
   // different one. A healthy node can never trip this — its launch window is
   // provably interior to the intended slice — so the check is a pure desync
   // symptom. The fabric itself has no way to refuse the bytes: the circuit
   // of the wrong slice is live and carries them to the wrong peer.
-  if (schedule_.period() > 1 && p.intended_slice != kAnySlice &&
+  if (sched.period() > 1 && p.intended_slice != kAnySlice &&
       slice != p.intended_slice) {
     wrong_slice_->inc();
     if (tr) tr->wrong_slice(sim_.now(), from, port, p.id, abs_a);
     notify_violation(from, tx_start);
   }
-  auto peer = live_peer(from, port, slice, tx_start);
+  auto peer = live_peer(sched, from, port, slice, tx_start);
   if (!peer) {
     dropped(drops_no_circuit_, telemetry::DropReason::NoCircuit);
     return;
@@ -203,11 +231,16 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
     dropped(drops_failed_, telemetry::DropReason::Failed);
     return;
   }
+  // Sharded: BER/jitter draws come from the source node's private stream,
+  // so the draw sequence is a function of that ToR's own transmissions —
+  // identical at any worker count. The shared stream would interleave by
+  // execution order across lanes.
+  Rng& rng = sharded_ ? src_rngs_[static_cast<std::size_t>(from)] : rng_;
   const double ber = port_ber(from, port) + port_ber(peer->node, peer->port);
   if (ber > 0.0) {
     const double bits = static_cast<double>(p.size_bytes) * kBitsPerByte;
     const double p_corrupt = 1.0 - std::pow(1.0 - ber, bits);
-    if (rng_.uniform01() < p_corrupt) {
+    if (rng.uniform01() < p_corrupt) {
       dropped(drops_corrupt_, telemetry::DropReason::Corrupt);
       return;
     }
@@ -215,7 +248,7 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
   const SimTime jitter_span = profile_.latency_max - profile_.latency_min;
   SimTime latency = profile_.latency_min;
   if (jitter_span > SimTime::zero()) {
-    latency += SimTime::nanos(rng_.uniform_i64(0, jitter_span.ns()));
+    latency += SimTime::nanos(rng.uniform_i64(0, jitter_span.ns()));
   }
   const NodeId to = peer->node;
   const PortId in_port = peer->port;
@@ -223,8 +256,11 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
   assert(sink && "destination node not attached to fabric");
   delivered_->inc();
   ++p.hops;
-  sim_.schedule_at(
-      tx_end + latency,
+  // Delivery runs on the destination ToR's lane (lane id == node id); the
+  // fabric latency is >= the engine's sync window, so the hop always lands
+  // in a later window without clamping. Legacy mode: plain schedule_at.
+  sim_.schedule_at_lane(
+      to, tx_end + latency,
       [&sink, in_port, pkt = std::move(p)]() mutable {
         sink(std::move(pkt), in_port);
       },

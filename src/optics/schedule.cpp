@@ -1,5 +1,6 @@
 #include "optics/schedule.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -51,6 +52,8 @@ bool Schedule::add_circuit(const Circuit& c) {
     table_[table_index(c.b, c.b_port, s)] = Endpoint{c.a, c.a_port};
   }
   circuits_.push_back(c);
+  direct_index_valid_ = false;
+  direct_index_.clear();
   return true;
 }
 
@@ -74,18 +77,46 @@ std::vector<std::pair<NodeId, PortId>> Schedule::neighbors(
   return out;
 }
 
-std::optional<Schedule::DirectHop> Schedule::next_direct(NodeId node,
-                                                         NodeId dst,
-                                                         SliceId from) const {
-  for (SliceId k = 0; k < period_; ++k) {
-    const SliceId s = slice_of(from + k);
-    for (PortId p = 0; p < uplinks_; ++p) {
-      if (auto e = peer(node, p, s); e && e->node == dst) {
-        return DirectHop{s, p};
+void Schedule::build_direct_index() const {
+  if (direct_index_valid_) return;
+  direct_index_.assign(
+      static_cast<std::size_t>(num_nodes_) * num_nodes_, {});
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    // Slice-major, then port: each (node, dst) list comes out sorted by
+    // (slice, port), matching the scan order of the pre-index next_direct
+    // (earliest slice wins, lowest port breaks ties).
+    for (SliceId s = 0; s < period_; ++s) {
+      for (PortId p = 0; p < uplinks_; ++p) {
+        const Endpoint& e = table_[table_index(n, p, s)];
+        if (e.node == kInvalidNode) continue;
+        direct_index_[static_cast<std::size_t>(n) * num_nodes_ + e.node]
+            .push_back({s, p});
       }
     }
   }
-  return std::nullopt;
+  direct_index_valid_ = true;
+}
+
+std::optional<Schedule::DirectHop> Schedule::next_direct(NodeId node,
+                                                         NodeId dst,
+                                                         SliceId from) const {
+  if (node < 0 || node >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return std::nullopt;
+  }
+  build_direct_index();
+  const auto& live =
+      direct_index_[static_cast<std::size_t>(node) * num_nodes_ + dst];
+  if (live.empty()) return std::nullopt;
+  // First live slice >= from (cyclic): lower_bound over the sorted list,
+  // wrapping to the front when the tail has nothing.
+  const SliceId f = slice_of(from);
+  auto it = std::lower_bound(
+      live.begin(), live.end(), f,
+      [](const std::pair<SliceId, PortId>& e, SliceId v) {
+        return e.first < v;
+      });
+  if (it == live.end()) it = live.begin();
+  return DirectHop{it->first, it->second};
 }
 
 std::string Schedule::summary() const {

@@ -72,7 +72,10 @@ class Schedule {
 
   // First slice >= `from` (searching one full cycle, wrapping) in which
   // `node` has a circuit to `dst`; returns the local port too.
-  // Slices here are cycle-relative (0..period-1).
+  // Slices here are cycle-relative (0..period-1). Answered from a lazily
+  // built per-(node, dst) live-slice index — routing compilers issue
+  // O(nodes^2 * period) of these, and a linear cycle scan per query made
+  // 256-ToR table builds take tens of seconds.
   struct DirectHop {
     SliceId slice;
     PortId port;
@@ -96,6 +99,7 @@ class Schedule {
 
  private:
   std::size_t table_index(NodeId node, PortId port, SliceId slice) const;
+  void build_direct_index() const;
 
   int num_nodes_;
   int uplinks_;
@@ -105,6 +109,12 @@ class Schedule {
   std::vector<Circuit> circuits_;
   // Dense lookup: node x port x slice -> peer endpoint.
   std::vector<Endpoint> table_;
+  // next_direct cache: per (node, dst), the (slice, port) pairs with a live
+  // circuit, sorted. Built on first query, dropped by add_circuit. Queries
+  // only come from serial routing compilation (never from worker lanes of
+  // the sharded engine), so lazy mutation is race-free.
+  mutable std::vector<std::vector<std::pair<SliceId, PortId>>> direct_index_;
+  mutable bool direct_index_valid_ = false;
 };
 
 }  // namespace oo::optics

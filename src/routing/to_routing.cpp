@@ -11,7 +11,7 @@ namespace oo::routing {
 using core::Path;
 using core::PathHop;
 
-std::vector<Path> direct_to(const optics::Schedule& sched) {
+std::vector<Path> direct_to_expanded(const optics::Schedule& sched) {
   std::vector<Path> out;
   const int n = sched.num_nodes();
   const SliceId period = sched.period();
@@ -33,12 +33,55 @@ std::vector<Path> direct_to(const optics::Schedule& sched) {
   return out;
 }
 
+std::vector<Path> direct_to(const optics::Schedule& sched) {
+  std::vector<Path> out;
+  const int n = sched.num_nodes();
+  const SliceId period = sched.period();
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const auto h0 = sched.next_direct(src, dst, 0);
+      if (!h0) continue;
+      // Single live circuit per cycle (every single-uplink rotor): each of
+      // the period start slices resolves to the identical hop, so one
+      // wildcard-slice path replaces the per-slice fan. The TFT lookup
+      // result is unchanged at every arrival slice; the table (and the
+      // routing deploy) shrinks by a factor of `period` — at 256 ToRs the
+      // expanded form is 16.6M paths and dominates setup time.
+      const auto h1 =
+          sched.next_direct(src, dst, sched.slice_of(h0->slice + 1));
+      if (h1 && h1->slice == h0->slice) {
+        Path p;
+        p.src = kInvalidNode;  // any source: hold-for-direct is per (node,dst)
+        p.dst = dst;
+        p.start_slice = kAnySlice;
+        p.hops.push_back(PathHop{src, h0->port, h0->slice});
+        out.push_back(std::move(p));
+        continue;
+      }
+      for (SliceId s = 0; s < period; ++s) {
+        const auto hop = sched.next_direct(src, dst, s);
+        if (!hop) continue;
+        Path p;
+        p.src = kInvalidNode;
+        p.dst = dst;
+        p.start_slice = s;
+        p.hops.push_back(PathHop{src, hop->port, hop->slice});
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<Path> vlb(const optics::Schedule& sched) {
   // Baseline wildcard entries: any transit packet holds for the direct
   // circuit from wherever it is. These cover corner arrivals the 2-hop
   // spray paths cannot enumerate (e.g., fabric latency carrying a packet
-  // across a slice boundary before its intermediate-hop lookup).
-  std::vector<Path> out = direct_to(sched);
+  // across a slice boundary before its intermediate-hop lookup). Expanded
+  // per-slice form, not the collapsed direct_to(): the spray transit
+  // entries below share keys with it in the TFT and must merge.
+  std::vector<Path> out = direct_to_expanded(sched);
   const int n = sched.num_nodes();
   const SliceId period = sched.period();
   for (NodeId src = 0; src < n; ++src) {

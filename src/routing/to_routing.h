@@ -20,7 +20,16 @@
 namespace oo::routing {
 
 // Direct-circuit routing: hold until the next slice with a direct circuit.
+// When a (node, dst) pair has a single live circuit per cycle, its period
+// identical per-slice paths collapse to one wildcard-slice path (same TFT
+// lookup result, table smaller by a factor of the period).
 std::vector<core::Path> direct_to(const optics::Schedule& sched);
+
+// direct_to without the wildcard collapse: one path per start slice. Use
+// when the caller merges its own per-slice entries into the same TFT keys
+// (hybrid electrical alternatives, VLB spray baselines) — a collapsed
+// entry is less specific and would stop merging with them.
+std::vector<core::Path> direct_to_expanded(const optics::Schedule& sched);
 
 // VLB: direct when a circuit is live this slice; otherwise spray uniformly
 // over all uplinks (random intermediate), intermediates hold for the direct

@@ -21,12 +21,14 @@ std::string MetricsRegistry::key(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[key(name, labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[key(name, labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -34,6 +36,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 
 PercentileSampler& MetricsRegistry::histogram(const std::string& name,
                                               const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[key(name, labels)];
   if (!slot) slot = std::make_unique<PercentileSampler>();
   return *slot;
@@ -41,23 +44,27 @@ PercentileSampler& MetricsRegistry::histogram(const std::string& name,
 
 std::int64_t MetricsRegistry::counter_value(const std::string& name,
                                             const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(key(name, labels));
   return it != counters_.end() ? it->second->value() : 0;
 }
 
 double MetricsRegistry::gauge_value(const std::string& name,
                                     const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(key(name, labels));
   return it != gauges_.end() ? it->second->value() : 0.0;
 }
 
 const PercentileSampler* MetricsRegistry::find_histogram(
     const std::string& name, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(key(name, labels));
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 std::string MetricsRegistry::csv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "metric,value\n";
   char buf[96];
   for (const auto& [k, c] : counters_) {

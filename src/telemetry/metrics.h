@@ -5,11 +5,20 @@
 // member field — the registry only pays at registration and export time.
 // Keys are `name` or `name{k=v,k2=v2}` with labels sorted by insertion
 // order; label keys/values must not contain ',', '=', '{', '}' or '"'.
+//
+// Cells are relaxed atomics so shared counters (fabric delivery/drop
+// totals, traffic flow counts) can be bumped from any worker lane of the
+// sharded engine without a data race. Relaxed is enough: per-lane
+// increments commute, and every read that matters happens in a serial
+// phase ordered after the writes by the engine's barrier mutex, so final
+// values are exact and deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,30 +29,57 @@ namespace oo::telemetry {
 
 class Counter {
  public:
-  void inc(std::int64_t d = 1) { v_ += d; }
-  void set(std::int64_t v) { v_ = v; }
-  std::int64_t value() const { return v_; }
+  void inc(std::int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t v_ = 0;
+  std::atomic<std::int64_t> v_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  void add(double d) { v_ += d; }
-  double value() const { return v_; }
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    // fetch_add for atomic<double> needs C++20 + hardware support; a CAS
+    // loop keeps the cell portable (gauges are not hot-path cells).
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  double v_ = 0.0;
+  std::atomic<double> v_{0.0};
 };
 
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  // Movable so owners (e.g. CampaignRunner) can be returned by value; the
+  // cell pointers already handed out stay valid (cells are individually
+  // heap-allocated). Moving is a setup/teardown operation and must never
+  // race lookups — the mutex guards lookups against each other, not
+  // against a move.
+  MetricsRegistry(MetricsRegistry&& o) noexcept
+      : counters_(std::move(o.counters_)),
+        gauges_(std::move(o.gauges_)),
+        histograms_(std::move(o.histograms_)) {}
+  MetricsRegistry& operator=(MetricsRegistry&& o) noexcept {
+    counters_ = std::move(o.counters_);
+    gauges_ = std::move(o.gauges_);
+    histograms_ = std::move(o.histograms_);
+    return *this;
+  }
+
   // Find-or-create; the returned reference is stable for the registry's
-  // lifetime (cells are individually heap-allocated).
+  // lifetime (cells are individually heap-allocated). Lookups take the
+  // registry mutex — transports registered mid-run from worker lanes (and
+  // their rare rto/fast-retx lookups) stay race-free; increments on the
+  // returned cell never touch the lock.
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   PercentileSampler& histogram(const std::string& name,
@@ -57,6 +93,7 @@ class MetricsRegistry {
                                           const Labels& labels = {}) const;
 
   std::size_t num_metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -68,6 +105,7 @@ class MetricsRegistry {
   std::string csv() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<PercentileSampler>> histograms_;

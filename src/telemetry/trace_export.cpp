@@ -90,32 +90,7 @@ Track track_for(const TraceEvent& ev) {
   return {kFabricPid, 0};
 }
 
-}  // namespace
-
-std::string chrome_trace_json(const FlightRecorder& rec) {
-  std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
-
-  // Process-name metadata for every pid that appears in the window.
-  std::set<int> pids;
-  rec.for_each([&pids](const TraceEvent& ev) {
-    const Track t = track_for(ev);
-    if (t.pid >= 0) pids.insert(t.pid);
-  });
-  for (int pid : pids) {
-    char name[48];
-    if (pid == kFabricPid) {
-      std::snprintf(name, sizeof name, "optical_fabric");
-    } else if (pid == kControlPid) {
-      std::snprintf(name, sizeof name, "control_plane");
-    } else if (pid == kFaultPid) {
-      std::snprintf(name, sizeof name, "faults");
-    } else {
-      std::snprintf(name, sizeof name, "node_%d", pid);
-    }
-    append_meta(out, pid, name, first);
-  }
-
+void append_events(std::string& out, const FlightRecorder& rec, bool& first) {
   char buf[320];
   rec.for_each([&](const TraceEvent& ev) {
     const Track t = track_for(ev);
@@ -151,9 +126,64 @@ std::string chrome_trace_json(const FlightRecorder& rec) {
     }
     out += buf;
   });
+}
+
+// Shared body for the single-ring and stitched exports: metadata pass over
+// every ring, then events ring by ring (Perfetto orders by ts, so rings
+// need no global sort).
+std::string trace_json_impl(const FlightRecorder& control,
+                            const std::vector<const FlightRecorder*>& shards) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Process-name metadata for every pid that appears in any window.
+  std::set<int> pids;
+  auto collect = [&pids](const TraceEvent& ev) {
+    const Track t = track_for(ev);
+    if (t.pid >= 0) pids.insert(t.pid);
+  };
+  control.for_each(collect);
+  for (const auto* s : shards) {
+    if (s) s->for_each(collect);
+  }
+  const int workers = static_cast<int>(shards.size());
+  for (int pid : pids) {
+    char name[64];
+    if (pid == kFabricPid) {
+      std::snprintf(name, sizeof name, "optical_fabric");
+    } else if (pid == kControlPid) {
+      std::snprintf(name, sizeof name, "control_plane");
+    } else if (pid == kFaultPid) {
+      std::snprintf(name, sizeof name, "faults");
+    } else if (workers > 0) {
+      // Engine lane -> worker mapping: worker w runs lanes {w, w+N, ...}.
+      std::snprintf(name, sizeof name, "node_%d (shard %d)", pid,
+                    pid % workers);
+    } else {
+      std::snprintf(name, sizeof name, "node_%d", pid);
+    }
+    append_meta(out, pid, name, first);
+  }
+
+  append_events(out, control, first);
+  for (const auto* s : shards) {
+    if (s) append_events(out, *s, first);
+  }
 
   out += "\n]}\n";
   return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const FlightRecorder& rec) {
+  return trace_json_impl(rec, {});
+}
+
+std::string chrome_trace_json(
+    const FlightRecorder& control,
+    const std::vector<const FlightRecorder*>& shards) {
+  return trace_json_impl(control, shards);
 }
 
 std::string metrics_csv(const MetricsRegistry& reg) { return reg.csv(); }

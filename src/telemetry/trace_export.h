@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
@@ -21,6 +22,15 @@ namespace oo::telemetry {
 // Instant events use ph "i" (scope "t"); guard windows are ph "X" complete
 // events with their duration. ts is microseconds (Chrome's unit).
 std::string chrome_trace_json(const FlightRecorder& rec);
+
+// Stitched sharded export: the control-context ring plus one ring per
+// engine worker, merged into a single trace. Node tracks keep their pids —
+// each ToR is owned by exactly one worker lane, so rings never split a
+// node's timeline — and node process names gain the owning shard
+// ("node_3 (shard 1)", ownership = lane % workers) so per-shard activity
+// reads directly off the track list. Null shard entries are skipped.
+std::string chrome_trace_json(const FlightRecorder& control,
+                              const std::vector<const FlightRecorder*>& shards);
 
 // Well-known synthetic pids used by chrome_trace_json.
 inline constexpr int kFabricPid = 9000;

@@ -49,8 +49,7 @@ double FctAggregate::percentile(double p) const {
 TrafficEngine::TrafficEngine(core::Network& net, TrafficSpec spec)
     : net_(net),
       spec_(std::move(spec)),
-      fluid_(net, spec_.transfer.mss),
-      pool_(net) {
+      fluid_(net, spec_.transfer.mss) {
   validate(spec_);
   if (net_.num_tors() < 2) {
     throw std::invalid_argument(
@@ -101,6 +100,11 @@ void TrafficEngine::start() {
   started_ = true;
   running_ = true;
   net_.start();
+  const bool sharded = net_.sim().sharded();
+  lanes_.resize(sharded ? static_cast<std::size_t>(net_.num_tors()) : 1);
+  for (auto& l : lanes_) {
+    l.pool = std::make_unique<workload::TransferPool>(net_);
+  }
   const SimTime now = net_.sim().now();
   const int num_hosts = net_.num_hosts();
   sources_.resize(static_cast<std::size_t>(spec_.sources));
@@ -123,40 +127,61 @@ void TrafficEngine::start() {
     }
     s.next = next_arrival(s, now);
     if (s.next != SimTime::max()) {
-      heap_.push({s.next.ns(), static_cast<std::uint32_t>(i)});
+      // Sources pin to the lane of their host's ToR; everything after this
+      // seeding loop touches the source from that lane only.
+      const std::size_t slot =
+          sharded ? static_cast<std::size_t>(net_.tor_of(s.host)) : 0;
+      lanes_[slot].heap.push({s.next.ns(), static_cast<std::uint32_t>(i)});
     }
   }
-  arm();
+  for (std::size_t slot = 0; slot < lanes_.size(); ++slot) {
+    arm(slot, /*cross=*/sharded);
+  }
 }
 
 void TrafficEngine::stop() {
+  // Runs on the control context (or post-run); cancelling a lane's wave
+  // timer here never overlaps that lane's execution — phases alternate.
   running_ = false;
-  wake_.cancel();
+  for (auto& l : lanes_) l.wake.cancel();
 }
 
-void TrafficEngine::arm() {
-  if (!running_ || heap_.empty()) return;
-  // Scoped-handle assignment cancels the previous wave timer.
-  wake_ = net_.sim().schedule_at(SimTime::nanos(heap_.top().at_ns),
-                                 [this] { fire(); }, "traffic.wave");
+void TrafficEngine::arm(std::size_t slot, bool cross) {
+  LaneEmit& le = lanes_[slot];
+  if (!running_ || le.heap.empty()) return;
+  const SimTime at = SimTime::nanos(le.heap.top().at_ns);
+  // Scoped-handle assignment cancels the previous wave timer. The initial
+  // sharded arm pushes from control straight onto the slot's lane (serial
+  // context => direct push, real cancellable handle); re-arms come from
+  // fire() already on the right lane and inherit it via schedule_at.
+  if (cross) {
+    le.wake = net_.sim().schedule_at_lane(
+        static_cast<int>(slot), at, [this, slot] { fire(slot); },
+        "traffic.wave");
+  } else {
+    le.wake = net_.sim().schedule_at(at, [this, slot] { fire(slot); },
+                                     "traffic.wave");
+  }
 }
 
-void TrafficEngine::fire() {
+void TrafficEngine::fire(std::size_t slot) {
   if (!running_) return;
+  LaneEmit& le = lanes_[slot];
   const SimTime now = net_.sim().now();
   // Drain the whole due wave under this one event.
-  while (!heap_.empty() && heap_.top().at_ns <= now.ns()) {
-    const std::uint32_t idx = heap_.top().idx;
-    heap_.pop();
+  while (!le.heap.empty() && le.heap.top().at_ns <= now.ns()) {
+    const std::uint32_t idx = le.heap.top().idx;
+    le.heap.pop();
     Source& s = sources_[idx];
-    if (!s.probe) emit(s);  // a probe resumes the search without an arrival
+    if (!s.probe) emit(slot, s);  // a probe resumes without an arrival
     s.next = next_arrival(s, now);
-    if (s.next != SimTime::max()) heap_.push({s.next.ns(), idx});
+    if (s.next != SimTime::max()) le.heap.push({s.next.ns(), idx});
   }
-  arm();
+  arm(slot, /*cross=*/false);
 }
 
-void TrafficEngine::emit(Source& s) {
+void TrafficEngine::emit(std::size_t slot, Source& s) {
+  LaneEmit& le = lanes_[slot];
   const SimTime now = net_.sim().now();
   const HostId src = s.host;
   const NodeId src_tor = net_.tor_of(src);
@@ -164,10 +189,18 @@ void TrafficEngine::emit(Source& s) {
   const std::int64_t bytes = sample_size(s.rng);
   const bool fluid = bytes >= spec_.hybrid_threshold;
   const bool mouse = bytes < kMiceThreshold;
-  const std::int64_t ordinal = flows_emitted();
+  // Trace-pairing ordinal. Legacy: the plain global emission count (one
+  // lane => same value as before). Sharded: lane-tagged so per-lane
+  // counts stay disjoint without a shared counter, mirroring the packet-
+  // id scheme.
+  const std::int64_t lane_count = le.emitted_packet + le.emitted_fluid;
+  const std::int64_t ordinal =
+      lanes_.size() == 1
+          ? lane_count
+          : ((static_cast<std::int64_t>(slot) + 1) << 40) | lane_count;
 
-  bytes_offered_ += bytes;
-  fingerprint_ ^= mix64(
+  le.bytes_offered += bytes;
+  le.fingerprint ^= mix64(
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
        static_cast<std::uint32_t>(dst)) ^
       mix64(static_cast<std::uint64_t>(bytes)) ^
@@ -178,7 +211,10 @@ void TrafficEngine::emit(Source& s) {
   }
   // `alive` outlives the engine: completions from transfers still in
   // flight when the engine is destroyed (owner swapped in a new one) must
-  // not touch the freed aggregates/recorder.
+  // not touch the freed aggregates/recorder. Sharded: this callback always
+  // lands on the control context (packet transports post their done_ to
+  // the control queue; the fluid solver already lives there), so the
+  // aggregates stay serial.
   auto record = [this, alive = alive_, mouse, fluid, src_tor,
                  ordinal](SimTime fct) {
     if (!*alive) return;
@@ -194,17 +230,31 @@ void TrafficEngine::emit(Source& s) {
   };
 
   if (fluid) {
-    ++emitted_fluid_;
+    ++le.emitted_fluid;
     flows_fluid_ctr_->inc();
     bytes_fluid_ctr_->inc(bytes);
-    fluid_.launch(src, dst, bytes,
-                  [record](SimTime fct, std::int64_t) { record(fct); });
+    // The fluid solver is shared control-plane state (one rate-share
+    // computation for the whole fabric), so a lane can't call into it
+    // directly: mailbox the launch to the control queue. The barrier
+    // clamp delays the launch by at most one sync window — the same
+    // amount at every shard count, so results stay byte-identical.
+    auto launch = [this, alive = alive_, src, dst, bytes, record]() {
+      if (!*alive) return;
+      fluid_.launch(src, dst, bytes,
+                    [record](SimTime fct, std::int64_t) { record(fct); });
+    };
+    if (net_.sim().cross_lane(sim::Simulator::kControlLane)) {
+      net_.sim().schedule_at_lane(sim::Simulator::kControlLane, now,
+                                  std::move(launch), "traffic.fluid");
+    } else {
+      launch();
+    }
   } else {
-    ++emitted_packet_;
+    ++le.emitted_packet;
     flows_packet_ctr_->inc();
     bytes_packet_ctr_->inc(bytes);
-    pool_.launch(src, dst, bytes, spec_.transfer,
-                 [record](SimTime fct, std::int64_t) { record(fct); });
+    le.pool->launch(src, dst, bytes, spec_.transfer,
+                    [record](SimTime fct, std::int64_t) { record(fct); });
   }
 }
 

@@ -6,6 +6,17 @@
 // wave of arrivals. Memory is O(sources); the number of flows synthesized
 // is unbounded.
 //
+// Sharded runs split that state per worker lane: each source pins to the
+// lane of its host's ToR, and every lane owns a private heap, wave timer,
+// emission counters/fingerprint, and TransferPool, so arrival waves fire
+// in parallel with no shared mutable emission state. Completion-side
+// state (FCT aggregates, the fluid solver) stays control-plane: packet
+// done callbacks are posted to the control queue by the transports, and
+// fluid launches from lanes are mailboxed to control (adding at most one
+// sync window of launch latency — identical at every shard count, so the
+// stream stays byte-identical). Legacy (unsharded) runs collapse to a
+// single lane slot and are bit-for-bit what they were.
+//
 // Each flow is assigned a fidelity at emission time: sizes below the
 // spec's hybrid_threshold run on the packet-level transport (FlowTransfer
 // via TransferPool — circuit waits, queueing, drops, retransmission);
@@ -80,14 +91,33 @@ class TrafficEngine {
   void stop();
 
   // ---- emission-side telemetry ----
-  std::int64_t flows_emitted() const { return emitted_packet_ + emitted_fluid_; }
-  std::int64_t flows_packet() const { return emitted_packet_; }
-  std::int64_t flows_fluid() const { return emitted_fluid_; }
-  std::int64_t bytes_offered() const { return bytes_offered_; }
+  // Sums/folds over the per-lane slots; call from a serial context (post-
+  // run, or the control phase of a sharded run).
+  std::int64_t flows_emitted() const { return flows_packet() + flows_fluid(); }
+  std::int64_t flows_packet() const {
+    std::int64_t n = 0;
+    for (const auto& l : lanes_) n += l.emitted_packet;
+    return n;
+  }
+  std::int64_t flows_fluid() const {
+    std::int64_t n = 0;
+    for (const auto& l : lanes_) n += l.emitted_fluid;
+    return n;
+  }
+  std::int64_t bytes_offered() const {
+    std::int64_t n = 0;
+    for (const auto& l : lanes_) n += l.bytes_offered;
+    return n;
+  }
   // Order-independent hash over (src, dst, bytes, t) of every emitted
-  // flow. Equal spec + equal horizon => equal fingerprint, on any machine
-  // and at any campaign --jobs.
-  std::uint64_t stream_fingerprint() const { return fingerprint_; }
+  // flow. Equal spec + equal horizon => equal fingerprint, on any machine,
+  // at any campaign --jobs, and at any shard count (the per-lane XOR folds
+  // commute, and arrival times are pure functions of the spec).
+  std::uint64_t stream_fingerprint() const {
+    std::uint64_t fp = 0;
+    for (const auto& l : lanes_) fp ^= l.fingerprint;
+    return fp;
+  }
 
   // ---- completion-side telemetry (FCT in microseconds) ----
   const FctAggregate& mice_fct_us() const { return mice_; }
@@ -119,10 +149,26 @@ class TrafficEngine {
       return idx > o.idx;
     }
   };
+  // Per-lane emission slot. Legacy runs use exactly one (index 0, control
+  // context); sharded runs use one per ToR, each touched only by its own
+  // worker lane after start() seeds it (plus control-phase cancellation in
+  // stop(), which never overlaps lane execution).
+  struct LaneEmit {
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    sim::ScopedEventHandle wake;  // wave timer, cancelled on destruction
+    std::unique_ptr<workload::TransferPool> pool;
+    std::int64_t emitted_packet = 0;
+    std::int64_t emitted_fluid = 0;
+    std::int64_t bytes_offered = 0;
+    std::uint64_t fingerprint = 0;
+  };
 
-  void arm();
-  void fire();
-  void emit(Source& s);
+  // `cross` = arm from the control context onto the slot's worker lane
+  // (initial arming of a sharded run); re-arms from fire() inherit the
+  // firing context's lane and pass false.
+  void arm(std::size_t slot, bool cross);
+  void fire(std::size_t slot);
+  void emit(std::size_t slot, Source& s);
   // Next arrival strictly after `from`, honoring the ON/OFF process and
   // the piecewise-constant load curve (exact inhomogeneous-Poisson
   // inversion: draw per constant-rate segment, restart at boundaries).
@@ -134,11 +180,11 @@ class TrafficEngine {
 
   core::Network& net_;
   TrafficSpec spec_;
-  transport::FluidSolver fluid_;
-  workload::TransferPool pool_;
+  transport::FluidSolver fluid_;  // control-plane: launches mailboxed there
+  // Seeded by start() on the control context; afterwards each Source is
+  // touched only by its owning lane's waves.
   std::vector<Source> sources_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
-  sim::ScopedEventHandle wake_;  // wave timer, cancelled on destruction
+  std::vector<LaneEmit> lanes_;  // sized by start(): 1, or num_tors sharded
   bool running_ = false;
   bool started_ = false;
   // Shared liveness flag captured by completion callbacks handed to the
@@ -149,12 +195,14 @@ class TrafficEngine {
   double lambda_on_;   // per-source arrivals/sec inside ON windows, scale 1
   double duty_ = 1.0;  // ON fraction of the burst process
   // Cumulative destination-rack weight rows, built lazily per source rack.
+  // Sharded: row i is only ever built and read by lane i (sources target
+  // from their own rack), so the lazy fill needs no lock.
   std::vector<std::vector<double>> dst_rows_;
 
-  std::int64_t emitted_packet_ = 0;
-  std::int64_t emitted_fluid_ = 0;
-  std::int64_t bytes_offered_ = 0;
-  std::uint64_t fingerprint_ = 0;
+  // Completion-side aggregates are control-plane only: packet transports
+  // post their done callbacks to the control queue and the fluid solver
+  // lives there, so add() is always serial and reservoir order is the
+  // canonical control-merge order — deterministic at any shard count.
   FctAggregate mice_;
   FctAggregate elephant_;
   telemetry::Counter* flows_packet_ctr_;

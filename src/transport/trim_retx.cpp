@@ -131,10 +131,18 @@ void TrimRetxTransfer::on_rto() {
 void TrimRetxTransfer::finish() {
   finished_ = true;
   rto_timer_.cancel();
-  if (done_) {
-    done_(net_.sim().now() - start_time_,
-          prompt_retx_ + rto_events_);
+  if (!done_) return;
+  const SimTime fct = net_.sim().now() - start_time_;
+  const std::int64_t retx = prompt_retx_ + rto_events_;
+  if (net_.sim().cross_lane(sim::Simulator::kControlLane)) {
+    // Sharded: done_ is control-plane state and may destroy this transfer;
+    // post to the control queue without capturing `this`.
+    net_.sim().schedule_at_lane(
+        sim::Simulator::kControlLane, net_.sim().now(),
+        [done = done_, fct, retx]() { done(fct, retx); }, "trim.done");
+    return;
   }
+  done_(fct, retx);
 }
 
 }  // namespace oo::transport

@@ -154,7 +154,25 @@ TEST(EarliestArrival, ExtractRespectsBudget) {
 TEST(DirectTo, WaitsForDirectCircuit) {
   const auto sched = fig2_schedule();
   const auto paths = direct_to(sched);
-  // Every (src, dst, slice) has exactly one single-hop path.
+  // fig2 gives every pair a single live circuit per cycle, so each (src,
+  // dst) collapses to one wildcard-slice hold-for-direct path.
+  EXPECT_EQ(paths.size(), 4u * 3u);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.hops.size(), 1u);
+    EXPECT_EQ(p.start_slice, kAnySlice);
+    const auto peer =
+        sched.peer(p.hops[0].node, p.hops[0].egress, p.hops[0].dep_slice);
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_EQ(peer->node, p.dst);
+  }
+}
+
+TEST(DirectTo, ExpandedFormKeepsPerSlicePaths) {
+  const auto sched = fig2_schedule();
+  const auto paths = direct_to_expanded(sched);
+  // Every (src, dst, slice) has exactly one single-hop path, and all three
+  // start slices of a pair resolve to the identical hop (which is what
+  // justifies the wildcard collapse in direct_to).
   EXPECT_EQ(paths.size(), 4u * 3u * 3u);
   for (const auto& p : paths) {
     ASSERT_EQ(p.hops.size(), 1u);
