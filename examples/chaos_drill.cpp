@@ -33,6 +33,15 @@
 // divergence self-repairs on the next sync. The scenario runs twice and
 // the counter fingerprints must match byte-for-byte (the replay gate),
 // with zero mixed-epoch slices leaking from the dead leader's term.
+//
+// With --gray-chaos the drill injects the four gray-failure kinds in
+// disjoint windows on disjoint nodes — a BER aging ramp, an intermittent
+// port-pair, a silently non-applying install agent, and a telemetry skew —
+// and the HealthScanner must localize each from observable symptoms alone
+// (conservation audits, tomography, probes, claim-vs-behavior), walk the
+// Suspect -> Degraded -> Quarantined ladder, and re-admit after the fault
+// heals, with zero off-target suspects. The scenario runs twice and the
+// counter fingerprints must match byte-for-byte (the replay gate).
 #include <cstdio>
 #include <string>
 
@@ -44,6 +53,7 @@
 #include "services/export.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
+#include "services/health_scanner.h"
 #include "services/hybrid_steering.h"
 #include "services/monitor.h"
 #include "services/sync_watchdog.h"
@@ -623,6 +633,193 @@ int run_quorum_drill(const std::string& trace_path) {
   return passed ? 0 : 2;
 }
 
+// Counter fingerprint of one gray-chaos scenario run: the scanner's ladder
+// counters, the per-target verdicts, and the fabric totals. Two runs at the
+// same seed must match byte-for-byte (the replay gate).
+struct GrayFingerprint {
+  std::int64_t audits = 0;
+  std::int64_t suspects = 0;
+  std::int64_t degrades = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t readmissions = 0;
+  std::int64_t probes_lost = 0;
+  std::int64_t off_target = 0;
+  std::int64_t delivered = 0;
+  std::int64_t drops = 0;
+  std::int64_t events = 0;
+  // Settled verdict per scripted target (cause as int, port, peer).
+  struct Verdict {
+    int cause = 0;
+    int port = -1;
+    int peer = -1;
+  };
+  Verdict v_ramp, v_pair, v_skew, v_install;
+
+  std::string summary() const {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "audits=%lld suspects=%lld degrades=%lld quarantines=%lld "
+        "readmits=%lld probes_lost=%lld off_target=%lld "
+        "ramp=%d/%d/%d pair=%d/%d/%d skew=%d/%d/%d install=%d/%d/%d "
+        "delivered=%lld drops=%lld events=%lld",
+        static_cast<long long>(audits), static_cast<long long>(suspects),
+        static_cast<long long>(degrades),
+        static_cast<long long>(quarantines),
+        static_cast<long long>(readmissions),
+        static_cast<long long>(probes_lost),
+        static_cast<long long>(off_target), v_ramp.cause, v_ramp.port,
+        v_ramp.peer, v_pair.cause, v_pair.port, v_pair.peer, v_skew.cause,
+        v_skew.port, v_skew.peer, v_install.cause, v_install.port,
+        v_install.peer, static_cast<long long>(delivered),
+        static_cast<long long>(drops), static_cast<long long>(events));
+    return buf;
+  }
+};
+
+GrayFingerprint run_gray_scenario(const std::string& trace_path) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.seed = 7;
+  auto inst =
+      arch::make_rotornet(p, arch::RotorRouting::Direct, /*hybrid=*/true);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  telemetry::FlightRecorder recorder(std::size_t{1} << 16);
+  if (!trace_path.empty()) net->sim().set_recorder(&recorder);
+
+  // Degraded steering is per-node: a Degraded verdict weights the node's
+  // elephants onto the electrical fabric before quarantine fences it.
+  auto steering = std::make_shared<services::HybridSteering>(
+      *net, /*elephant_bytes=*/256 << 10, /*idle_reset=*/50_ms);
+  services::HealthScanner scanner(*net);
+  scanner.set_controller(ctl);
+  scanner.set_degrade_hook([steering](NodeId n, bool degraded) {
+    steering->set_node_degraded(n, degraded);
+  });
+
+  // Scripted targets, one per gray kind, in disjoint fault windows.
+  const NodeId ramp_node = 2, pair_node = 4, skew_node = 1, install_node = 5;
+  const NodeId pair_peer = 6;
+  GrayFingerprint fp;
+  scanner.set_transition_hook([&](NodeId n, services::HealthScanner::NodeHealth,
+                                  services::HealthScanner::NodeHealth to) {
+    if (to != services::HealthScanner::NodeHealth::Quarantined) {
+      if (to == services::HealthScanner::NodeHealth::Suspect &&
+          n != ramp_node && n != pair_node && n != skew_node &&
+          n != install_node) {
+        ++fp.off_target;
+      }
+      return;
+    }
+    // Keep the last quarantine's verdict: sticky faults oscillate through
+    // quarantine/readmit cycles and re-detections classify from richer
+    // evidence than the first ladder climb had.
+    const auto& b = scanner.blame(n);
+    GrayFingerprint::Verdict v;
+    v.cause = static_cast<int>(b.cause);
+    v.port = b.port == kInvalidPort ? -1 : b.port;
+    v.peer = b.peer == kInvalidNode ? -1 : b.peer;
+    if (n == ramp_node) fp.v_ramp = v;
+    if (n == pair_node) fp.v_pair = v;
+    if (n == skew_node) fp.v_skew = v;
+    if (n == install_node) fp.v_install = v;
+  });
+  scanner.start();
+
+  // All-to-all traffic heavy enough that every circuit clears the audit's
+  // min-bytes bar each slice — single-destination patterns cannot tell a
+  // dying port from one bad pair.
+  net->sim().schedule_every(5_us, 10_us, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      for (HostId dst = 0; dst < net->num_hosts(); ++dst) {
+        if (dst == src) continue;
+        core::Packet pkt;
+        pkt.type = core::PacketType::Data;
+        pkt.flow = 900 + src;
+        pkt.dst_host = dst;
+        pkt.size_bytes = 1500;
+        net->host(src).send(std::move(pkt));
+      }
+    }
+  });
+  // Periodic identity redeploys give the claim-vs-behavior check a live ack
+  // trail — a silent installer is only caught while installs flow.
+  net->sim().schedule_every(1_ms, 2_ms, [net, ctl]() {
+    ctl->deploy_update(net->schedule(), routing::direct_to(net->schedule()),
+                       core::LookupMode::PerHop, core::MultipathMode::None, 1,
+                       1, SimTime::zero(), nullptr);
+  });
+
+  // The gray-fault script: one window per kind, disjoint in time and target
+  // so each verdict is unambiguous.
+  services::FaultPlan plan(*net, /*seed=*/2024, ctl);
+  plan.load_json(R"({"events": [
+    {"kind": "ber_ramp", "at_us": 3000, "node": 2, "port": 0,
+     "jitter": 1e-9, "ber": 2e-5, "duration_us": 10000, "cycles": 8},
+    {"kind": "ber", "at_us": 15000, "node": 2, "port": 0, "ber": 0},
+    {"kind": "gray_port_pair", "at_us": 18000, "node": 4, "port": 0,
+     "peer": 6, "prob": 0.5, "duration_us": 8000},
+    {"kind": "telemetry_skew", "at_us": 30000, "node": 1, "ppm": 150000,
+     "duration_us": 8000},
+    {"kind": "silent_install_fail", "at_us": 42000, "node": 5,
+     "duration_us": 8000}
+  ]})");
+  plan.arm();
+
+  inst.run_for(56_ms);
+
+  write_trace(trace_path, recorder);
+
+  fp.audits = scanner.audits();
+  fp.suspects = scanner.suspects();
+  fp.degrades = scanner.degrades();
+  fp.quarantines = scanner.quarantines();
+  fp.readmissions = scanner.readmissions();
+  fp.probes_lost = scanner.probes_lost();
+  fp.delivered = net->optical().delivered();
+  fp.drops = net->optical().total_drops();
+  fp.events = net->sim().events_executed();
+  return fp;
+}
+
+int run_gray_drill(const std::string& trace_path) {
+  const GrayFingerprint first = run_gray_scenario(trace_path);
+  const GrayFingerprint replay = run_gray_scenario("");
+
+  std::printf("=== gray chaos drill: rotornet-direct-hybrid, 56 ms, "
+              "4 scripted gray faults ===\n");
+  std::printf("run:      %s\n", first.summary().c_str());
+  std::printf("replay:   %s\n", replay.summary().c_str());
+
+  using Cause = services::HealthScanner::Cause;
+  const bool deterministic = first.summary() == replay.summary();
+  const bool passed =
+      deterministic &&
+      first.v_ramp.cause == static_cast<int>(Cause::PortDegrade) &&
+      first.v_ramp.port == 0 &&
+      first.v_pair.cause == static_cast<int>(Cause::LinkLoss) &&
+      first.v_pair.port == 0 && first.v_pair.peer == 6 &&
+      first.v_skew.cause == static_cast<int>(Cause::TelemetrySkew) &&
+      first.v_install.cause == static_cast<int>(Cause::SilentInstall) &&
+      first.off_target == 0 &&         // nobody honest was suspected
+      first.quarantines >= 4 &&        // every fault reached the fence
+      first.readmissions >= 4 &&       // ...and healed back out
+      first.probes_lost >= 1;          // probes corroborated real loss
+  if (!deterministic) {
+    std::printf("replay gate FAILED: fingerprints differ\n");
+  }
+  std::printf("%s\n",
+              passed ? "gray chaos drill passed: all four gray kinds "
+                       "localized from symptoms, ladder walked both ways, "
+                       "zero off-target suspects, replay deterministic"
+                     : "gray chaos drill FAILED");
+  return passed ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -630,6 +827,7 @@ int main(int argc, char** argv) {
   bool clock_chaos = false;
   bool control_chaos = false;
   bool quorum_chaos = false;
+  bool gray_chaos = false;
   cli::ArgParser args("chaos_drill",
                       "scripted fault drill against the recovery services");
   args.flag("--clock-chaos", &clock_chaos,
@@ -638,8 +836,11 @@ int main(int argc, char** argv) {
             "southbound transaction drill against the control plane")
       .flag("--quorum-chaos", &quorum_chaos,
             "replicated-controller drill: leader kill, partition, failover")
+      .flag("--gray-chaos", &gray_chaos,
+            "gray-failure drill against the evidence-based health scanner")
       .option("--trace", &trace_path, "write a Chrome trace_event JSON");
   if (!args.parse(argc, argv)) return 1;
+  if (gray_chaos) return run_gray_drill(trace_path);
   if (quorum_chaos) return run_quorum_drill(trace_path);
   if (control_chaos) return run_control_drill(trace_path);
   return clock_chaos ? run_clock_drill(trace_path)

@@ -261,6 +261,22 @@ std::string Net::check_invariants() {
   return monitor_->report();
 }
 
+services::HealthScanner& Net::enable_health_scanner(
+    services::HealthScanner::Config cfg) {
+  if (!net_) {
+    throw std::runtime_error(
+        "enable_health_scanner: deploy a topology first (the network "
+        "materializes on the first deploy_topo call)");
+  }
+  if (!scanner_) {
+    scanner_ = std::make_unique<services::HealthScanner>(*net_, cfg);
+    scanner_->set_controller(ctl_.get());
+    if (monitor_) monitor_->attach_scanner(scanner_.get());
+    scanner_->start();
+  }
+  return *scanner_;
+}
+
 std::int64_t Net::bw_usage(NodeId node) {
   assert(net_);
   std::int64_t total = 0;

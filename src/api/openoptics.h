@@ -27,6 +27,7 @@
 #include "optics/schedule.h"
 #include "routing/time_expanded.h"
 #include "runner/runner.h"
+#include "services/health_scanner.h"
 #include "telemetry/flight_recorder.h"
 #include "topo/traffic_matrix.h"
 #include "traffic/engine.h"
@@ -173,6 +174,16 @@ class Net {
   // Throws if enable_invariants was never called.
   std::string check_invariants();
 
+  // --- Gray-failure health scanning (src/services/health_scanner.h) ---
+  // Attach the evidence-based health scanner to the materialized network:
+  // wires the controller (claim-vs-behavior checks), registers its ladder
+  // with the invariant monitor when one is enabled, and starts boundary-
+  // aligned conservation audits. Throws before deploy_topo materializes
+  // the network. Idempotent — the first call's config wins.
+  services::HealthScanner& enable_health_scanner(
+      services::HealthScanner::Config cfg = {});
+  services::HealthScanner* health_scanner() { return scanner_.get(); }
+
   // --- Execution ---
   // Select the sharded parallel engine (0 = legacy single-heap engine).
   // Must precede the first deploy_topo(), which materializes AND starts
@@ -198,6 +209,7 @@ class Net {
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<traffic::TrafficEngine> traffic_;
   std::unique_ptr<chaos::InvariantMonitor> monitor_;
+  std::unique_ptr<services::HealthScanner> scanner_;
   std::vector<std::int64_t> bw_baseline_;
 };
 

@@ -64,6 +64,14 @@ int weight(FaultKind k, const FuzzSpec& spec) {
       return quorum ? 4 : 0;
     case FaultKind::LogDivergence:
       return quorum ? 3 : 0;
+    case FaultKind::BerRamp:
+      return 5;
+    case FaultKind::GrayPortPair:
+      return 5;
+    case FaultKind::SilentInstallFail:
+      return spec.control_faults ? 3 : 0;
+    case FaultKind::TelemetrySkew:
+      return 3;
   }
   return 0;
 }
@@ -194,6 +202,40 @@ std::vector<FaultEvent> fuzz_plan(std::uint64_t seed, const FuzzSpec& spec) {
         break;
       case FaultKind::LogDivergence:
         ev.node = static_cast<NodeId>(replica);
+        break;
+      case FaultKind::BerRamp:
+        ev.node = node;
+        ev.port = port;
+        // Monotonic aging curve: start at a benign BER, climb to a target
+        // high enough to visibly eat frames inside the ramp window.
+        ev.jitter = static_cast<double>(rand_us(rng, 1, 8)) * 1e-9;
+        ev.ber = static_cast<double>(rand_us(rng, 8, 64)) * 1e-7 * intensity;
+        ev.duration = dur;
+        ev.cycles = static_cast<int>(rng.uniform(8)) + 2;
+        break;
+      case FaultKind::GrayPortPair:
+        ev.node = node;
+        ev.port = port;
+        // Usually pair-scoped (the dirty-mirror signature); occasionally
+        // peer-wildcarded, which reads like early port aging instead.
+        if (rng.uniform(4) != 0) {
+          ev.peer = static_cast<NodeId>(
+              rng.uniform(static_cast<std::uint32_t>(spec.num_tors)));
+        }
+        ev.ber = prob;
+        ev.duration = dur;
+        break;
+      case FaultKind::SilentInstallFail:
+        ev.node = node;
+        // Usually heals (the agent starts applying again); sometimes
+        // sticky for the rest of the run.
+        if (rng.uniform(4) != 0) ev.duration = dur;
+        break;
+      case FaultKind::TelemetrySkew:
+        ev.node = node;
+        ev.ppm = static_cast<double>(rand_us(rng, 50, 500)) * 1000.0 *
+                 (rng.uniform(2) == 0 ? 1.0 : -1.0);
+        ev.duration = dur;
         break;
     }
     out.push_back(ev);

@@ -6,6 +6,7 @@
 #include "core/controller.h"
 #include "core/quorum.h"
 #include "parallel/sharded.h"
+#include "services/health_scanner.h"
 #include "services/sync_watchdog.h"
 #include "transport/fluid.h"
 
@@ -21,6 +22,21 @@ const char* tor_state_name(services::SyncWatchdog::TorState s) {
     case TorState::Widened:
       return "widened";
     case TorState::Quarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+const char* health_name(services::HealthScanner::NodeHealth s) {
+  using NodeHealth = services::HealthScanner::NodeHealth;
+  switch (s) {
+    case NodeHealth::Healthy:
+      return "healthy";
+    case NodeHealth::Suspect:
+      return "suspect";
+    case NodeHealth::Degraded:
+      return "degraded";
+    case NodeHealth::Quarantined:
       return "quarantined";
   }
   return "?";
@@ -72,6 +88,32 @@ void InvariantMonitor::check_watchdog_transition(NodeId node, int from_i,
     violate("watchdog_ladder",
             "node " + std::to_string(node) + ": illegal transition " +
                 tor_state_name(from) + " -> " + tor_state_name(to));
+  }
+}
+
+void InvariantMonitor::attach_scanner(services::HealthScanner* hs) {
+  using NodeHealth = services::HealthScanner::NodeHealth;
+  hs->set_transition_hook([this](NodeId n, NodeHealth from, NodeHealth to) {
+    check_scanner_transition(n, static_cast<int>(from), static_cast<int>(to));
+  });
+}
+
+void InvariantMonitor::check_scanner_transition(NodeId node, int from_i,
+                                                int to_i) {
+  using NodeHealth = services::HealthScanner::NodeHealth;
+  const auto from = static_cast<NodeHealth>(from_i);
+  const auto to = static_cast<NodeHealth>(to_i);
+  const bool legal =
+      (from == NodeHealth::Healthy && to == NodeHealth::Suspect) ||
+      (from == NodeHealth::Suspect && to == NodeHealth::Degraded) ||
+      (from == NodeHealth::Suspect && to == NodeHealth::Healthy) ||
+      (from == NodeHealth::Degraded && to == NodeHealth::Quarantined) ||
+      (from == NodeHealth::Degraded && to == NodeHealth::Healthy) ||
+      (from == NodeHealth::Quarantined && to == NodeHealth::Healthy);
+  if (!legal) {
+    violate("scanner_ladder",
+            "node " + std::to_string(node) + ": illegal transition " +
+                health_name(from) + " -> " + health_name(to));
   }
 }
 

@@ -45,8 +45,9 @@ class Controller;
 class ControllerQuorum;
 }  // namespace oo::core
 namespace oo::services {
+class HealthScanner;
 class SyncWatchdog;
-}
+}  // namespace oo::services
 namespace oo::transport {
 class FluidSolver;
 }
@@ -77,6 +78,7 @@ class InvariantMonitor : public sim::InvariantSink {
   void attach_controller(const core::Controller* ctl);
   void attach_quorum(const core::ControllerQuorum* quorum);
   void attach_watchdog(services::SyncWatchdog* wd);  // installs its hook
+  void attach_scanner(services::HealthScanner* hs);  // installs its hook
   void attach_fluid(const transport::FluidSolver* fluid);
   // Sharded engine: routes its barrier-time violations (cross-shard packet
   // conservation, lane past-schedule reports, custom barrier checks) into
@@ -89,6 +91,12 @@ class InvariantMonitor : public sim::InvariantSink {
   // legality table itself is unit-testable without staging a real
   // quarantine. from/to are services::SyncWatchdog::TorState values.
   void check_watchdog_transition(NodeId node, int from, int to);
+
+  // Health-scanner ladder legality (attach_scanner's hook): rungs escalate
+  // one at a time (Healthy -> Suspect -> Degraded -> Quarantined) and only
+  // readmission returns to Healthy — no rung-skipping in either direction.
+  // from/to are services::HealthScanner::NodeHealth values.
+  void check_scanner_transition(NodeId node, int from, int to);
 
   // Custom invariant: `fn` returns an empty string while the invariant
   // holds, a description once it breaks. Evaluated on every poll round and

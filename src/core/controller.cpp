@@ -668,6 +668,15 @@ void Controller::retransmit_commits() {
 void Controller::apply_node(NodeId n) {
   Txn& t = *committed_;
   Agent& ag = agents_[static_cast<std::size_t>(n)];
+  // Silent install failure (gray fault): the agent acked the install and the
+  // commit, its committed-epoch watermark advanced — but nothing lands in
+  // the forwarding plane. note_node_epoch is deliberately skipped too: the
+  // network keeps observing the old forwarding epoch, which is exactly the
+  // claim-vs-behavior divergence the health scanner localizes.
+  if (ag.silent_install) {
+    ag.pending_apply = false;
+    return;
+  }
   auto& tor = net_.tor(n);
   if (t.clear_prio != kNoClear) tor.tft().remove_priority(t.clear_prio);
   if (t.has_routing) {

@@ -142,6 +142,19 @@ class Controller {
     agents_[static_cast<std::size_t>(n)].install_fail = fail;
   }
 
+  // Gray twin of set_install_fail: node n's agent acks installs (so the
+  // transaction commits fabric-wide) but silently never applies them — its
+  // forwarding state and epoch freeze while its committed-epoch watermark
+  // keeps advancing. The lie is only visible by comparing the agent's claim
+  // (node_committed_epoch) against observed forwarding behavior
+  // (Network::node_epoch / mixed-epoch exposure).
+  void set_silent_install_fail(NodeId n, bool fail) {
+    agents_[static_cast<std::size_t>(n)].silent_install = fail;
+  }
+  bool silent_install_fail(NodeId n) const {
+    return agents_[static_cast<std::size_t>(n)].silent_install;
+  }
+
   // Controller failover. crash() drops the in-flight transaction (its
   // on_done fires with false), forgets the epoch counter, and rejects every
   // deploy until restart(). restart() resyncs: the epoch counter is rebuilt
@@ -192,6 +205,8 @@ class Controller {
     // Epoch the ToR is forwarding on — its fencing watermark.
     std::uint64_t committed_epoch = 0;
     bool install_fail = false;   // injected tor_install_fail fault
+    // Injected silent_install_fail fault: ack installs, never apply them.
+    bool silent_install = false;
     bool pending_apply = false;  // committed, waiting for the boundary
     // Highest quorum term observed (0 until a quorum speaks): messages
     // stamped with a lower term are a deposed leader's and are rejected.

@@ -307,6 +307,9 @@ void TorSwitch::from_host(Packet&& p) {
 }
 
 void TorSwitch::from_optical(Packet&& p, PortId in_port) {
+  // Per-uplink rx ledger (owning-lane write; the health scanner reads it
+  // from the control queue at slice barriers, like the invariant census).
+  uplinks_[static_cast<std::size_t>(in_port)].rx_bytes += p.size_bytes;
   // Receive-side desync symptom: a calendar-scheduled packet should arrive
   // in the slice it departed in, or the next one (fabric latency is well
   // under a slice) — on *this node's* clock. Anything else means either the

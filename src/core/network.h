@@ -252,6 +252,21 @@ class TorSwitch {
   std::int64_t uplink_tx_bytes(PortId port) const {
     return uplinks_[static_cast<std::size_t>(port)].tx_bytes;
   }
+  // Cumulative bytes received from the optical fabric on `port` (the rx
+  // side of the per-circuit conservation ledger the health scanner audits).
+  std::int64_t uplink_rx_bytes(PortId port) const {
+    return uplinks_[static_cast<std::size_t>(port)].rx_bytes;
+  }
+  // Self-reported counter views: what this node *claims* its counters say.
+  // Equal to the ground truth unless a telemetry_skew fault scales the
+  // node's reports by 1 + ppm/1e6. Detectors that must not trust
+  // self-reports (services::HealthScanner) read only these.
+  std::int64_t reported_uplink_tx_bytes(PortId port) const {
+    return reported(uplink_tx_bytes(port));
+  }
+  std::int64_t reported_uplink_rx_bytes(PortId port) const {
+    return reported(uplink_rx_bytes(port));
+  }
   int num_uplinks() const { return static_cast<int>(uplinks_.size()); }
   std::int64_t drops_no_route() const { return drops_no_route_->value(); }
   std::int64_t drops_congestion() const { return drops_congestion_->value(); }
@@ -278,8 +293,15 @@ class TorSwitch {
     SimTime last_eqo_drain = SimTime::zero();
     bool drain_scheduled = false;
     std::int64_t tx_bytes = 0;
+    std::int64_t rx_bytes = 0;
     Uplink() : fifo(0) {}
   };
+
+  std::int64_t reported(std::int64_t v) const {
+    if (report_factor_ == 1.0) return v;
+    return static_cast<std::int64_t>(
+        static_cast<double>(v) * report_factor_ + 0.5);
+  }
 
   void route(Packet&& p);
   void apply_action(Packet&& p, const net::SourceHop& hop, SliceId arr);
@@ -314,6 +336,9 @@ class TorSwitch {
   std::int64_t local_abs_slice_ = 0;
   SimTime local_slice_start_ = SimTime::zero();
   Rng rng_;
+  // Telemetry-skew gray fault: scale factor applied to self-reported
+  // counters (1.0 = honest). Written via Network::set_telemetry_skew.
+  double report_factor_ = 1.0;
 
   std::int64_t peak_buffer_ = 0;
   // Registry-backed ("tor.drops"{class=...,node=N}, "tor.slice_misses"
@@ -391,6 +416,13 @@ class Network {
   void set_node_quarantined(NodeId n, bool q);
   bool node_quarantined(NodeId n) const {
     return quarantined_[static_cast<std::size_t>(n)] != 0;
+  }
+
+  // Telemetry-skew gray fault (services::FaultPlan): node n self-reports
+  // its counters scaled by 1 + ppm/1e6 until cleared with ppm = 0. Ground
+  // truth is untouched — only the reported_* accessors lie.
+  void set_telemetry_skew(NodeId n, double ppm) {
+    tors_[static_cast<std::size_t>(n)]->report_factor_ = 1.0 + ppm / 1e6;
   }
 
   // Receive-side desync symptom tap: fired (synchronously, from the

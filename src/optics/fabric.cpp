@@ -63,6 +63,7 @@ OpticalFabric::OpticalFabric(sim::Simulator& s, Schedule schedule,
           &s.metrics().counter("fabric.drops", {{"class", "failed"}})),
       drops_corrupt_(
           &s.metrics().counter("fabric.drops", {{"class", "corrupt"}})),
+      drops_gray_(&s.metrics().counter("fabric.drops", {{"class", "gray"}})),
       reconfig_stalls_(&s.metrics().counter("fabric.reconfig_stalls")),
       wrong_slice_(&s.metrics().counter("fabric.wrong_slice")) {
   sinks_.resize(static_cast<std::size_t>(schedule_.num_nodes()));
@@ -98,6 +99,23 @@ void OpticalFabric::set_port_ber(NodeId node, PortId port, double ber) {
 double OpticalFabric::port_ber(NodeId node, PortId port) const {
   return port_ber_[static_cast<std::size_t>(node) * schedule_.uplinks() +
                    static_cast<std::size_t>(port)];
+}
+
+void OpticalFabric::set_gray_pair(NodeId node, PortId port, NodeId peer,
+                                  double prob) {
+  assert(node >= 0 && node < schedule_.num_nodes());
+  assert(port >= 0 && port < schedule_.uplinks());
+  for (auto it = gray_pairs_.begin(); it != gray_pairs_.end(); ++it) {
+    if (it->node == node && it->port == port && it->peer == peer) {
+      if (prob <= 0.0) {
+        gray_pairs_.erase(it);
+      } else {
+        it->prob = prob;
+      }
+      return;
+    }
+  }
+  if (prob > 0.0) gray_pairs_.push_back({node, port, peer, prob});
 }
 
 bool OpticalFabric::stall_reconfig(SimTime extra) {
@@ -236,6 +254,22 @@ void OpticalFabric::transmit(NodeId from, PortId port, Packet&& p,
   // identical at any worker count. The shared stream would interleave by
   // execution order across lanes.
   Rng& rng = sharded_ ? src_rngs_[static_cast<std::size_t>(from)] : rng_;
+  // Gray port-pair loss: a dirty mirror on this specific circuit
+  // configuration eats the packet with no alarm and no timing violation —
+  // only the rx-side byte ledger can see it. The rng draw happens ONLY when
+  // an entry matches, so runs without gray faults consume the exact same
+  // random sequence as before the feature existed (byte-identity).
+  if (!gray_pairs_.empty()) {
+    for (const GrayEntry& g : gray_pairs_) {
+      if (g.node != from || g.port != port) continue;
+      if (g.peer != kInvalidNode && g.peer != peer->node) continue;
+      if (rng.uniform01() < g.prob) {
+        dropped(drops_gray_, telemetry::DropReason::Gray);
+        return;
+      }
+      break;  // at most one entry per (node, port, peer) can match
+    }
+  }
   const double ber = port_ber(from, port) + port_ber(peer->node, peer->port);
   if (ber > 0.0) {
     const double bits = static_cast<double>(p.size_bytes) * kBitsPerByte;

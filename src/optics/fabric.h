@@ -102,6 +102,16 @@ class OpticalFabric {
   double port_ber(NodeId node, PortId port) const;
   std::int64_t drops_corrupt() const { return drops_corrupt_->value(); }
 
+  // Gray failure: a dirty mirror / marginal alignment on one circuit
+  // configuration. Packets from (node, port) whose far end lands on `peer`
+  // (kInvalidNode = any peer) are dropped with probability `prob` —
+  // *silently*: no LOS alarm, no timing violation, nothing the loud
+  // detectors can see. prob = 0 clears the entry. The match list is empty
+  // on clean runs, so the hot path costs one size check and — crucially for
+  // byte-identity — draws no randomness unless an entry actually matches.
+  void set_gray_pair(NodeId node, PortId port, NodeId peer, double prob);
+  std::int64_t drops_gray() const { return drops_gray_->value(); }
+
   // Fault injection: extend an in-progress reconfiguration (a stuck MEMS
   // retargeting / slow switch-control round-trip). Returns false (no-op)
   // when no retargeting is in flight.
@@ -141,7 +151,7 @@ class OpticalFabric {
   std::int64_t drops_boundary() const { return drops_boundary_->value(); }
   std::int64_t total_drops() const {
     return drops_no_circuit() + drops_guard() + drops_boundary() +
-           drops_failed() + drops_corrupt();
+           drops_failed() + drops_corrupt() + drops_gray();
   }
 
  private:
@@ -161,6 +171,16 @@ class OpticalFabric {
   std::vector<DeliverFn> sinks_;
   std::vector<char> failed_ports_;  // node x port bitmap
   std::vector<double> port_ber_;    // node x port bit-error rates
+  // Active gray-pair loss entries. Faults are rare and few, so a linear
+  // scan of a (nearly always empty) vector beats a dense node x port x peer
+  // table; the empty-vector check keeps clean runs at one branch.
+  struct GrayEntry {
+    NodeId node;
+    PortId port;
+    NodeId peer;  // kInvalidNode = any peer
+    double prob;
+  };
+  std::vector<GrayEntry> gray_pairs_;
   void notify_violation(NodeId from, SimTime at);
 
   std::vector<PortEventFn> down_listeners_;
@@ -176,6 +196,7 @@ class OpticalFabric {
   telemetry::Counter* drops_boundary_;
   telemetry::Counter* drops_failed_;
   telemetry::Counter* drops_corrupt_;
+  telemetry::Counter* drops_gray_;
   telemetry::Counter* reconfig_stalls_;
   telemetry::Counter* wrong_slice_;
 };

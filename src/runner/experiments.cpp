@@ -1,5 +1,6 @@
 #include "runner/experiments.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "routing/to_routing.h"
 #include "services/failure_recovery.h"
 #include "services/fault_plan.h"
+#include "services/health_scanner.h"
+#include "services/hybrid_steering.h"
 #include "services/sync_watchdog.h"
 #include "traffic/engine.h"
 #include "workload/allreduce.h"
@@ -181,6 +184,208 @@ json::Object run_sync_resilience(RunContext& ctx) {
   o["quarantine_us"] = watchdog_on && watchdog.quarantine_us().count() > 0
                            ? watchdog.quarantine_us().percentile(50)
                            : 0.0;
+  ctx.sim_events = net->sim().events_executed();
+  return o;
+}
+
+// --- gray_detection: one scripted gray fault vs. the health scanner -----
+// Injects a single gray failure (ber_ramp | gray_pair | silent_install |
+// telemetry_skew | none) against a known (node, port) and reports whether
+// the scanner noticed, what it blamed, and how long each rung took.
+// "none" is the false-positive control: any Suspect entry on a clean run
+// is a finding. Localization is judged here — cause family plus blamed
+// component against the injected one — so campaign grids aggregate a
+// plain accuracy column without re-deriving the mapping downstream.
+const char* cause_name(services::HealthScanner::Cause c) {
+  using Cause = services::HealthScanner::Cause;
+  switch (c) {
+    case Cause::None: return "none";
+    case Cause::LinkLoss: return "link_loss";
+    case Cause::PortDegrade: return "port_degrade";
+    case Cause::TelemetrySkew: return "telemetry_skew";
+    case Cause::SilentInstall: return "silent_install";
+  }
+  return "?";
+}
+
+json::Object run_gray_detection(RunContext& ctx) {
+  maybe_inject_failure(ctx);
+  arch::Params p = arch_params_from(ctx);
+  auto inst =
+      make_arch(ctx.param_string("arch", "rotornet-direct-hybrid"), p);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+
+  using services::HealthScanner;
+  HealthScanner::Config hc;
+  hc.min_anomalous_audits = static_cast<int>(
+      ctx.param_int("min_anomalous_audits", hc.min_anomalous_audits));
+  hc.suspect_score = ctx.param_double("suspect_score", hc.suspect_score);
+  hc.readmit_clean_rounds = static_cast<int>(
+      ctx.param_int("readmit_clean_rounds", hc.readmit_clean_rounds));
+  HealthScanner scanner(*net, hc);
+  scanner.set_controller(ctl);
+  if (inst.steering) {
+    auto steering = inst.steering;
+    scanner.set_degrade_hook([steering](NodeId n, bool degraded) {
+      steering->set_node_degraded(n, degraded);
+    });
+  }
+
+  const NodeId target = static_cast<NodeId>(ctx.param_int("target", 2));
+  SimTime suspect_at = SimTime::zero();
+  SimTime quarantine_at = SimTime::zero();
+  // Blame as localized when remediation lands — a healed fault readmits the
+  // node and resets its end-of-run blame, which is not what grids score.
+  // First-suspect blame is provisional (only the strongest circuit has
+  // matured); the quarantine-time blame is the ladder's actual verdict.
+  HealthScanner::Blame first_blame;
+  HealthScanner::Blame final_blame;
+  std::int64_t off_target_suspects = 0;
+  scanner.set_transition_hook([&, net, target](NodeId n,
+                                               HealthScanner::NodeHealth,
+                                               HealthScanner::NodeHealth to) {
+    if (to == HealthScanner::NodeHealth::Suspect) {
+      if (n == target) {
+        if (suspect_at == SimTime::zero()) {
+          suspect_at = net->sim().now();
+          first_blame = scanner.blame(n);
+        }
+      } else {
+        ++off_target_suspects;
+      }
+    }
+    if (ctx.param_bool("debug_transitions", false)) {
+      const auto& b = scanner.blame(n);
+      std::fprintf(stderr,
+                   "[%lld ns] node %d -> %d cause=%s port=%d peer=%d\n",
+                   (long long)net->sim().now().ns(), (int)n, (int)to,
+                   cause_name(b.cause), (int)b.port, (int)b.peer);
+    }
+    if (n == target && to == HealthScanner::NodeHealth::Quarantined) {
+      if (quarantine_at == SimTime::zero()) quarantine_at = net->sim().now();
+      // Keep the last quarantine's verdict: a sticky fault oscillates
+      // through quarantine/readmit cycles, and each re-detection classifies
+      // from richer evidence than the first ladder climb had.
+      final_blame = scanner.blame(n);
+    }
+  });
+  scanner.start();
+
+  // All-to-all background traffic, heavy enough that every circuit clears
+  // the audit's min-bytes evidence bar each slice — single-destination
+  // patterns would make a dying port indistinguishable from one bad pair.
+  const SimTime send_every = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("send_interval_us", 10.0) * 1e3));
+  net->sim().schedule_every(5_us, send_every, [net]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      for (HostId dst = 0; dst < net->num_hosts(); ++dst) {
+        if (dst == src) continue;
+        core::Packet pkt;
+        pkt.type = core::PacketType::Data;
+        pkt.flow = 900 + src;
+        pkt.dst_host = dst;
+        pkt.size_bytes = 1500;
+        net->host(src).send(std::move(pkt));
+      }
+    }
+  });
+  // Periodic identity redeploys give the claim-vs-behavior check a live ack
+  // trail to audit (a silent installer is only caught while installs flow).
+  net->sim().schedule_every(
+      SimTime::millis(1),
+      SimTime::nanos(static_cast<std::int64_t>(
+          ctx.param_double("deploy_interval_us", 2000.0) * 1e3)),
+      [net, ctl]() {
+        (void)ctl->deploy_update(net->schedule(),
+                                 routing::direct_to(net->schedule()),
+                                 core::LookupMode::PerHop,
+                                 core::MultipathMode::None, 1, 1,
+                                 SimTime::zero(), nullptr);
+      });
+
+  const std::string fault = ctx.param_string("fault", "gray_pair");
+  const PortId port = static_cast<PortId>(ctx.param_int("port", 0));
+  const double severity = ctx.param_double("severity", 0.5);
+  const SimTime at = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("fault_at_us", 2000.0) * 1e3));
+  const SimTime window = SimTime::nanos(static_cast<std::int64_t>(
+      ctx.param_double("fault_window_us", 20000.0) * 1e3));
+  const std::int64_t peer_param = ctx.param_int("peer", -1);
+  const NodeId peer = peer_param >= 0 ? static_cast<NodeId>(peer_param)
+                                      : kInvalidNode;
+
+  services::FaultPlan plan(
+      *net, static_cast<std::uint64_t>(ctx.param_int("fault_seed", 2024)),
+      ctl);
+  using Cause = services::HealthScanner::Cause;
+  Cause expected = Cause::None;
+  if (fault == "ber_ramp") {
+    // Aging transceiver: ~severity-scaled packet-corruption odds at full
+    // ramp (1500 B frames corrupt w.p. ~= 12000 * ber).
+    plan.ramp_ber(at, target, port, 1e-9, severity * 2e-5, window);
+    expected = Cause::PortDegrade;
+  } else if (fault == "gray_pair") {
+    plan.gray_pair(at, target, port, peer, severity, window);
+    expected = peer != kInvalidNode ? Cause::LinkLoss : Cause::PortDegrade;
+  } else if (fault == "silent_install") {
+    plan.silent_install(at, target, window);
+    expected = Cause::SilentInstall;
+  } else if (fault == "telemetry_skew") {
+    const double ppm = std::min(500000.0, std::max(50000.0,
+                                                   severity * 200000.0));
+    plan.skew_telemetry(at, target, ppm, window);
+    expected = Cause::TelemetrySkew;
+  } else if (fault != "none") {
+    throw std::runtime_error("gray_detection: unknown fault '" + fault +
+                             "' (ber_ramp | gray_pair | silent_install | "
+                             "telemetry_skew | none)");
+  }
+  plan.arm();
+
+  inst.run_for(SimTime::millis(ctx.param_int("duration_ms", 30)));
+
+  // Score the quarantine-time verdict; fall back to the first-suspect blame
+  // when the run ended before the ladder reached quarantine.
+  const HealthScanner::Blame& why =
+      quarantine_at != SimTime::zero() ? final_blame : first_blame;
+  bool localized;
+  if (fault == "none") {
+    localized = scanner.suspects() == 0;
+  } else {
+    localized = why.cause == expected;
+    if (expected == Cause::LinkLoss) {
+      localized = localized && why.port == port && why.peer == peer;
+    } else if (expected == Cause::PortDegrade) {
+      localized = localized && why.port == port;
+    }
+  }
+
+  json::Object o;
+  o["fault"] = fault;
+  o["severity"] = severity;
+  o["detected"] = suspect_at != SimTime::zero();
+  o["suspect_us"] =
+      suspect_at != SimTime::zero() ? (suspect_at - at).us() : -1.0;
+  o["quarantine_us"] =
+      quarantine_at != SimTime::zero() ? (quarantine_at - at).us() : -1.0;
+  o["state"] = static_cast<std::int64_t>(scanner.state(target));
+  o["blame_cause"] = std::string(cause_name(why.cause));
+  o["blame_port"] = static_cast<std::int64_t>(
+      why.port == kInvalidPort ? -1 : why.port);
+  o["blame_peer"] = static_cast<std::int64_t>(
+      why.peer == kInvalidNode ? -1 : why.peer);
+  o["localized"] = localized;
+  o["false_positives"] = off_target_suspects;
+  o["audits"] = scanner.audits();
+  o["suspects"] = scanner.suspects();
+  o["degrades"] = scanner.degrades();
+  o["quarantines"] = scanner.quarantines();
+  o["readmissions"] = scanner.readmissions();
+  o["probes_lost"] = scanner.probes_lost();
+  const auto t = net->totals();
+  o["delivered"] = t.delivered;
+  o["fabric_drops"] = t.fabric_drops;
   ctx.sim_events = net->sim().events_executed();
   return o;
 }
@@ -430,6 +635,19 @@ std::int64_t chaos_run_once(RunContext& ctx,
   monitor.attach_watchdog(&watchdog);
   watchdog.start();
 
+  // The health scanner rides every fuzz run: the gray fault kinds exercise
+  // its evidence ladder, and the monitor checks each transition's legality.
+  services::HealthScanner scanner(*net);
+  scanner.set_controller(ctl);
+  monitor.attach_scanner(&scanner);
+  if (inst.steering) {
+    auto steering = inst.steering;
+    scanner.set_degrade_hook([steering](NodeId n, bool degraded) {
+      steering->set_node_degraded(n, degraded);
+    });
+  }
+  scanner.start();
+
   transport::FluidSolver fluid(*net);
   monitor.attach_fluid(&fluid);
 
@@ -477,6 +695,9 @@ std::int64_t chaos_run_once(RunContext& ctx,
     fluid.launch(0, net->num_hosts() / 2, 2'000'000, nullptr);
     fluid.launch(1, net->num_hosts() - 1, 1'000'000, nullptr);
   });
+  // Scanner probes stop with the traffic: a probe datagram still in flight
+  // at the horizon would read as a leak to the drain-time ledger.
+  net->sim().schedule_at(cutoff, [&scanner]() { scanner.stop(); });
 
   inst.run_for(duration);
   monitor.check_at_drain();
@@ -494,6 +715,9 @@ std::int64_t chaos_run_once(RunContext& ctx,
     (*counters)["fault_summary"] = plan.summary();
     (*counters)["recoveries"] = recovery.recoveries();
     (*counters)["quarantines"] = watchdog.quarantines();
+    (*counters)["health_suspects"] = scanner.suspects();
+    (*counters)["health_quarantines"] = scanner.quarantines();
+    (*counters)["health_readmissions"] = scanner.readmissions();
     (*counters)["elections"] = quorum ? quorum->elections() : 0;
   }
   ctx.sim_events = net->sim().events_executed();
@@ -645,6 +869,7 @@ bool register_builtins() {
   register_experiment("fct", run_fct);
   register_experiment("allreduce", run_allreduce);
   register_experiment("sync_resilience", run_sync_resilience);
+  register_experiment("gray_detection", run_gray_detection);
   register_experiment("control_chaos", run_control_chaos);
   register_experiment("quorum_chaos", run_quorum_chaos);
   register_experiment("chaos_fuzz", run_chaos_fuzz);

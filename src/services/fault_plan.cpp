@@ -55,6 +55,14 @@ const char* fault_kind_name(FaultKind k) {
       return "replica_partition";
     case FaultKind::LogDivergence:
       return "log_divergence";
+    case FaultKind::BerRamp:
+      return "ber_ramp";
+    case FaultKind::GrayPortPair:
+      return "gray_port_pair";
+    case FaultKind::SilentInstallFail:
+      return "silent_install_fail";
+    case FaultKind::TelemetrySkew:
+      return "telemetry_skew";
   }
   return "?";
 }
@@ -76,10 +84,87 @@ FaultKind fault_kind_from_name(const std::string& name) {
 // Every enumerator must have a name and a round-trip; a new kind that grows
 // the enum without bumping the count trips this at compile time.
 static_assert(kNumFaultKinds ==
-                  static_cast<int>(FaultKind::LogDivergence) + 1,
+                  static_cast<int>(FaultKind::TelemetrySkew) + 1,
               "kNumFaultKinds out of sync with the FaultKind enum");
 
+namespace {
+
+[[noreturn]] void validation_error(std::size_t index, const std::string& what) {
+  throw std::runtime_error("fault event " + std::to_string(index) + " (" +
+                           what + ")");
+}
+
+void check_probability(std::size_t index, const char* kind, const char* field,
+                       double v) {
+  if (v < 0.0 || v > 1.0) {
+    validation_error(index, std::string(kind) + ": " + field + " must be in "
+                            "[0, 1], got " + std::to_string(v));
+  }
+}
+
+}  // namespace
+
+void validate_fault_event(const FaultEvent& ev, std::size_t index) {
+  switch (ev.kind) {
+    case FaultKind::Ber:
+      check_probability(index, "ber", "ber", ev.ber);
+      break;
+    case FaultKind::SbMsgLoss:
+      check_probability(index, "sb_msg_loss", "prob", ev.ber);
+      break;
+    case FaultKind::SbMsgDup:
+      check_probability(index, "sb_msg_dup", "prob", ev.ber);
+      break;
+    case FaultKind::BerRamp:
+      check_probability(index, "ber_ramp", "target ber", ev.ber);
+      check_probability(index, "ber_ramp", "start ber (jitter)", ev.jitter);
+      if (ev.jitter > ev.ber) {
+        validation_error(index,
+                         "ber_ramp: non-monotonic ramp — start ber " +
+                             std::to_string(ev.jitter) + " exceeds target " +
+                             std::to_string(ev.ber));
+      }
+      if (ev.duration <= SimTime::zero()) {
+        validation_error(index, "ber_ramp: duration_us must be > 0 (the ramp "
+                                "needs time to climb)");
+      }
+      if (ev.cycles < 1) {
+        validation_error(index, "ber_ramp: cycles (ramp steps) must be >= 1, "
+                                "got " + std::to_string(ev.cycles));
+      }
+      break;
+    case FaultKind::GrayPortPair:
+      check_probability(index, "gray_port_pair", "prob", ev.ber);
+      if (ev.duration <= SimTime::zero()) {
+        validation_error(index, "gray_port_pair: duration_us must be > 0 "
+                                "(zero-duration gray windows inject nothing)");
+      }
+      break;
+    case FaultKind::TelemetrySkew:
+      if (ev.ppm == 0.0) {
+        validation_error(index, "telemetry_skew: ppm must be nonzero (0 is "
+                                "an honest reporter)");
+      }
+      if (ev.ppm <= -1e6) {
+        validation_error(index, "telemetry_skew: ppm must be > -1e6 so the "
+                                "reported factor 1 + ppm/1e6 stays positive");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void validate_fault_events(const std::vector<FaultEvent>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    validate_fault_event(events[i], i);
+  }
+}
+
 FaultPlan& FaultPlan::add(FaultEvent ev) {
+  // Eager validation: a malformed parameter fails at plan-build time with
+  // the event's index, never as silent mid-run misbehavior.
+  validate_fault_event(ev, events_.size());
   events_.push_back(ev);
   return *this;
 }
@@ -203,6 +288,44 @@ FaultPlan& FaultPlan::diverge_log(SimTime at, int replica) {
               .node = static_cast<NodeId>(replica)});
 }
 
+FaultPlan& FaultPlan::ramp_ber(SimTime at, NodeId node, PortId port,
+                               double start_ber, double target_ber,
+                               SimTime duration, int steps) {
+  // The ramp's starting BER rides in the jitter field (both are unitless
+  // fractions; BerRamp has no flap jitter) and the step count in cycles.
+  return add({.at = at,
+              .kind = FaultKind::BerRamp,
+              .node = node,
+              .port = port,
+              .duration = duration,
+              .cycles = steps,
+              .jitter = start_ber,
+              .ber = target_ber});
+}
+
+FaultPlan& FaultPlan::gray_pair(SimTime at, NodeId node, PortId port,
+                                NodeId peer, double prob, SimTime duration) {
+  return add({.at = at,
+              .kind = FaultKind::GrayPortPair,
+              .node = node,
+              .port = port,
+              .peer = peer,
+              .duration = duration,
+              .ber = prob});
+}
+
+FaultPlan& FaultPlan::silent_install(SimTime at, NodeId node,
+                                     SimTime duration) {
+  return add({.at = at, .kind = FaultKind::SilentInstallFail, .node = node,
+              .duration = duration});
+}
+
+FaultPlan& FaultPlan::skew_telemetry(SimTime at, NodeId node, double ppm,
+                                     SimTime duration) {
+  return add({.at = at, .kind = FaultKind::TelemetrySkew, .node = node,
+              .duration = duration, .ppm = ppm});
+}
+
 FaultPlan& FaultPlan::load_json(const std::string& text) {
   return load_events(json::parse(text));
 }
@@ -215,7 +338,7 @@ std::vector<FaultEvent> parse_fault_events(const json::Value& plan) {
   static constexpr const char* kKeys[] = {
       "kind",   "at_us",  "node",     "replica", "port",
       "duration_us", "down_us", "period_us", "cycles", "jitter",
-      "ber",    "prob",   "ppm",      "extra_us", "delay_us"};
+      "ber",    "prob",   "ppm",      "extra_us", "delay_us", "peer"};
   std::vector<FaultEvent> out;
   for (const auto& e : plan.at("events").as_array()) {
     for (const auto& [key, value] : e.as_object()) {
@@ -240,6 +363,7 @@ std::vector<FaultEvent> parse_fault_events(const json::Value& plan) {
     ev.node = static_cast<NodeId>(
         e.get_int("node", e.get_int("replica", kInvalidNode)));
     ev.port = static_cast<PortId>(e.get_int("port", kInvalidPort));
+    ev.peer = static_cast<NodeId>(e.get_int("peer", kInvalidNode));
     ev.duration = us_to_time(e.get_double(
         "duration_us", e.get_double("down_us", 0.0)));
     ev.period = us_to_time(e.get_double("period_us", 0.0));
@@ -249,6 +373,7 @@ std::vector<FaultEvent> parse_fault_events(const json::Value& plan) {
     ev.ppm = e.get_double("ppm", 0.0);
     ev.extra = us_to_time(e.get_double(
         "extra_us", e.get_double("delay_us", 0.0)));
+    validate_fault_event(ev, out.size());
     out.push_back(ev);
   }
   return out;
@@ -266,6 +391,8 @@ json::Value fault_events_to_json(const std::vector<FaultEvent>& events) {
       o["node"] = static_cast<std::int64_t>(ev.node);
     if (ev.port != kInvalidPort)
       o["port"] = static_cast<std::int64_t>(ev.port);
+    if (ev.peer != kInvalidNode)
+      o["peer"] = static_cast<std::int64_t>(ev.peer);
     if (ev.duration != SimTime::zero())
       o["duration_us"] = static_cast<double>(ev.duration.ns()) / 1e3;
     if (ev.period != SimTime::zero())
@@ -515,6 +642,69 @@ void FaultPlan::fire(const FaultEvent& ev) {
       }
       count(ev.kind, ev.node);
       ctl_->quorum()->diverge_log(ev.node);
+      break;
+    case FaultKind::BerRamp: {
+      // Deterministic aging curve: start at jitter (= start BER), climb to
+      // ber in `cycles` equal steps over `duration`. No randomness — the
+      // curve is a pure function of the event, so replays are exact. The
+      // ramp is sticky: aging does not heal itself (only a later Ber event
+      // clears it).
+      count(ev.kind, ev.node, ev.port);
+      net_.optical().set_port_ber(ev.node, ev.port, ev.jitter);
+      const int steps = ev.cycles;
+      for (int i = 1; i <= steps; ++i) {
+        const SimTime when = SimTime::nanos(ev.duration.ns() * i / steps);
+        const double b =
+            ev.jitter + (ev.ber - ev.jitter) *
+                            (static_cast<double>(i) / static_cast<double>(steps));
+        handles_.push_back(sim.schedule_in(
+            when,
+            [this, node = ev.node, port = ev.port, b]() {
+              net_.optical().set_port_ber(node, port, b);
+            },
+            "fault"));
+      }
+      break;
+    }
+    case FaultKind::GrayPortPair:
+      count(ev.kind, ev.node, ev.port);
+      net_.optical().set_gray_pair(ev.node, ev.port, ev.peer, ev.ber);
+      // duration > 0 is enforced at plan load; the window always closes.
+      handles_.push_back(sim.schedule_in(
+          ev.duration,
+          [this, node = ev.node, port = ev.port, peer = ev.peer]() {
+            net_.optical().set_gray_pair(node, port, peer, 0.0);
+            trace_repair(FaultKind::GrayPortPair, node, port);
+          },
+          "fault"));
+      break;
+    case FaultKind::SilentInstallFail:
+      if (ctl_ == nullptr || ev.node == kInvalidNode) break;
+      count(ev.kind, ev.node);
+      ctl_->set_silent_install_fail(ev.node, true);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              ctl_->set_silent_install_fail(node, false);
+              trace_repair(FaultKind::SilentInstallFail, node);
+            },
+            "fault"));
+      }
+      break;
+    case FaultKind::TelemetrySkew:
+      if (ev.node == kInvalidNode) break;
+      count(ev.kind, ev.node);
+      net_.set_telemetry_skew(ev.node, ev.ppm);
+      if (ev.duration > SimTime::zero()) {
+        handles_.push_back(sim.schedule_in(
+            ev.duration,
+            [this, node = ev.node]() {
+              net_.set_telemetry_skew(node, 0.0);
+              trace_repair(FaultKind::TelemetrySkew, node);
+            },
+            "fault"));
+      }
       break;
   }
 }

@@ -39,8 +39,12 @@ enum class FaultKind {
   LeaderKill,      // kill the quorum leader; revive the replica after `duration`
   ReplicaPartition,// cut replica `node` off the replica mesh for `duration`
   LogDivergence,   // corrupt replica `node`'s log tail (sync self-heals it)
+  BerRamp,         // transceiver aging: BER climbs a deterministic curve
+  GrayPortPair,    // intermittent loss on one src->dst circuit (dirty mirror)
+  SilentInstallFail, // agent acks installs but never applies them
+  TelemetrySkew,   // node's self-reported counters are scaled by 1+ppm/1e6
 };
-inline constexpr int kNumFaultKinds = 19;
+inline constexpr int kNumFaultKinds = 23;
 
 const char* fault_kind_name(FaultKind k);
 // Inverse of fault_kind_name; throws std::runtime_error on unknown names.
@@ -52,6 +56,9 @@ struct FaultEvent {
   FaultKind kind = FaultKind::PortFail;
   NodeId node = kInvalidNode;
   PortId port = kInvalidPort;
+  // Peer-node filter for GrayPortPair: loss applies only to circuits whose
+  // far end lands on `peer` (kInvalidNode = every peer of (node, port)).
+  NodeId peer = kInvalidNode;
   // Flap down-time / control-fault window (0 = sticky).
   SimTime duration = SimTime::zero();
   SimTime period = SimTime::zero();  // flap cycle length
@@ -64,6 +71,16 @@ struct FaultEvent {
 
   bool operator==(const FaultEvent&) const = default;
 };
+
+// Eager plan-load validation (the TrafficSpec style: a bad parameter fails
+// loudly at construction, never as a silent mid-run misbehavior). Throws
+// std::runtime_error naming the event index and offending field. Checks the
+// BER-family probability ranges ([0, 1] for Ber/BerRamp/GrayPortPair and the
+// sb-message probabilities), BerRamp monotonicity (start_ber <= ber) and
+// shape (duration > 0, cycles >= 1), GrayPortPair window (duration > 0), and
+// TelemetrySkew factor (ppm != 0, ppm > -1e6 so the factor stays positive).
+void validate_fault_event(const FaultEvent& ev, std::size_t index);
+void validate_fault_events(const std::vector<FaultEvent>& events);
 
 // Parse the {"events": [...]} body shared by FaultPlan::load_events and the
 // chaos tooling (src/chaos). Every event object must carry a known "kind";
@@ -130,6 +147,23 @@ class FaultPlan {
   FaultPlan& partition_replica(SimTime at, int replica,
                                SimTime duration = SimTime::zero());
   FaultPlan& diverge_log(SimTime at, int replica);
+  // Gray failures (components that keep answering but lie). ramp_ber ages
+  // the transceiver at (node, port): BER climbs from `start_ber` to `ber`
+  // over `duration` in `steps` deterministic increments (no randomness —
+  // identical seeds give identical aging curves). gray_pair drops packets
+  // w.p. `prob` on circuits from (node, port) whose far end is `peer`
+  // (kInvalidNode = any peer) for `duration` — silently: no LOS alarm, no
+  // timing violation. silent_install makes node `node`'s agent ack installs
+  // without applying them for `duration` (0 = sticky). skew_telemetry makes
+  // node `node` self-report its tx/rx counters scaled by 1 + ppm/1e6.
+  FaultPlan& ramp_ber(SimTime at, NodeId node, PortId port, double start_ber,
+                      double target_ber, SimTime duration, int steps = 8);
+  FaultPlan& gray_pair(SimTime at, NodeId node, PortId port, NodeId peer,
+                       double prob, SimTime duration);
+  FaultPlan& silent_install(SimTime at, NodeId node,
+                            SimTime duration = SimTime::zero());
+  FaultPlan& skew_telemetry(SimTime at, NodeId node, double ppm,
+                            SimTime duration = SimTime::zero());
 
   // Append events from a JSON plan: {"events": [{"kind": "port_fail",
   // "at_us": 100, "node": 0, "port": 1}, ...]}. Times are microseconds

@@ -78,6 +78,20 @@ const char* event_kind_name(EventKind k) {
       return "fluid_recompute";
     case EventKind::InvariantViolation:
       return "invariant_violation";
+    case EventKind::ProbeSend:
+      return "probe_send";
+    case EventKind::ProbeEcho:
+      return "probe_echo";
+    case EventKind::ProbeTimeout:
+      return "probe_timeout";
+    case EventKind::HealthSuspect:
+      return "health_suspect";
+    case EventKind::HealthDegrade:
+      return "health_degrade";
+    case EventKind::HealthQuarantine:
+      return "health_quarantine";
+    case EventKind::HealthReadmit:
+      return "health_readmit";
   }
   return "?";
 }
@@ -104,6 +118,8 @@ const char* drop_reason_name(DropReason r) {
       return "electrical";
     case DropReason::HostSegq:
       return "host_segq";
+    case DropReason::Gray:
+      return "gray";
   }
   return "?";
 }

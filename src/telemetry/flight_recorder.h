@@ -209,6 +209,44 @@ class FlightRecorder {
             rate_mbps});
   }
 
+  // Active-probe lifecycle (transport::UdpProbe): `target` reuses the port
+  // field for the responder ToR so a probe pair reads as one track lane.
+  void probe_send(SimTime ts, NodeId prober, NodeId target, std::int64_t seq) {
+    record({ts, EventKind::ProbeSend, DropReason::None, prober, target, seq,
+            0});
+  }
+  void probe_echo(SimTime ts, NodeId prober, NodeId target, std::int64_t seq,
+                  std::int64_t rtt_ns) {
+    record({ts, EventKind::ProbeEcho, DropReason::None, prober, target, seq,
+            rtt_ns});
+  }
+  void probe_timeout(SimTime ts, NodeId prober, NodeId target,
+                     std::int64_t seq, std::int64_t retry) {
+    record({ts, EventKind::ProbeTimeout, DropReason::None, prober, target,
+            seq, retry});
+  }
+  // Health-scanner remediation ladder (services::HealthScanner). Scores are
+  // EWMA loss fractions scaled to milli-units so they fit an integer word.
+  void health_suspect(SimTime ts, NodeId node, std::int64_t score_milli,
+                      std::int64_t blamed_port) {
+    record({ts, EventKind::HealthSuspect, DropReason::None, node, -1,
+            score_milli, blamed_port});
+  }
+  void health_degrade(SimTime ts, NodeId node, std::int64_t probe_losses,
+                      std::int64_t blamed_port) {
+    record({ts, EventKind::HealthDegrade, DropReason::None, node, -1,
+            probe_losses, blamed_port});
+  }
+  void health_quarantine(SimTime ts, NodeId node, std::int64_t score_milli,
+                         std::int64_t blamed_port) {
+    record({ts, EventKind::HealthQuarantine, DropReason::None, node, -1,
+            score_milli, blamed_port});
+  }
+  void health_readmit(SimTime ts, NodeId node, std::int64_t suspect_ns) {
+    record({ts, EventKind::HealthReadmit, DropReason::None, node, -1,
+            suspect_ns, 0});
+  }
+
   // Oldest-to-newest iteration without copying.
   template <typename Fn>
   void for_each(Fn&& fn) const {

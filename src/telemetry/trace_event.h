@@ -51,8 +51,15 @@ enum class EventKind : std::uint8_t {
   FlowComplete,    // node = src ToR, port = fidelity, a = flow id, b = fct ns
   FluidRecompute,  // a = active fluid flows, b = aggregate rate (Mbps)
   InvariantViolation,  // chaos monitor tripped; a = violation ordinal
+  ProbeSend,       // node = prober ToR, port = target ToR, a = probe seq
+  ProbeEcho,       // node = prober ToR, port = target ToR, a = seq, b = rtt ns
+  ProbeTimeout,    // node = prober ToR, port = target ToR, a = seq, b = retry
+  HealthSuspect,   // node, a = anomaly score milli-units, b = blamed port
+  HealthDegrade,   // node, a = probe losses, b = blamed port
+  HealthQuarantine,// node, a = anomaly score milli-units, b = blamed port
+  HealthReadmit,   // node, a = suspect-to-readmit duration ns
 };
-inline constexpr int kNumEventKinds = 37;
+inline constexpr int kNumEventKinds = 44;
 
 // Why a packet was lost (PacketDrop) or re-routed (SliceMiss).
 enum class DropReason : std::uint8_t {
@@ -66,6 +73,7 @@ enum class DropReason : std::uint8_t {
   Corrupt,     // fabric: BER-induced FEC drop
   Electrical,  // electrical fabric egress backlog overflow
   HostSegq,    // host segment queue full (application backpressure)
+  Gray,        // fabric: intermittent gray port-pair silently ate the packet
 };
 
 const char* event_kind_name(EventKind k);

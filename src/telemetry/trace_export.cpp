@@ -86,6 +86,19 @@ Track track_for(const TraceEvent& ev) {
       // Violations draw on the fault track: they are almost always the
       // direct consequence of a nearby injection.
       return {kFaultPid, 0};
+    // Active probes get their own process so probe chatter never clutters a
+    // node's packet lanes; one tid per prober ToR.
+    case EventKind::ProbeSend:
+    case EventKind::ProbeEcho:
+    case EventKind::ProbeTimeout:
+      return {kProbePid, ev.node >= 0 ? ev.node + 1 : 0};
+    // Health-ladder transitions draw on the affected node's slice track,
+    // right next to the symptoms that caused them.
+    case EventKind::HealthSuspect:
+    case EventKind::HealthDegrade:
+    case EventKind::HealthQuarantine:
+    case EventKind::HealthReadmit:
+      return {ev.node, 0};
   }
   return {kFabricPid, 0};
 }
@@ -155,6 +168,8 @@ std::string trace_json_impl(const FlightRecorder& control,
       std::snprintf(name, sizeof name, "control_plane");
     } else if (pid == kFaultPid) {
       std::snprintf(name, sizeof name, "faults");
+    } else if (pid == kProbePid) {
+      std::snprintf(name, sizeof name, "probes");
     } else if (workers > 0) {
       // Engine lane -> worker mapping: worker w runs lanes {w, w+N, ...}.
       std::snprintf(name, sizeof name, "node_%d (shard %d)", pid,

@@ -19,6 +19,7 @@ namespace oo::telemetry {
 //   pid 9000       — optical fabric (circuit up/down, per-port tids)
 //   pid 9001       — control plane (deploys, retries)
 //   pid 9002       — fault injection
+//   pid 9003       — active probes (send/echo/timeout), one tid per prober
 // Instant events use ph "i" (scope "t"); guard windows are ph "X" complete
 // events with their duration. ts is microseconds (Chrome's unit).
 std::string chrome_trace_json(const FlightRecorder& rec);
@@ -36,6 +37,7 @@ std::string chrome_trace_json(const FlightRecorder& control,
 inline constexpr int kFabricPid = 9000;
 inline constexpr int kControlPid = 9001;
 inline constexpr int kFaultPid = 9002;
+inline constexpr int kProbePid = 9003;
 
 // "metric,value" CSV of every registered metric (sorted by key).
 std::string metrics_csv(const MetricsRegistry& reg);

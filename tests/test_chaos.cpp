@@ -69,6 +69,11 @@ TEST(ChaosPlanJson, RoundTripsEveryKind) {
     e.ber = 1.0 / 64.0;
     e.ppm = 75.0;
     e.extra = SimTime::micros(5);
+    // Kinds with validated value bands need in-band (still dyadic /
+    // whole-unit) values: a ber_ramp start below its target, a telemetry
+    // skew inside the +-(50k..500k) ppm band.
+    if (e.kind == FaultKind::BerRamp) e.jitter = 1.0 / 1024.0;
+    if (e.kind == FaultKind::TelemetrySkew) e.ppm = 100000.0;
     evs.push_back(e);
   }
   const json::Value j = services::fault_events_to_json(evs);

@@ -1,0 +1,214 @@
+// Gray-failure injection (services/fault_plan): plan-load validation for
+// the BER-family value bands, observable behavior of each gray kind at the
+// fabric/controller layer, and byte-identical deterministic replay of the
+// gray_detection experiment at shards 1 and 4.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "arch/arch.h"
+#include "core/controller.h"
+#include "routing/to_routing.h"
+#include "runner/experiments.h"
+#include "runner/runner.h"
+#include "services/fault_plan.h"
+
+namespace oo {
+namespace {
+
+using namespace oo::literals;
+
+arch::Instance rotor_instance(std::uint64_t seed = 1) {
+  arch::Params p;
+  p.tors = 8;
+  p.hosts_per_tor = 1;
+  p.uplinks = 1;
+  p.slice = 100_us;
+  p.seed = seed;
+  return arch::make_rotornet(p, arch::RotorRouting::Direct);
+}
+
+void all_to_all(arch::Instance& inst) {
+  inst.net->sim().schedule_every(5_us, 10_us, [net = inst.net.get()]() {
+    for (HostId src = 0; src < net->num_hosts(); ++src) {
+      for (HostId dst = 0; dst < net->num_hosts(); ++dst) {
+        if (dst == src) continue;
+        core::Packet pkt;
+        pkt.type = core::PacketType::Data;
+        pkt.flow = 100 + src;
+        pkt.dst_host = dst;
+        pkt.size_bytes = 1500;
+        net->host(src).send(std::move(pkt));
+      }
+    }
+  });
+}
+
+// ---- plan-load validation: the BER-family value bands ----
+
+void expect_rejected(const std::string& plan_json, const std::string& what) {
+  auto inst = rotor_instance();
+  services::FaultPlan plan(*inst.net, 1);
+  EXPECT_THROW(plan.load_json(plan_json), std::runtime_error) << what;
+}
+
+TEST(GrayFaults, PlanLoadRejectsNonMonotonicRamp) {
+  expect_rejected(
+      R"({"events": [{"kind": "ber_ramp", "at_us": 1000, "node": 0,
+          "port": 0, "jitter": 1e-4, "ber": 1e-6, "duration_us": 5000,
+          "cycles": 4}]})",
+      "start BER above target must be rejected");
+}
+
+TEST(GrayFaults, PlanLoadRejectsBerOutOfRange) {
+  expect_rejected(
+      R"({"events": [{"kind": "ber_ramp", "at_us": 1000, "node": 0,
+          "port": 0, "jitter": 0.0, "ber": 1.5, "duration_us": 5000,
+          "cycles": 4}]})",
+      "a BER above 1.0 is not a probability");
+}
+
+TEST(GrayFaults, PlanLoadRejectsZeroDurationGrayWindow) {
+  expect_rejected(
+      R"({"events": [{"kind": "gray_port_pair", "at_us": 1000, "node": 0,
+          "port": 0, "peer": 3, "prob": 0.5, "duration_us": 0}]})",
+      "a gray window must close");
+}
+
+TEST(GrayFaults, PlanLoadRejectsDegenerateSkew) {
+  expect_rejected(
+      R"({"events": [{"kind": "telemetry_skew", "at_us": 1000, "node": 0,
+          "ppm": 0}]})",
+      "zero skew is an honest reporter, not a fault");
+  expect_rejected(
+      R"({"events": [{"kind": "telemetry_skew", "at_us": 1000, "node": 0,
+          "ppm": -2000000}]})",
+      "ppm <= -1e6 would make the reported factor non-positive");
+}
+
+// ---- injection behavior, one observable symptom per kind ----
+
+TEST(GrayFaults, BerRampAgesProgressively) {
+  auto inst = rotor_instance(7);
+  all_to_all(inst);
+
+  services::FaultPlan plan(*inst.net, 3);
+  plan.ramp_ber(2_ms, /*node=*/2, /*port=*/0, /*start=*/1e-9,
+                /*target=*/2e-5, /*duration=*/10_ms, /*steps=*/5);
+  plan.arm();
+
+  // Early in the ramp the BER is still near the benign start value...
+  inst.run_for(4_ms);
+  const std::int64_t early = inst.net->optical().drops_corrupt();
+  const double mid_ber = inst.net->optical().port_ber(2, 0);
+  // ...and by the end it reached the target and visibly eats frames.
+  inst.run_for(10_ms);
+  const std::int64_t late = inst.net->optical().drops_corrupt();
+  EXPECT_GT(inst.net->optical().port_ber(2, 0), mid_ber);
+  EXPECT_DOUBLE_EQ(inst.net->optical().port_ber(2, 0), 2e-5);
+  EXPECT_GT(late, early);
+  // Sticky aging: the ramp does not heal itself at window end.
+  inst.run_for(5_ms);
+  EXPECT_DOUBLE_EQ(inst.net->optical().port_ber(2, 0), 2e-5);
+}
+
+TEST(GrayFaults, GrayPairDropsAndHealsAtWindowEnd) {
+  auto inst = rotor_instance(7);
+  all_to_all(inst);
+
+  services::FaultPlan plan(*inst.net, 3);
+  plan.gray_pair(2_ms, /*node=*/2, /*port=*/0, /*peer=*/5, /*prob=*/0.5,
+                 /*duration=*/8_ms);
+  plan.arm();
+
+  inst.run_for(12_ms);
+  const std::int64_t in_window = inst.net->optical().drops_gray();
+  EXPECT_GT(in_window, 0);
+  // The window closed at 10 ms: no further gray drops accrue.
+  inst.run_for(10_ms);
+  EXPECT_EQ(inst.net->optical().drops_gray(), in_window);
+}
+
+TEST(GrayFaults, SilentInstallAcksWithoutApplying) {
+  auto inst = rotor_instance(7);
+  auto* net = inst.net.get();
+  auto* ctl = inst.ctl.get();
+  all_to_all(inst);
+
+  services::FaultPlan plan(*net, 3, ctl);
+  plan.silent_install(1_ms, /*node=*/3, /*duration=*/30_ms);
+  plan.arm();
+  inst.run_for(2_ms);
+
+  // A redeploy during the window: node 3's agent acks (its committed
+  // watermark advances with everyone else's) but never applies (the
+  // network-observed forwarding epoch stays behind).
+  ctl->deploy_update(net->schedule(), routing::direct_to(net->schedule()),
+                     core::LookupMode::PerHop, core::MultipathMode::None, 1, 1,
+                     SimTime::zero(), nullptr);
+  inst.run_for(5_ms);
+
+  EXPECT_EQ(ctl->node_committed_epoch(3), ctl->committed_epoch());
+  EXPECT_LT(net->node_epoch(3), ctl->committed_epoch());
+  for (NodeId n = 0; n < net->num_tors(); ++n) {
+    if (n == 3) continue;
+    EXPECT_EQ(net->node_epoch(n), ctl->committed_epoch()) << "node " << n;
+  }
+}
+
+TEST(GrayFaults, TelemetrySkewScalesOnlyReportedCounters) {
+  auto inst = rotor_instance(7);
+  auto* net = inst.net.get();
+  all_to_all(inst);
+
+  services::FaultPlan plan(*net, 3);
+  plan.skew_telemetry(1_ms, /*node=*/2, /*ppm=*/100000.0, /*duration=*/20_ms);
+  plan.arm();
+  inst.run_for(10_ms);
+
+  const auto& tor = net->tor(2);
+  const std::int64_t truth = tor.uplink_tx_bytes(0);
+  ASSERT_GT(truth, 0);
+  // Reported = round(truth * (1 + ppm/1e6)); ground truth is untouched.
+  EXPECT_EQ(tor.reported_uplink_tx_bytes(0),
+            static_cast<std::int64_t>(static_cast<double>(truth) * 1.1 + 0.5));
+  EXPECT_EQ(tor.reported_uplink_rx_bytes(0),
+            static_cast<std::int64_t>(
+                static_cast<double>(tor.uplink_rx_bytes(0)) * 1.1 + 0.5));
+
+  // The window closes: reports are honest again.
+  inst.run_for(12_ms);
+  EXPECT_EQ(net->tor(2).reported_uplink_tx_bytes(0),
+            net->tor(2).uplink_tx_bytes(0));
+}
+
+// ---- deterministic replay: per kind, at shards 1 and 4 ----
+
+json::Object gray_row(const std::string& fault, int shards) {
+  runner::RunSpec spec;
+  spec.seed = 11;
+  spec.params["fault"] = fault;
+  spec.params["duration_ms"] = static_cast<std::int64_t>(20);
+  spec.params["shards"] = static_cast<std::int64_t>(shards);
+  runner::RunContext ctx{spec, 1};
+  return runner::find_experiment("gray_detection")(ctx);
+}
+
+TEST(GrayFaults, ReplayByteIdenticalPerKindAtShards1And4) {
+  for (const char* fault :
+       {"ber_ramp", "gray_port_pair", "silent_install", "telemetry_skew"}) {
+    const std::string kind =
+        fault == std::string("gray_port_pair") ? "gray_pair" : fault;
+    const json::Object base = gray_row(kind, 1);
+    const std::string want = json::Value(base).dump();
+    // Same seed, same kind: a re-run is byte-identical...
+    EXPECT_EQ(json::Value(gray_row(kind, 1)).dump(), want) << kind;
+    // ...and the shard count only chooses a thread layout, never a result.
+    EXPECT_EQ(json::Value(gray_row(kind, 4)).dump(), want)
+        << kind << " shards=4";
+  }
+}
+
+}  // namespace
+}  // namespace oo
